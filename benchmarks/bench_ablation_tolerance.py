@@ -1,0 +1,127 @@
+"""A2 (ablation) — correlation tolerance.
+
+The tolerance decides when a candidate relationship counts as a match.
+Too strict wastes reuse opportunities; too loose accepts approximate maps
+and injects error into the remapped samples. This ablation sweeps the
+tolerance on a demand model with small cross-parameter perturbations and
+reports the reuse-vs-error tradeoff.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import report
+from repro.core.fingerprint import (
+    CorrelationPolicy,
+    FingerprintSpec,
+    compute_fingerprint,
+    correlate,
+    remap_samples,
+)
+from repro.vg.base import VGFunction
+from repro.vg.seeds import world_seed
+
+SPEC = FingerprintSpec(n_seeds=8)
+N_MC = 60
+
+
+class PerturbedDemand(VGFunction):
+    """A demand family where the parameter *almost* shifts the curve:
+    value(t; p) = base(t) + p + epsilon * p * wiggle(t).
+
+    For epsilon > 0 the shift relationship is only approximate — exactly the
+    regime where the tolerance matters.
+    """
+
+    name = "PerturbedDemand"
+    n_components = 24
+    arg_names = ("level",)
+    epsilon = 0.02
+
+    def generate(self, seed, args):
+        (level,) = args
+        rng = self.rng(seed, ())
+        base = rng.normal(0.0, 1.0, size=self.n_components)
+        wiggle = rng.normal(0.0, 1.0, size=self.n_components)
+        return base + float(level) * (1.0 + self.epsilon * wiggle)
+
+
+def ablate(tolerance: float):
+    vg = PerturbedDemand()
+    policy = CorrelationPolicy(tolerance=tolerance)
+    basis_fp = compute_fingerprint(vg, (0.0,), SPEC)
+    target_fp = compute_fingerprint(vg, (5.0,), SPEC)
+    result = correlate(basis_fp, target_fp, policy)
+
+    seeds = [world_seed(7, w) for w in range(N_MC)]
+    basis = np.vstack([vg.invoke(s, (0.0,)) for s in seeds])
+    exact = np.vstack([vg.invoke(s, (5.0,)) for s in seeds])
+    remapped = remap_samples(basis, result)
+    mapped = list(remapped.mapped_components)
+    if mapped:
+        error = float(
+            np.sqrt(np.mean((remapped.samples[:, mapped] - exact[:, mapped]) ** 2))
+        )
+    else:
+        error = 0.0
+    return {
+        "tolerance": tolerance,
+        "mapped_fraction": result.mapped_fraction,
+        "rms_remap_error": error,
+    }
+
+
+@pytest.mark.benchmark(group="A2-tolerance-ablation")
+def test_a2_tolerance_tradeoff(benchmark):
+    tolerances = (1e-8, 1e-4, 1e-2, 5e-2, 1e-1, 5e-1)
+
+    def sweep():
+        return [ablate(tol) for tol in tolerances]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "A2: correlation-tolerance ablation (near-shift demand family)",
+        [
+            f"tol={row['tolerance']:8.0e}: mapped={row['mapped_fraction']:6.1%}, "
+            f"RMS remap error={row['rms_remap_error']:.4f}"
+            for row in rows
+        ],
+    )
+    benchmark.extra_info["rows"] = rows
+
+    fractions = [row["mapped_fraction"] for row in rows]
+    errors = [row["rms_remap_error"] for row in rows]
+    # Shape: reuse grows monotonically with tolerance ...
+    assert fractions == sorted(fractions)
+    # ... strict tolerance rejects the approximate maps entirely ...
+    assert fractions[0] == 0.0
+    # ... loose tolerance accepts everything, at a real accuracy cost.
+    assert fractions[-1] == 1.0
+    assert errors[-1] > 0.01
+
+
+@pytest.mark.benchmark(group="A2-tolerance-ablation")
+def test_a2_default_tolerance_is_safe_on_demo_models(benchmark):
+    """At the engine's default tolerance, the demo models remap exactly."""
+    from repro.models import DemandModel
+
+    vg = DemandModel()
+    policy = CorrelationPolicy()  # engine default
+
+    def correlate_and_remap():
+        basis_fp = compute_fingerprint(vg, (12,), SPEC)
+        target_fp = compute_fingerprint(vg, (36,), SPEC)
+        result = correlate(basis_fp, target_fp, policy)
+        seeds = [world_seed(3, w) for w in range(N_MC)]
+        basis = np.vstack([vg.invoke(s, (12,)) for s in seeds])
+        exact = np.vstack([vg.invoke(s, (36,)) for s in seeds])
+        remapped = remap_samples(basis, result)
+        mapped = list(remapped.mapped_components)
+        return float(np.abs(remapped.samples[:, mapped] - exact[:, mapped]).max())
+
+    error = benchmark.pedantic(correlate_and_remap, rounds=2, iterations=1)
+    report(
+        "A2: default tolerance on DemandModel",
+        [f"max remap error on mapped weeks: {error:.2e}"],
+    )
+    assert error < 1e-6

@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one table/figure/claim from the paper (see the
+experiment index in DESIGN.md) and prints the measured shape next to the
+paper's expectation. Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import ProphetConfig
+
+
+def report(title: str, lines: list[str]) -> None:
+    """Print a small framed report (captured by pytest -s, kept in logs)."""
+    width = max(len(title), *(len(line) for line in lines)) + 2
+    print("\n+" + "-" * width + "+")
+    print(f"| {title.ljust(width - 2)} |")
+    print("+" + "-" * width + "+")
+    for line in lines:
+        print(f"| {line.ljust(width - 2)} |")
+    print("+" + "-" * width + "+")
+
+
+@pytest.fixture
+def fast_config() -> ProphetConfig:
+    """Small-but-meaningful engine configuration for benchmarks."""
+    return ProphetConfig(n_worlds=60, refinement_first=15)
+
+
+@pytest.fixture
+def sweep_config() -> ProphetConfig:
+    return ProphetConfig(n_worlds=30)
+
+
+@pytest.fixture
+def baseline_sweep_config() -> ProphetConfig:
+    """Reuse-free baseline: all caching layers off."""
+    return ProphetConfig(n_worlds=30, enable_stats_cache=False)

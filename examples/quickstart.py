@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: parse the paper's Figure 2 scenario and explore it.
+
+Runs the full Fuzzy Prophet cycle once (Figure 1): the Guide picks the
+slider point, the Query Generator emits pure SQL, the engine samples
+Monte Carlo worlds through the VG table functions, the Storage Manager
+records basis distributions, and the Result Aggregator produces the
+per-week statistics that the online graph renders.
+
+    python examples/quickstart.py
+"""
+
+from repro import OnlineSession, ProphetConfig, parse_scenario
+from repro.models import FIGURE2_DSL, build_demo_library
+from repro.viz import render_chart
+
+
+def main() -> None:
+    print("=== Fuzzy Prophet quickstart ===\n")
+    print("Scenario program (paper Figure 2):")
+    print(FIGURE2_DSL)
+
+    scenario = parse_scenario(FIGURE2_DSL, name="risk_vs_cost")
+    library = build_demo_library()
+    session = OnlineSession(scenario, library, ProphetConfig(n_worlds=120))
+
+    print(f"parsed: {scenario}")
+    print(f"VG-Functions: {library.names}")
+    print(f"parameter grid (excluding axis): "
+          f"{scenario.space.grid_size(exclude=[scenario.axis])} points\n")
+
+    # Stage 1 (Guide): the user positions the sliders.
+    session.set_sliders({"purchase1": 8, "purchase2": 24, "feature": 12})
+    print(f"sliders: {session.sliders}")
+
+    # Stages 2-4: evaluate and aggregate.
+    view = session.refresh()
+    print(
+        f"first render: {view.elapsed_seconds * 1000:.0f} ms, "
+        f"{view.vg_invocations} VG invocations, "
+        f"{view.component_samples} component-samples\n"
+    )
+
+    print(render_chart(session.graph_series(view), title="per-week statistics"))
+
+    # A second adjustment: fingerprints re-render only the changed weeks.
+    session.set_slider("purchase1", 16)
+    second = session.refresh()
+    print(
+        f"\nsecond render after moving @purchase1 8 -> 16: "
+        f"{second.elapsed_seconds * 1000:.0f} ms, "
+        f"{second.component_samples} component-samples, "
+        f"re-rendered weeks: {list(second.refreshed_weeks)} "
+        f"({second.refresh_fraction:.1%} of the graph)"
+    )
+
+    overload = second.statistics.expectation("overload")
+    worst = max(range(len(overload)), key=lambda w: overload[w])
+    print(
+        f"\nworst week: {worst} with P(overload) = {overload[worst]:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

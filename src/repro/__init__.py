@@ -1,0 +1,94 @@
+"""Fuzzy Prophet — a probabilistic-database what-if engine.
+
+A reproduction of *"Fuzzy Prophet: Parameter Exploration in Uncertain
+Enterprise Scenarios"* (Kennedy, Lee, Loboz, Smyl, Nath — SIGMOD 2011):
+construct business scenarios over stochastic black-box VG-Functions,
+simulate them by Monte Carlo through a SQL substrate, and explore their
+parameter spaces interactively (online mode) or by constrained optimization
+(offline mode) — with *fingerprinting* detecting correlated
+parameterizations so that already-computed sample distributions are remapped
+instead of re-simulated.
+
+Quickstart::
+
+    from repro import parse_scenario, OnlineSession, build_demo_library
+    from repro.models import FIGURE2_DSL
+
+    scenario = parse_scenario(FIGURE2_DSL, name="risk_vs_cost")
+    session = OnlineSession(scenario, build_demo_library())
+    session.set_sliders({"purchase1": 8, "purchase2": 24, "feature": 12})
+    view = session.refresh()
+    print(view.statistics.expectation("overload"))
+"""
+
+from repro.core import (
+    AxisStatistics,
+    ConvergenceTracker,
+    GraphView,
+    OfflineOptimizer,
+    OnlineSession,
+    OptimizationResult,
+    Parameter,
+    ParameterSpace,
+    PointEvaluation,
+    ProphetConfig,
+    ProphetEngine,
+    RiskAnalyzer,
+    Scenario,
+)
+from repro.core.fingerprint import (
+    CorrelationPolicy,
+    Fingerprint,
+    FingerprintSpec,
+    analyze_markov,
+    compute_fingerprint,
+    correlate,
+    simulate_with_shortcuts,
+)
+from repro.dsl import parse_scenario
+from repro.models import (
+    CapacityModel,
+    DemandModel,
+    FIGURE2_DSL,
+    build_demo_library,
+    build_growth_scenario,
+    build_maintenance_scenario,
+    build_risk_vs_cost,
+)
+from repro.vg import VGFunction, VGLibrary
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Parameter",
+    "ParameterSpace",
+    "Scenario",
+    "ProphetEngine",
+    "ProphetConfig",
+    "PointEvaluation",
+    "OnlineSession",
+    "GraphView",
+    "OfflineOptimizer",
+    "OptimizationResult",
+    "AxisStatistics",
+    "ConvergenceTracker",
+    "RiskAnalyzer",
+    "FingerprintSpec",
+    "Fingerprint",
+    "CorrelationPolicy",
+    "compute_fingerprint",
+    "correlate",
+    "analyze_markov",
+    "simulate_with_shortcuts",
+    "parse_scenario",
+    "VGFunction",
+    "VGLibrary",
+    "DemandModel",
+    "CapacityModel",
+    "FIGURE2_DSL",
+    "build_demo_library",
+    "build_risk_vs_cost",
+    "build_growth_scenario",
+    "build_maintenance_scenario",
+    "__version__",
+]

@@ -1,0 +1,228 @@
+"""Command-line interface.
+
+Three subcommands mirroring the paper's workflow::
+
+    python -m repro info scenario.sql          # parse & describe a scenario
+    python -m repro run scenario.sql \\
+        --set purchase1=8 --set purchase2=24 --set feature=12
+    python -m repro optimize scenario.sql --worlds 60 [--no-reuse]
+
+The scenario file is a Fuzzy Prophet DSL program (Figure 2 syntax). Models
+are resolved from a named library (``--library demo`` is the paper's demo
+model set). Passing ``-`` as the file reads the built-in Figure 2 program.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Sequence
+
+from repro.core.engine import ProphetConfig
+from repro.core.offline import OfflineOptimizer
+from repro.core.online import OnlineSession
+from repro.dsl import parse_scenario
+from repro.errors import ReproError
+from repro.models import FIGURE2_DSL, build_demo_library
+from repro.viz import mapping_grid, render_chart, render_grid
+
+#: Named model libraries available to the CLI.
+LIBRARIES = {
+    "demo": build_demo_library,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fuzzy Prophet: probabilistic what-if exploration",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "scenario",
+            help="path to a Fuzzy Prophet DSL file, or '-' for the built-in "
+            "Figure 2 scenario",
+        )
+        sub.add_argument(
+            "--library",
+            default="demo",
+            choices=sorted(LIBRARIES),
+            help="named VG-Function library backing the scenario",
+        )
+        sub.add_argument(
+            "--worlds", type=int, default=100, help="Monte Carlo worlds per point"
+        )
+        sub.add_argument(
+            "--seed", type=int, default=42, help="base seed for world derivation"
+        )
+
+    info = subparsers.add_parser("info", help="parse and describe a scenario")
+    add_common(info)
+
+    run = subparsers.add_parser("run", help="evaluate one parameter point")
+    add_common(run)
+    run.add_argument(
+        "--set",
+        dest="assignments",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="parameter assignment (repeatable); unset parameters use their "
+        "first domain value",
+    )
+    run.add_argument("--no-chart", action="store_true", help="skip the ASCII chart")
+
+    optimize = subparsers.add_parser(
+        "optimize", help="run the scenario's OPTIMIZE block over the full grid"
+    )
+    add_common(optimize)
+    optimize.add_argument(
+        "--no-reuse", action="store_true", help="disable fingerprint reuse (baseline)"
+    )
+    optimize.add_argument(
+        "--grid",
+        nargs=2,
+        metavar=("XPARAM", "YPARAM"),
+        help="render the Figure-4 exploration grid over two parameters",
+    )
+    return parser
+
+
+def _load_scenario_text(path: str) -> str:
+    if path == "-":
+        return FIGURE2_DSL
+    with open(path) as handle:
+        return handle.read()
+
+
+def _parse_assignment(text: str) -> tuple[str, Any]:
+    if "=" not in text:
+        raise ReproError(f"--set expects NAME=VALUE, got {text!r}")
+    name, _, raw = text.partition("=")
+    value: Any
+    try:
+        value = int(raw)
+    except ValueError:
+        try:
+            value = float(raw)
+        except ValueError:
+            value = raw
+    return name.strip().lstrip("@"), value
+
+
+def _setup(args: argparse.Namespace):
+    text = _load_scenario_text(args.scenario)
+    scenario = parse_scenario(text, name="cli_scenario")
+    library = LIBRARIES[args.library]()
+    scenario.check_against_library(library)
+    config = ProphetConfig(n_worlds=args.worlds, base_seed=args.seed)
+    return scenario, library, config
+
+
+def command_info(args: argparse.Namespace) -> int:
+    scenario, library, _ = _setup(args)
+    print(f"scenario: {scenario.name}")
+    print(f"axis: @{scenario.axis} ({len(scenario.axis_values())} values)")
+    print("parameters:")
+    for parameter in scenario.space:
+        domain = parameter.values
+        rendered = (
+            f"{domain[0]} .. {domain[-1]} ({len(domain)} values)"
+            if len(domain) > 6
+            else ", ".join(str(v) for v in domain)
+        )
+        marker = " (axis)" if parameter.name.lower() == scenario.axis else ""
+        print(f"  @{parameter.name}: {rendered}{marker}")
+    print("outputs:")
+    for output in scenario.outputs:
+        if hasattr(output, "vg_name"):
+            print(f"  {output.alias} <- VG {output.vg_name}")
+        else:
+            print(f"  {output.alias} <- {output.expression.render()}")
+    print(f"sweep grid: {scenario.space.grid_size(exclude=[scenario.axis])} points")
+    if scenario.graph:
+        series = ", ".join(f"{s.kind} {s.alias}" for s in scenario.graph.series)
+        print(f"graph: OVER @{scenario.graph.axis}: {series}")
+    if scenario.optimize:
+        spec = scenario.optimize
+        constraint = spec.constraint.render() if spec.constraint else "(none)"
+        objectives = ", ".join(f"{o.direction} @{o.parameter}" for o in spec.objectives)
+        print(f"optimize: WHERE {constraint} FOR {objectives}")
+    print(f"VG library: {', '.join(library.names)}")
+    return 0
+
+
+def command_run(args: argparse.Namespace) -> int:
+    scenario, library, config = _setup(args)
+    session = OnlineSession(scenario, library, config)
+    for assignment in args.assignments:
+        name, value = _parse_assignment(assignment)
+        session.set_slider(name, value)
+    print(f"point: {session.sliders}  ({config.n_worlds} worlds)")
+    view = session.refresh()
+    print(
+        f"evaluated in {view.elapsed_seconds * 1000:.0f} ms "
+        f"({view.component_samples} component-samples)"
+    )
+    if scenario.graph and not args.no_chart:
+        print()
+        print(render_chart(session.graph_series(view), title=f"{scenario.name}"))
+    print()
+    for alias in view.statistics.aliases():
+        series = view.statistics.expectation(alias)
+        print(
+            f"E[{alias}]: min={series.min():.4g} max={series.max():.4g} "
+            f"mean={series.mean():.4g}"
+        )
+    return 0
+
+
+def command_optimize(args: argparse.Namespace) -> int:
+    scenario, library, config = _setup(args)
+    optimizer = OfflineOptimizer(scenario, library, config)
+    total = scenario.space.grid_size(exclude=[scenario.axis])
+    print(f"sweeping {total} points x {config.n_worlds} worlds "
+          f"(reuse {'off' if args.no_reuse else 'on'})")
+    result = optimizer.run(reuse=not args.no_reuse)
+    print(
+        f"done in {result.elapsed_seconds:.1f}s; sources {result.source_counts()}; "
+        f"{result.component_samples} component-samples"
+    )
+    if result.best is None:
+        print("no feasible point satisfies the constraint")
+        return 1
+    print(f"best point: {result.best.point}")
+    if result.best.constraint_value is not None:
+        print(f"constraint value at best: {result.best.constraint_value:.4f}")
+    if args.grid:
+        x_name, y_name = args.grid
+        grid = mapping_grid(result.records, scenario.space, x_name, y_name)
+        print()
+        print(render_grid(grid, title=f"exploration grid ({x_name} x {y_name})"))
+    return 0
+
+
+COMMANDS = {
+    "info": command_info,
+    "run": command_run,
+    "optimize": command_optimize,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,94 @@
+"""Fuzzy Prophet core: parameters, scenarios, the evaluation cycle,
+fingerprinting, and the online/offline exploration modes."""
+
+from repro.core.aggregator import (
+    AxisStatistics,
+    ConvergenceTracker,
+    ResultAggregator,
+    SeriesStats,
+    error_against_reference,
+)
+from repro.core.engine import (
+    PointEvaluation,
+    ProphetConfig,
+    ProphetEngine,
+    StageTimings,
+)
+from repro.core.guide import GridGuide, PriorityGuide, RefinementPlan
+from repro.core.instance import InstanceBatch, WorldInstance
+from repro.core.offline import (
+    ConstraintEvaluator,
+    OfflineOptimizer,
+    OptimizationResult,
+    PointRecord,
+    ReuseSummary,
+)
+from repro.core.online import GraphView, InteractionLog, OnlineSession
+from repro.core.parameters import Parameter, ParameterSpace
+from repro.core.querygen import QueryGenerator, substitute
+from repro.core.scenario import (
+    DerivedOutput,
+    GraphSeries,
+    GraphSpec,
+    OptimizeObjective,
+    OptimizeSpec,
+    Scenario,
+    VGOutput,
+)
+from repro.core.persistence import load_bases, save_bases
+from repro.core.risk import (
+    RiskAnalyzer,
+    RiskSummary,
+    exceedance_probability,
+    expected_shortfall,
+    quantile_series,
+    shortfall_probability,
+)
+from repro.core.storage import BasisEntry, ReuseReport, StorageManager
+
+__all__ = [
+    "Parameter",
+    "ParameterSpace",
+    "WorldInstance",
+    "InstanceBatch",
+    "Scenario",
+    "VGOutput",
+    "DerivedOutput",
+    "GraphSpec",
+    "GraphSeries",
+    "OptimizeSpec",
+    "OptimizeObjective",
+    "GridGuide",
+    "PriorityGuide",
+    "RefinementPlan",
+    "QueryGenerator",
+    "substitute",
+    "StorageManager",
+    "BasisEntry",
+    "ReuseReport",
+    "ResultAggregator",
+    "AxisStatistics",
+    "SeriesStats",
+    "ConvergenceTracker",
+    "error_against_reference",
+    "ProphetEngine",
+    "ProphetConfig",
+    "PointEvaluation",
+    "StageTimings",
+    "OnlineSession",
+    "GraphView",
+    "InteractionLog",
+    "OfflineOptimizer",
+    "OptimizationResult",
+    "PointRecord",
+    "ReuseSummary",
+    "ConstraintEvaluator",
+    "RiskAnalyzer",
+    "RiskSummary",
+    "quantile_series",
+    "exceedance_probability",
+    "shortfall_probability",
+    "expected_shortfall",
+    "save_bases",
+    "load_bases",
+]

@@ -1,0 +1,458 @@
+"""The Prophet engine: the evaluation cycle of paper Figure 1.
+
+One :class:`ProphetEngine` owns a scenario, a VG library, a SQL catalog with
+the PDB extension registered, the fingerprint registry, the Storage Manager,
+and the Result Aggregator. Its unit of work is *evaluating one parameter
+point*: produce (or reuse) the Monte Carlo sample matrix of every VG model,
+land samples in SQL, run the generated combine and aggregate queries, and
+return per-axis statistics.
+
+The cycle (stage names match Figure 1):
+
+1. **guide** — the caller (GridGuide / PriorityGuide / user) picks the point;
+2. **querygen + sql** — generated pure SQL samples fresh worlds through the
+   VG table functions and lands them in the samples tables;
+3. **storage** — the Storage Manager intercepts with basis distributions:
+   exact hits and fingerprint-mapped reuse skip stage 2 for the mapped
+   components entirely;
+4. **aggregate** — the combine and aggregate queries produce the statistics
+   that feed the online graph or the offline optimizer, and the results are
+   fed back (stored as new basis distributions) to direct future sampling.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ScenarioError
+from repro.core.aggregator import AxisStatistics, ResultAggregator
+from repro.core.fingerprint.correlation import CorrelationPolicy
+from repro.core.fingerprint.fingerprint import FingerprintSpec
+from repro.core.fingerprint.registry import FingerprintRegistry
+from repro.core.guide import RefinementPlan
+from repro.core.instance import InstanceBatch
+from repro.core.querygen import QueryGenerator
+from repro.core.scenario import Scenario, VGOutput
+from repro.core.storage import ReuseReport, StorageManager
+from repro.sqldb.catalog import Catalog
+from repro.sqldb.executor import Executor
+from repro.sqldb.pdbext import register_library
+from repro.vg.library import VGLibrary
+
+
+@dataclass(frozen=True)
+class ProphetConfig:
+    """Engine-wide knobs."""
+
+    n_worlds: int = 200
+    base_seed: int = 42
+    fingerprint_seeds: int = 8
+    correlation_tolerance: float = 1e-6
+    min_mapped_fraction: float = 0.05
+    refinement_first: int = 25
+    refinement_growth: float = 2.0
+    #: Cache finished point statistics: a re-visited point (same worlds)
+    #: skips the combine/aggregate queries entirely. Disabled automatically
+    #: when a caller passes ``reuse=False`` (baseline measurements).
+    enable_stats_cache: bool = True
+
+    def plan(self) -> RefinementPlan:
+        return RefinementPlan(
+            n_worlds=self.n_worlds,
+            first=min(self.refinement_first, self.n_worlds),
+            growth=self.refinement_growth,
+        )
+
+    def fingerprint_spec(self) -> FingerprintSpec:
+        return FingerprintSpec(n_seeds=self.fingerprint_seeds)
+
+    def correlation_policy(self) -> CorrelationPolicy:
+        return CorrelationPolicy(tolerance=self.correlation_tolerance)
+
+
+@dataclass
+class StageTimings:
+    """Wall-clock seconds attributed to each Figure-1 stage."""
+
+    querygen: float = 0.0
+    sql: float = 0.0
+    storage: float = 0.0
+    aggregate: float = 0.0
+
+    def total(self) -> float:
+        return self.querygen + self.sql + self.storage + self.aggregate
+
+    def add(self, other: "StageTimings") -> None:
+        self.querygen += other.querygen
+        self.sql += other.sql
+        self.storage += other.storage
+        self.aggregate += other.aggregate
+
+
+@dataclass(frozen=True)
+class PointEvaluation:
+    """Everything the engine learned about one parameter point."""
+
+    point: dict[str, Any]
+    statistics: AxisStatistics
+    samples: dict[str, np.ndarray]  # alias -> (n_worlds, n_components)
+    reuse_reports: tuple[ReuseReport, ...]
+    timings: StageTimings
+    n_worlds: int
+
+    @property
+    def fully_fresh(self) -> bool:
+        return all(report.source == "fresh" for report in self.reuse_reports)
+
+    @property
+    def any_reuse(self) -> bool:
+        return any(report.source != "fresh" for report in self.reuse_reports)
+
+
+class ProphetEngine:
+    """Scenario evaluation with fingerprint-driven computation reuse."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        library: VGLibrary,
+        config: ProphetConfig | None = None,
+    ) -> None:
+        self.scenario = scenario
+        self.library = library
+        self.config = config or ProphetConfig()
+        scenario.check_against_library(library)
+
+        self.catalog = Catalog(name=f"prophet_{scenario.name}")
+        self.executor = Executor(self.catalog)
+        register_library(self.catalog, library)
+
+        self.querygen = QueryGenerator(scenario)
+        self.registry = FingerprintRegistry(
+            self.config.fingerprint_spec(), self.config.correlation_policy()
+        )
+        self.storage = StorageManager(self.registry)
+        self.aggregator = ResultAggregator(scenario.output_aliases)
+        self.total_timings = StageTimings()
+        self.points_evaluated = 0
+        self._stats_cache: dict[tuple, PointEvaluation] = {}
+        # Per-week statistics memo: joint-sample content -> aggregate row.
+        # Implements the §3.2 claim that "only a small portion of the output
+        # statistics is recomputed" — a week whose joint samples (and the
+        # parameter values its derived expressions read) are unchanged
+        # reuses its statistics without touching SQL.
+        self._week_stats_cache: dict[bytes, tuple] = {}
+        self._derived_params = self._collect_derived_params()
+        self.week_stats_hits = 0
+        self.week_stats_misses = 0
+
+    # -- public API ----------------------------------------------------------
+
+    def evaluate_point(
+        self,
+        point: Mapping[str, Any],
+        *,
+        worlds: Optional[Sequence[int]] = None,
+        reuse: bool = True,
+    ) -> PointEvaluation:
+        """Evaluate the scenario at one sweep point (axis excluded).
+
+        ``worlds`` defaults to all configured Monte Carlo worlds; the online
+        mode passes growing prefixes for progressive refinement.
+        """
+        sweep_space = self.scenario.sweep_space
+        validated = sweep_space.validate_point(
+            {k: v for k, v in point.items() if k.lstrip("@").lower() != self.scenario.axis}
+        )
+        chosen_worlds = tuple(worlds) if worlds is not None else tuple(range(self.config.n_worlds))
+        if not chosen_worlds:
+            raise ScenarioError("evaluate_point needs at least one world")
+        cache_key = (sweep_space.point_key(validated), chosen_worlds)
+        if reuse and self.config.enable_stats_cache:
+            cached = self._stats_cache.get(cache_key)
+            if cached is not None:
+                self.points_evaluated += 1
+                # Re-label the reuse reports: this serving is a pure cache
+                # hit, regardless of how the cached evaluation was produced.
+                hit_reports = tuple(
+                    ReuseReport(
+                        vg_name=r.vg_name,
+                        args=r.args,
+                        source="exact",
+                        basis_args=r.args,
+                        mapped_fraction=1.0,
+                        components_total=r.components_total,
+                        components_recomputed=0,
+                        kind_counts={"identity": r.components_total},
+                    )
+                    for r in cached.reuse_reports
+                )
+                return PointEvaluation(
+                    point=cached.point,
+                    statistics=cached.statistics,
+                    samples=cached.samples,
+                    reuse_reports=hit_reports,
+                    timings=StageTimings(),
+                    n_worlds=cached.n_worlds,
+                )
+        batch = InstanceBatch.at_point(validated, chosen_worlds, self.config.base_seed)
+
+        timings = StageTimings()
+        reports: list[ReuseReport] = []
+        matrices: dict[str, np.ndarray] = {}
+        for output in self.scenario.vg_outputs:
+            matrix, report = self._samples_for_output(output, batch, reuse, timings)
+            matrices[output.alias.lower()] = matrix
+            reports.append(report)
+
+        statistics = self._combine_and_aggregate(
+            validated, batch, matrices, timings, use_week_memo=reuse
+        )
+        self.total_timings.add(timings)
+        self.points_evaluated += 1
+        evaluation = PointEvaluation(
+            point=validated,
+            statistics=statistics,
+            samples=matrices,
+            reuse_reports=tuple(reports),
+            timings=timings,
+            n_worlds=len(chosen_worlds),
+        )
+        if reuse and self.config.enable_stats_cache:
+            self._stats_cache[cache_key] = evaluation
+        return evaluation
+
+    def invocation_count(self) -> int:
+        """Total real VG invocations so far (probes included)."""
+        return self.library.total_invocations()
+
+    def component_sample_count(self) -> int:
+        return self.library.total_component_samples()
+
+    def reset_counters(self) -> None:
+        self.library.reset_counters()
+
+    # -- sampling ---------------------------------------------------------------
+
+    def _samples_for_output(
+        self,
+        output: VGOutput,
+        batch: InstanceBatch,
+        reuse: bool,
+        timings: StageTimings,
+    ) -> tuple[np.ndarray, ReuseReport]:
+        function = self.library.get(output.vg_name)
+        args = output.model_arg_values(batch.point_dict)
+        worlds = batch.worlds
+        seeds = batch.seeds
+
+        # Extend a same-args basis that covers only some requested worlds.
+        started = time.perf_counter()
+        existing = self.storage.entry(function.name, args)
+        timings.storage += time.perf_counter() - started
+        if existing is not None:
+            missing = [w for w in worlds if w not in set(existing.worlds)]
+            if missing:
+                missing_batch = InstanceBatch.at_point(
+                    batch.point_dict, missing, self.config.base_seed
+                )
+                # Extending the world set: try to map the missing worlds from
+                # another basis before falling back to fresh simulation.
+                fresh = None
+                if reuse:
+                    started = time.perf_counter()
+                    fresh, _ = self.storage.acquire(
+                        function,
+                        args,
+                        missing_batch.worlds,
+                        missing_batch.seeds,
+                        reuse=True,
+                        min_mapped_fraction=self.config.min_mapped_fraction,
+                    )
+                    timings.storage += time.perf_counter() - started
+                if fresh is None:
+                    fresh = self._sql_sample(output, missing_batch, timings)
+                merged_worlds = existing.worlds + tuple(missing)
+                merged_seeds = existing.seeds + missing_batch.seeds
+                merged = np.vstack([existing.samples, fresh])
+                started = time.perf_counter()
+                self.storage.store(function, args, merged, merged_worlds, merged_seeds)
+                timings.storage += time.perf_counter() - started
+
+        started = time.perf_counter()
+        samples, report = self.storage.acquire(
+            function,
+            args,
+            worlds,
+            seeds,
+            reuse=reuse,
+            min_mapped_fraction=self.config.min_mapped_fraction,
+        )
+        timings.storage += time.perf_counter() - started
+        if samples is not None:
+            return samples, report
+
+        samples = self._sql_sample(output, batch, timings)
+        started = time.perf_counter()
+        self.storage.store(function, args, samples, worlds, seeds)
+        timings.storage += time.perf_counter() - started
+        return samples, report
+
+    def _sql_sample(
+        self, output: VGOutput, batch: InstanceBatch, timings: StageTimings
+    ) -> np.ndarray:
+        """Fresh Monte Carlo through the generated-SQL path."""
+        started = time.perf_counter()
+        statements = self.querygen.sampling_script(output, batch)
+        readback = (
+            f"SELECT world, t, value FROM {self.querygen.samples_table(output.alias)} "
+            f"ORDER BY world, t"
+        )
+        timings.querygen += time.perf_counter() - started
+
+        started = time.perf_counter()
+        for statement in statements:
+            self.executor.execute(statement)
+        result = self.executor.execute(readback)
+        timings.sql += time.perf_counter() - started
+
+        function = self.library.get(output.vg_name)
+        n_components = function.n_components
+        n_worlds = len(batch)
+        if len(result.rows) != n_worlds * n_components:
+            raise ScenarioError(
+                f"sampling produced {len(result.rows)} rows, expected "
+                f"{n_worlds * n_components}"
+            )
+        values = np.asarray([row[2] for row in result.rows], dtype=float)
+        return values.reshape(n_worlds, n_components)
+
+    def _land_samples(
+        self,
+        output: VGOutput,
+        batch: InstanceBatch,
+        matrix: np.ndarray,
+        weeks: Sequence[int],
+        timings: StageTimings,
+    ) -> None:
+        """Load the given weeks of this batch's matrix into the samples table.
+
+        Fresh evaluations originally landed through SQL; here the Storage
+        Manager bulk-loads exactly the weeks whose statistics must be
+        recomputed (the analogue of SQL Server's bulk copy path — generated
+        SQL still does all combining and aggregation).
+        """
+        table_name = self.querygen.samples_table(output.alias)
+        started = time.perf_counter()
+        self.executor.execute(self.querygen.drop_samples_table_sql(output.alias))
+        self.executor.execute(self.querygen.create_samples_table_sql(output.alias))
+        timings.sql += time.perf_counter() - started
+
+        started = time.perf_counter()
+        table = self.catalog.table(table_name)
+        rows = [
+            (world, t, float(matrix[row, t]))
+            for row, world in enumerate(batch.worlds)
+            for t in weeks
+        ]
+        table.load_unchecked(rows)
+        timings.storage += time.perf_counter() - started
+
+    def _collect_derived_params(self) -> tuple[str, ...]:
+        """Parameters read by derived expressions (part of the week memo key)."""
+        from repro.sqldb.expressions import collect_variables
+
+        names: set[str] = set()
+        for output in self.scenario.derived_outputs:
+            names.update(collect_variables(output.expression))
+        names.discard(self.scenario.axis)
+        return tuple(sorted(names))
+
+    def _week_key(
+        self,
+        week: int,
+        point: Mapping[str, Any],
+        batch: InstanceBatch,
+        matrices: Mapping[str, np.ndarray],
+    ) -> bytes:
+        """Content key of one week's joint samples + relevant parameters."""
+        import hashlib
+
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(repr((week, batch.worlds)).encode())
+        digest.update(
+            repr(tuple((name, point.get(name)) for name in self._derived_params)).encode()
+        )
+        for output in self.scenario.vg_outputs:
+            digest.update(matrices[output.alias.lower()][:, week].tobytes())
+        return digest.digest()
+
+    def _combine_and_aggregate(
+        self,
+        point: Mapping[str, Any],
+        batch: InstanceBatch,
+        matrices: Mapping[str, np.ndarray],
+        timings: StageTimings,
+        use_week_memo: bool = True,
+    ) -> AxisStatistics:
+        n_components = next(iter(matrices.values())).shape[1]
+        started = time.perf_counter()
+        week_keys = [
+            self._week_key(week, point, batch, matrices) for week in range(n_components)
+        ]
+        if use_week_memo:
+            missing = [
+                week for week, key in enumerate(week_keys)
+                if key not in self._week_stats_cache
+            ]
+        else:
+            missing = list(range(n_components))
+        self.week_stats_hits += n_components - len(missing)
+        self.week_stats_misses += len(missing)
+        timings.aggregate += time.perf_counter() - started
+
+        if missing:
+            for output in self.scenario.vg_outputs:
+                self._land_samples(
+                    output, batch, matrices[output.alias.lower()], missing, timings
+                )
+            started = time.perf_counter()
+            combine = self.querygen.combine_sql(point)
+            aggregate = self.querygen.aggregate_sql()
+            timings.querygen += time.perf_counter() - started
+
+            started = time.perf_counter()
+            self.executor.execute(combine)
+            result = self.executor.execute(aggregate)
+            timings.sql += time.perf_counter() - started
+
+            started = time.perf_counter()
+            position = {name: i for i, name in enumerate(result.column_names)}
+            for row in result.rows:
+                week = int(row[position["t"]])
+                self._week_stats_cache[week_keys[week]] = tuple(row)
+            timings.aggregate += time.perf_counter() - started
+
+        started = time.perf_counter()
+        rows = [self._week_stats_cache[key] for key in week_keys]
+        from repro.sqldb.schema import Column, TableSchema
+        from repro.sqldb.table import ResultSet
+        from repro.sqldb.types import SqlType
+
+        columns = [Column("t", SqlType.INTEGER)]
+        for alias in self.scenario.output_aliases:
+            columns.append(Column(f"e_{alias}", SqlType.FLOAT))
+            columns.append(Column(f"sd_{alias}", SqlType.FLOAT))
+        result_set = ResultSet(schema=TableSchema(tuple(columns)), rows=list(rows))
+        # Rows carry the original week in column 0; rebuild it in axis order.
+        ordered = [
+            (week,) + tuple(row[1:]) for week, row in enumerate(rows)
+        ]
+        result_set.rows = ordered
+        statistics = self.aggregator.from_aggregate_result(result_set, n_worlds=len(batch))
+        timings.aggregate += time.perf_counter() - started
+        return statistics

@@ -1,0 +1,214 @@
+"""Markovian-structure detection and shortcut estimators.
+
+Paper §2: *"when a simulation is Markovian ... outputs of successive steps
+often remain strongly correlated. This is particularly true for many
+processes of interest that are built around discontinuities, with discrete
+events occurring at random points in time ... Fingerprints can identify such
+Markovian dependencies, enabling automated generation of simple
+non-Markovian estimators. These estimators, valid for regions of the Markov
+chain, allow Fuzzy Prophet to skip the corresponding portions of the
+simulation."*
+
+Implementation: for a :class:`~repro.vg.base.SteppedVGFunction` we collect
+state traces under the fixed probe seeds and fit, per step ``t``, an affine
+relation ``state[t] ~ a_t * state[t-1] + b_t`` across seeds. Steps whose
+residual is below tolerance are *predictable*; maximal runs of predictable
+steps form :class:`Region` estimators whose composed affine map jumps the
+chain from the region's entry state to its exit state in O(1). Steps inside
+event windows (hardware arrivals, failure bursts) have seed-dependent
+residuals and stay simulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.errors import FingerprintError
+from repro.core.fingerprint.fingerprint import FingerprintSpec
+from repro.vg.base import SteppedVGFunction
+
+
+@dataclass(frozen=True)
+class StepModel:
+    """Fitted per-step relation ``state[t] = scale * state[t-1] + offset``."""
+
+    step: int
+    scale: float
+    offset: float
+    residual: float
+
+
+@dataclass(frozen=True)
+class Region:
+    """A maximal run of predictable steps ``[start, stop]`` (inclusive).
+
+    ``scale``/``offset`` compose the per-step affine maps: entering the
+    region with state ``s`` exits with ``scale * s + offset``.
+    """
+
+    start: int
+    stop: int
+    scale: float
+    offset: float
+
+    @property
+    def length(self) -> int:
+        return self.stop - self.start + 1
+
+    def jump(self, state: float) -> float:
+        return self.scale * state + self.offset
+
+
+@dataclass(frozen=True)
+class MarkovAnalysis:
+    """Full analysis of one stepped parameterization."""
+
+    vg_name: str
+    args: tuple[Any, ...]
+    step_models: tuple[StepModel, ...]
+    regions: tuple[Region, ...]
+    n_steps: int
+
+    @property
+    def skippable_steps(self) -> int:
+        return sum(region.length for region in self.regions)
+
+    @property
+    def skippable_fraction(self) -> float:
+        if self.n_steps == 0:
+            return 0.0
+        return self.skippable_steps / self.n_steps
+
+
+def analyze_markov(
+    function: SteppedVGFunction,
+    args: tuple[Any, ...],
+    spec: FingerprintSpec,
+    tolerance: float = 1e-6,
+    min_region_length: int = 2,
+) -> MarkovAnalysis:
+    """Detect predictable regions of ``function`` at ``args``.
+
+    Costs ``spec.n_seeds`` trace simulations (these are fingerprint probes —
+    world evaluations are what the resulting estimators save).
+    """
+    if tolerance < 0:
+        raise FingerprintError(f"tolerance must be >= 0, got {tolerance}")
+    traces = [function.trace(seed, tuple(args))[0] for seed in spec.seeds]
+    states = np.vstack(traces)  # (n_seeds, n_steps)
+    n_steps = states.shape[1]
+
+    step_models: list[StepModel] = []
+    predictable = np.zeros(n_steps, dtype=bool)
+    for t in range(1, n_steps):
+        previous = states[:, t - 1]
+        current = states[:, t]
+        model = _fit_step(t, previous, current)
+        step_models.append(model)
+        scale_reference = max(float(np.std(previous)), float(np.std(current)), 1e-9)
+        predictable[t] = model.residual <= tolerance * max(scale_reference, 1.0)
+
+    regions = _build_regions(step_models, predictable, min_region_length)
+    return MarkovAnalysis(
+        vg_name=function.name,
+        args=tuple(args),
+        step_models=tuple(step_models),
+        regions=regions,
+        n_steps=n_steps,
+    )
+
+
+def simulate_with_shortcuts(
+    function: SteppedVGFunction,
+    seed: int,
+    args: tuple[Any, ...],
+    analysis: MarkovAnalysis,
+) -> tuple[np.ndarray, int]:
+    """Run the chain, jumping over predictable regions.
+
+    Returns ``(observations, steps_simulated)``. Observations inside a
+    jumped region are reconstructed from the region's per-step models (the
+    estimators are "valid for regions of the Markov chain"); observations at
+    simulated steps are exact.
+
+    Note the step RNG draws for skipped steps are *not* consumed. The skipped
+    transitions themselves are (near-)deterministic, so this does not bias
+    them; however, later *simulated* steps then see a shifted draw stream, so
+    a shortcut run is not bit-identical to the full simulation of the same
+    seed — it is a sample from the same distribution. Monte Carlo statistics
+    (the quantities Fuzzy Prophet reports) are unaffected; per-seed replay is
+    not a goal of the estimator.
+    """
+    if analysis.n_steps != function.n_components:
+        raise FingerprintError(
+            f"analysis covers {analysis.n_steps} steps, function has "
+            f"{function.n_components}"
+        )
+    region_by_start = {region.start: region for region in analysis.regions}
+    models_by_step = {model.step: model for model in analysis.step_models}
+    rng = function.rng(seed, tuple(args))
+    state = float(function.initial_state(rng, tuple(args)))
+    observations = np.empty(function.n_components, dtype=float)
+    steps_simulated = 0
+    t = 0
+    while t < function.n_components:
+        region = region_by_start.get(t)
+        if region is not None:
+            entry_state = state
+            for inner in range(region.start, region.stop + 1):
+                model = models_by_step[inner]
+                entry_state = model.scale * entry_state + model.offset
+                observations[inner] = float(function.observe(entry_state, inner, tuple(args)))
+            state = entry_state
+            t = region.stop + 1
+            continue
+        state = float(function.step(state, t, rng, tuple(args)))
+        observations[t] = float(function.observe(state, t, tuple(args)))
+        steps_simulated += 1
+        t += 1
+    return observations, steps_simulated
+
+
+def _fit_step(t: int, previous: np.ndarray, current: np.ndarray) -> StepModel:
+    variance = float(np.var(previous))
+    if variance <= 0.0:
+        # Degenerate previous state: relation is a constant step.
+        offset = float(np.mean(current)) - float(np.mean(previous))
+        residual = float(np.sqrt(np.mean(np.square(current - previous - offset))))
+        return StepModel(step=t, scale=1.0, offset=offset, residual=residual)
+    previous_mean = float(np.mean(previous))
+    current_mean = float(np.mean(current))
+    covariance = float(np.mean((previous - previous_mean) * (current - current_mean)))
+    scale = covariance / variance
+    offset = current_mean - scale * previous_mean
+    residual = float(np.sqrt(np.mean(np.square(current - (scale * previous + offset)))))
+    return StepModel(step=t, scale=scale, offset=offset, residual=residual)
+
+
+def _build_regions(
+    step_models: list[StepModel], predictable: np.ndarray, min_region_length: int
+) -> tuple[Region, ...]:
+    regions: list[Region] = []
+    models_by_step = {model.step: model for model in step_models}
+    n_steps = predictable.shape[0]
+    t = 1
+    while t < n_steps:
+        if not predictable[t]:
+            t += 1
+            continue
+        start = t
+        while t < n_steps and predictable[t]:
+            t += 1
+        stop = t - 1
+        if stop - start + 1 >= min_region_length:
+            scale = 1.0
+            offset = 0.0
+            for step in range(start, stop + 1):
+                model = models_by_step[step]
+                # Compose: new_state = m.scale * (scale*s + offset) + m.offset
+                scale, offset = model.scale * scale, model.scale * offset + model.offset
+            regions.append(Region(start=start, stop=stop, scale=scale, offset=offset))
+    return tuple(regions)

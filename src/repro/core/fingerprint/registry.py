@@ -1,0 +1,155 @@
+"""Fingerprint registry: the index of explored parameterizations.
+
+The registry remembers the fingerprint of every ``(vg, model_args)``
+parameterization that has been probed, and answers the engine's central
+question: *given a new parameterization, which explored one maps onto it
+best?* It also records the established mappings, which is exactly the data
+behind the paper's Figure 4 visualization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+from repro.errors import FingerprintError
+from repro.core.fingerprint.correlation import (
+    CorrelationPolicy,
+    CorrelationResult,
+    correlate,
+)
+from repro.core.fingerprint.fingerprint import (
+    Fingerprint,
+    FingerprintSpec,
+    compute_fingerprint,
+)
+from repro.vg.base import VGFunction
+
+ParamKey = tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class MatchOutcome:
+    """Best-basis answer for one target parameterization."""
+
+    basis_args: ParamKey
+    correlation: CorrelationResult
+
+    @property
+    def mapped_fraction(self) -> float:
+        return self.correlation.mapped_fraction
+
+
+@dataclass(frozen=True)
+class MappingRecord:
+    """One established basis -> target mapping (Figure 4 material)."""
+
+    vg_name: str
+    basis_args: ParamKey
+    target_args: ParamKey
+    mapped_fraction: float
+    kind_counts: dict[str, int]
+
+
+class FingerprintRegistry:
+    """Per-engine store of fingerprints and established mappings."""
+
+    def __init__(self, spec: FingerprintSpec, policy: CorrelationPolicy) -> None:
+        self.spec = spec
+        self.policy = policy
+        self._fingerprints: dict[tuple[str, ParamKey], Fingerprint] = {}
+        self._mappings: list[MappingRecord] = []
+        self.probes_computed = 0
+
+    # -- fingerprints --------------------------------------------------------
+
+    def fingerprint_of(self, function: VGFunction, args: Iterable[Any]) -> Fingerprint:
+        """Fetch (or compute and remember) the fingerprint at ``args``."""
+        key = (function.name.lower(), tuple(args))
+        existing = self._fingerprints.get(key)
+        if existing is not None:
+            return existing
+        fingerprint = compute_fingerprint(function, key[1], self.spec)
+        self._fingerprints[key] = fingerprint
+        self.probes_computed += 1
+        return fingerprint
+
+    def known_args(self, vg_name: str) -> tuple[ParamKey, ...]:
+        lowered = vg_name.lower()
+        return tuple(args for (name, args) in self._fingerprints if name == lowered)
+
+    def has_fingerprint(self, vg_name: str, args: Iterable[Any]) -> bool:
+        return (vg_name.lower(), tuple(args)) in self._fingerprints
+
+    # -- matching ---------------------------------------------------------------
+
+    def best_match(
+        self,
+        function: VGFunction,
+        target_args: Iterable[Any],
+        candidate_args: Iterable[ParamKey],
+        min_fraction: float = 0.0,
+    ) -> Optional[MatchOutcome]:
+        """Correlate the target against candidate bases; pick the best.
+
+        ``candidate_args`` restricts the comparison to parameterizations the
+        caller actually holds samples for (fingerprints alone cannot seed a
+        remap). Returns ``None`` when no candidate maps at least
+        ``min_fraction`` of components.
+        """
+        target_key = tuple(target_args)
+        target_fp = self.fingerprint_of(function, target_key)
+        best: Optional[MatchOutcome] = None
+        for basis_key in candidate_args:
+            if tuple(basis_key) == target_key:
+                continue
+            basis_fp = self._fingerprints.get((function.name.lower(), tuple(basis_key)))
+            if basis_fp is None:
+                continue
+            correlation = correlate(basis_fp, target_fp, self.policy)
+            outcome = MatchOutcome(basis_args=tuple(basis_key), correlation=correlation)
+            if best is None or outcome.mapped_fraction > best.mapped_fraction:
+                best = outcome
+        if best is None or best.mapped_fraction < max(min_fraction, 1e-12):
+            return None
+        return best
+
+    # -- mapping log ---------------------------------------------------------------
+
+    def record_mapping(
+        self, vg_name: str, basis_args: ParamKey, target_args: ParamKey,
+        correlation: CorrelationResult,
+    ) -> MappingRecord:
+        record = MappingRecord(
+            vg_name=vg_name,
+            basis_args=tuple(basis_args),
+            target_args=tuple(target_args),
+            mapped_fraction=correlation.mapped_fraction,
+            kind_counts=correlation.kind_counts(),
+        )
+        self._mappings.append(record)
+        return record
+
+    @property
+    def mappings(self) -> tuple[MappingRecord, ...]:
+        return tuple(self._mappings)
+
+    def mappings_for(self, vg_name: str) -> tuple[MappingRecord, ...]:
+        lowered = vg_name.lower()
+        return tuple(m for m in self._mappings if m.vg_name.lower() == lowered)
+
+    def clear(self) -> None:
+        self._fingerprints.clear()
+        self._mappings.clear()
+        self.probes_computed = 0
+
+    def __len__(self) -> int:
+        return len(self._fingerprints)
+
+
+def require_same_spec(registry: FingerprintRegistry, spec: FingerprintSpec) -> None:
+    """Guard helper for engines sharing a registry."""
+    if registry.spec != spec:
+        raise FingerprintError(
+            f"registry spec {registry.spec} differs from engine spec {spec}"
+        )

@@ -1,0 +1,83 @@
+"""Possible-world instances.
+
+The Guide (paper Figure 1, stage 1) emits a sequence of *instances*: concrete
+valuations for every parameter plus the Monte Carlo world identity. In PDB
+terminology an instance is one possible world of the scenario at one
+parameter point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.vg.seeds import world_seed
+
+
+@dataclass(frozen=True)
+class WorldInstance:
+    """One possible world: a parameter point plus a world seed.
+
+    ``point`` maps lowercase parameter names to values (the graph axis, if
+    any, is *not* included — it is the component dimension). ``world`` is the
+    Monte Carlo replicate index; ``seed`` the derived RNG seed shared across
+    parameter points for that replicate.
+    """
+
+    point: tuple[tuple[str, Any], ...]
+    world: int
+    seed: int
+
+    @classmethod
+    def make(cls, point: Mapping[str, Any], world: int, base_seed: int) -> "WorldInstance":
+        items = tuple(sorted((str(k).lower(), v) for k, v in point.items()))
+        return cls(point=items, world=world, seed=world_seed(base_seed, world))
+
+    @property
+    def point_dict(self) -> dict[str, Any]:
+        return dict(self.point)
+
+    def value(self, name: str) -> Any:
+        key = name.lstrip("@").lower()
+        for item_name, item_value in self.point:
+            if item_name == key:
+                return item_value
+        raise KeyError(f"instance has no parameter {name!r}")
+
+
+@dataclass(frozen=True)
+class InstanceBatch:
+    """A batch of instances at one parameter point (one per world).
+
+    The Query Generator consumes batches: all worlds of one point can be
+    expressed as one generated SQL script.
+    """
+
+    point: tuple[tuple[str, Any], ...]
+    instances: tuple[WorldInstance, ...] = field(default_factory=tuple)
+
+    @classmethod
+    def at_point(
+        cls, point: Mapping[str, Any], worlds: Sequence[int], base_seed: int
+    ) -> "InstanceBatch":
+        items = tuple(sorted((str(k).lower(), v) for k, v in point.items()))
+        instances = tuple(WorldInstance.make(point, world, base_seed) for world in worlds)
+        return cls(point=items, instances=instances)
+
+    @property
+    def point_dict(self) -> dict[str, Any]:
+        return dict(self.point)
+
+    def __len__(self) -> int:
+        return len(self.instances)
+
+    def __iter__(self) -> Iterator[WorldInstance]:
+        return iter(self.instances)
+
+    @property
+    def worlds(self) -> tuple[int, ...]:
+        return tuple(instance.world for instance in self.instances)
+
+    @property
+    def seeds(self) -> tuple[int, ...]:
+        return tuple(instance.seed for instance in self.instances)

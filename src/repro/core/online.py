@@ -1,0 +1,244 @@
+"""Online mode: interactive parameter exploration (paper §3.2).
+
+The :class:`OnlineSession` is the programmatic equivalent of the demo GUI:
+one slider per sweep parameter, a live graph of per-week statistics, and a
+progressively refined estimate. Fingerprints make the second and later
+adjustments cheap — only the weeks whose distribution actually changed are
+re-simulated, and the graph reports exactly which weeks were re-rendered.
+
+Proactive exploration: between user interactions the session can evaluate
+neighboring slider positions speculatively (the demo GUI's parameter-space
+grid showing "values proactively being explored anticipating their future
+usage"); a subsequent move to one of those values is then an instant hit.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+import numpy as np
+
+from repro.errors import OnlineSessionError
+from repro.core.aggregator import AxisStatistics, ConvergenceTracker
+from repro.core.engine import PointEvaluation, ProphetConfig, ProphetEngine
+from repro.core.guide import PriorityGuide
+from repro.core.scenario import Scenario
+from repro.vg.library import VGLibrary
+
+
+@dataclass(frozen=True)
+class GraphView:
+    """One rendering of the online graph after an interaction."""
+
+    point: dict[str, Any]
+    statistics: AxisStatistics
+    refreshed_weeks: tuple[int, ...]  # weeks whose estimates were recomputed
+    reused_weeks: tuple[int, ...]  # weeks served from mapped/stored bases
+    elapsed_seconds: float
+    n_worlds: int
+    vg_invocations: int
+    component_samples: int
+
+    @property
+    def refresh_fraction(self) -> float:
+        total = len(self.refreshed_weeks) + len(self.reused_weeks)
+        if total == 0:
+            return 1.0
+        return len(self.refreshed_weeks) / total
+
+
+@dataclass
+class InteractionLog:
+    """History of slider interactions (drives the demo narrative)."""
+
+    views: list[GraphView] = field(default_factory=list)
+
+    def record(self, view: GraphView) -> None:
+        self.views.append(view)
+
+    @property
+    def last(self) -> Optional[GraphView]:
+        return self.views[-1] if self.views else None
+
+    def __len__(self) -> int:
+        return len(self.views)
+
+
+class OnlineSession:
+    """Interactive exploration session over one scenario."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        library: VGLibrary,
+        config: ProphetConfig | None = None,
+        neighbor_depth: int = 1,
+    ) -> None:
+        self.engine = ProphetEngine(scenario, library, config)
+        self.scenario = scenario
+        self.guide = PriorityGuide(
+            scenario.space,
+            scenario.axis,
+            self.engine.config.plan(),
+            self.engine.config.base_seed,
+            neighbor_depth=neighbor_depth,
+        )
+        self._sliders: dict[str, Any] = scenario.sweep_space.default_point()
+        self.log = InteractionLog()
+        self.tracker = ConvergenceTracker()
+
+    # -- sliders --------------------------------------------------------------
+
+    @property
+    def sliders(self) -> dict[str, Any]:
+        """Current slider positions (copy)."""
+        return dict(self._sliders)
+
+    def set_slider(self, name: str, value: Any) -> None:
+        """Move one slider (does not evaluate; call :meth:`refresh`)."""
+        key = name.lstrip("@").lower()
+        if key == self.scenario.axis:
+            raise OnlineSessionError(
+                f"@{key} is the graph axis, not a slider"
+            )
+        parameter = self.scenario.space.parameter(key)
+        if value not in parameter:
+            raise OnlineSessionError(
+                f"value {value!r} not in domain of @{parameter.name} "
+                f"(domain: {parameter.values})"
+            )
+        self._sliders[key] = value
+
+    def set_sliders(self, values: Mapping[str, Any]) -> None:
+        for name, value in values.items():
+            self.set_slider(name, value)
+
+    # -- evaluation ------------------------------------------------------------
+
+    def refresh(self, *, reuse: bool = True) -> GraphView:
+        """Evaluate the scenario at the current slider point; full worlds."""
+        started = time.perf_counter()
+        invocations_before = self.engine.invocation_count()
+        samples_before = self.engine.component_sample_count()
+        evaluation = self.engine.evaluate_point(self._sliders, reuse=reuse)
+        view = self._view_from(
+            evaluation,
+            time.perf_counter() - started,
+            self.engine.invocation_count() - invocations_before,
+            self.engine.component_sample_count() - samples_before,
+        )
+        self.log.record(view)
+        self.tracker.update(view.statistics)
+        return view
+
+    def refresh_progressive(self, *, reuse: bool = True) -> list[GraphView]:
+        """Refine in passes (coarse first); returns one view per pass.
+
+        The first view is the "first guess"; the convergence tracker decides
+        when the estimate has stabilized — the basis of the paper's lower
+        time-to-first-accurate-guess claim.
+        """
+        views: list[GraphView] = []
+        self.tracker.reset()
+        for world_range in self.engine.config.plan().passes():
+            started = time.perf_counter()
+            invocations_before = self.engine.invocation_count()
+            samples_before = self.engine.component_sample_count()
+            evaluation = self.engine.evaluate_point(
+                self._sliders, worlds=range(world_range.stop), reuse=reuse
+            )
+            view = self._view_from(
+                evaluation,
+                time.perf_counter() - started,
+                self.engine.invocation_count() - invocations_before,
+                self.engine.component_sample_count() - samples_before,
+            )
+            views.append(view)
+            self.log.record(view)
+            self.tracker.update(view.statistics)
+            if self.tracker.converged:
+                break
+        return views
+
+    def explore_proactively(self, max_points: int | None = None) -> int:
+        """Speculatively evaluate neighbor points (coarse pass only).
+
+        Returns the number of points explored. Call while the user is idle;
+        their next slider move then lands on a stored basis.
+        """
+        explored = 0
+        for batch in self.guide.proactive_batches(self._sliders):
+            if max_points is not None and explored >= max_points:
+                break
+            self.engine.evaluate_point(batch.point_dict, worlds=batch.worlds, reuse=True)
+            explored += 1
+        return explored
+
+    # -- views --------------------------------------------------------------------
+
+    def _view_from(
+        self,
+        evaluation: PointEvaluation,
+        elapsed: float,
+        invocations: int,
+        component_samples: int,
+    ) -> GraphView:
+        refreshed: set[int] = set()
+        reused: set[int] = set()
+        n_components = len(evaluation.statistics.axis_values)
+        for report in evaluation.reuse_reports:
+            if report.source == "fresh":
+                refreshed.update(range(n_components))
+            else:
+                # components_recomputed are listed 0..n-1 in kind order; the
+                # reuse report carries counts, the mapping registry carries
+                # identities. Recompute identities from the report:
+                recomputed = set()
+                if report.source == "mapped":
+                    recomputed = set(self._recomputed_weeks(report))
+                refreshed.update(recomputed)
+                reused.update(set(range(n_components)) - recomputed)
+        reused -= refreshed
+        return GraphView(
+            point=evaluation.point,
+            statistics=evaluation.statistics,
+            refreshed_weeks=tuple(sorted(refreshed)),
+            reused_weeks=tuple(sorted(reused)),
+            elapsed_seconds=elapsed,
+            n_worlds=evaluation.n_worlds,
+            vg_invocations=invocations,
+            component_samples=component_samples,
+        )
+
+    def _recomputed_weeks(self, report) -> tuple[int, ...]:
+        """Identify which weeks a mapped acquisition re-simulated."""
+        for record in reversed(self.engine.registry.mappings):
+            if (
+                record.vg_name.lower() == report.vg_name.lower()
+                and record.target_args == report.args
+            ):
+                # Re-derive the unmapped set from the stored fingerprints.
+                function = self.engine.library.get(report.vg_name)
+                fp_target = self.engine.registry.fingerprint_of(function, report.args)
+                fp_basis = self.engine.registry.fingerprint_of(function, record.basis_args)
+                from repro.core.fingerprint.correlation import correlate
+
+                correlation = correlate(fp_basis, fp_target, self.engine.registry.policy)
+                return correlation.unmapped_components
+        return ()
+
+    # -- convenience ---------------------------------------------------------------
+
+    def graph_series(self, view: GraphView) -> dict[str, np.ndarray]:
+        """The series the GRAPH directive asks for, keyed by label."""
+        if self.scenario.graph is None:
+            raise OnlineSessionError("scenario has no GRAPH directive")
+        series: dict[str, np.ndarray] = {}
+        for spec in self.scenario.graph.series:
+            if spec.kind == "EXPECT":
+                series[f"E[{spec.alias}]"] = view.statistics.expectation(spec.alias)
+            else:
+                series[f"SD[{spec.alias}]"] = view.statistics.stddev(spec.alias)
+        return series

@@ -1,0 +1,122 @@
+"""Persistence of basis distributions and fingerprints.
+
+A Fuzzy Prophet deployment accumulates basis distributions as analysts
+explore; persisting them means tomorrow's session starts warm. This module
+saves/loads the Storage Manager's bases and the fingerprint registry's
+probe matrices to a single ``.npz`` archive (numpy's portable format).
+
+Only state that is sound to reuse is persisted: sample matrices, world
+ids/seeds, and fingerprints. Mappings are *not* persisted — they are cheap
+to re-derive and depend on the correlation policy, which may change between
+sessions. Loading validates that the engine's fingerprint spec matches the
+archive's; mismatched probes would make stored fingerprints incomparable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.errors import FingerprintError
+from repro.core.engine import ProphetEngine
+from repro.core.fingerprint.fingerprint import Fingerprint
+
+_FORMAT_VERSION = 1
+
+
+def _encode_args(args: tuple[Any, ...]) -> str:
+    return json.dumps(list(args))
+
+
+def _decode_args(text: str) -> tuple[Any, ...]:
+    return tuple(json.loads(text))
+
+
+def save_bases(engine: ProphetEngine, path: str | Path) -> int:
+    """Persist the engine's basis distributions; returns the entry count."""
+    arrays: dict[str, np.ndarray] = {}
+    manifest: list[dict[str, Any]] = []
+    for index, ((vg_name, args), entry) in enumerate(engine.storage._store.items()):
+        arrays[f"samples_{index}"] = entry.samples
+        arrays[f"worlds_{index}"] = np.asarray(entry.worlds, dtype=np.int64)
+        arrays[f"seeds_{index}"] = np.asarray(entry.seeds, dtype=np.uint64)
+        record: dict[str, Any] = {
+            "vg_name": entry.vg_name,
+            "args": _encode_args(entry.args),
+        }
+        fingerprint = engine.registry._fingerprints.get((vg_name, args))
+        if fingerprint is not None:
+            arrays[f"fingerprint_{index}"] = fingerprint.matrix
+            record["has_fingerprint"] = True
+        else:
+            record["has_fingerprint"] = False
+        manifest.append(record)
+
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "scenario": engine.scenario.name,
+        "n_probe_seeds": engine.registry.spec.n_seeds,
+        "probe_base_seed": engine.registry.spec.base_seed,
+        "entries": manifest,
+    }
+    arrays["header"] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(Path(path), **arrays)
+    return len(manifest)
+
+
+def load_bases(engine: ProphetEngine, path: str | Path, *, strict: bool = True) -> int:
+    """Load persisted bases into the engine; returns the entries loaded.
+
+    ``strict=True`` (default) raises when the archive's probe spec differs
+    from the engine's; ``strict=False`` skips the stored fingerprints instead
+    (bases still load — they will be re-probed on demand).
+    """
+    with np.load(Path(path)) as archive:
+        header = json.loads(bytes(archive["header"]).decode("utf-8"))
+        if header.get("format_version") != _FORMAT_VERSION:
+            raise FingerprintError(
+                f"unsupported basis archive version: {header.get('format_version')}"
+            )
+        spec = engine.registry.spec
+        spec_matches = (
+            header["n_probe_seeds"] == spec.n_seeds
+            and header["probe_base_seed"] == spec.base_seed
+        )
+        if strict and not spec_matches:
+            raise FingerprintError(
+                "archive probe spec "
+                f"(k={header['n_probe_seeds']}, base={header['probe_base_seed']}) "
+                f"differs from engine spec (k={spec.n_seeds}, base={spec.base_seed})"
+            )
+
+        loaded = 0
+        for index, record in enumerate(header["entries"]):
+            vg_name = record["vg_name"]
+            if vg_name not in engine.library:
+                continue  # the model was removed; its bases are useless
+            function = engine.library.get(vg_name)
+            args = _decode_args(record["args"])
+            samples = archive[f"samples_{index}"]
+            if samples.shape[1] != function.n_components:
+                continue  # the model changed shape; stale basis
+            worlds = archive[f"worlds_{index}"].tolist()
+            seeds = [int(s) for s in archive[f"seeds_{index}"]]
+            # Seed the registry before store(): store() indexes the
+            # fingerprint and must find the persisted one instead of paying
+            # k probe invocations per basis.
+            if spec_matches and record.get("has_fingerprint"):
+                fingerprint = Fingerprint(
+                    vg_name=function.name,
+                    args=args,
+                    matrix=archive[f"fingerprint_{index}"],
+                    spec=spec,
+                )
+                engine.registry._fingerprints[(vg_name.lower(), args)] = fingerprint
+            engine.storage.store(function, args, samples, worlds, seeds)
+            loaded += 1
+    return loaded

@@ -1,0 +1,253 @@
+"""The Storage Manager (paper Figure 1, stage 3).
+
+Manages the set of *basis distributions*: for every VG parameterization the
+engine has evaluated, the Monte Carlo sample matrix (``n_worlds x
+n_components``) keyed by ``(vg_name, model_args)``. When the engine needs
+samples for a new parameterization the Storage Manager:
+
+1. returns the stored matrix on an exact hit;
+2. otherwise asks the :class:`FingerprintRegistry` for the best correlated
+   basis, remaps its matrix through the detected per-component maps, and
+   fills only the unmapped components with real simulation;
+3. otherwise reports a miss — the engine then runs the full generated-SQL
+   sampling path and stores the result here.
+
+The acquisition outcome is summarized in a :class:`ReuseReport`, the raw
+material for every fingerprint-savings benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import FingerprintError
+from repro.core.fingerprint.mapping import fill_components, remap_samples
+from repro.core.fingerprint.registry import FingerprintRegistry, ParamKey
+from repro.vg.base import VGFunction
+
+
+def _nearest_candidates(
+    target: ParamKey, candidates: Sequence[ParamKey], limit: int
+) -> list[ParamKey]:
+    """Rank basis candidates by argument distance, nearest first.
+
+    Nearby parameterizations map best (their event windows overlap most),
+    so correlation matching tries them first and skips distant ones. Bases
+    with non-numeric or differently-shaped args sort last within the limit.
+    """
+
+    def distance(args: ParamKey) -> float:
+        if len(args) != len(target):
+            return float("inf")
+        total = 0.0
+        for a, b in zip(args, target):
+            if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+                total += abs(float(a) - float(b))
+            elif a != b:
+                total += 1.0
+        return total
+
+    ranked = sorted(candidates, key=distance)
+    return ranked[: max(limit, 1)]
+
+
+@dataclass(frozen=True)
+class ReuseReport:
+    """How one sample matrix was obtained."""
+
+    vg_name: str
+    args: ParamKey
+    source: str  # "fresh" | "exact" | "mapped"
+    basis_args: Optional[ParamKey] = None
+    mapped_fraction: float = 0.0
+    components_total: int = 0
+    components_recomputed: int = 0
+    kind_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def components_reused(self) -> int:
+        return self.components_total - self.components_recomputed
+
+
+@dataclass
+class BasisEntry:
+    """One stored basis distribution."""
+
+    vg_name: str
+    args: ParamKey
+    samples: np.ndarray  # (n_worlds, n_components)
+    worlds: tuple[int, ...]
+    seeds: tuple[int, ...]
+
+
+class StorageManager:
+    """Basis-distribution store with fingerprint-driven reuse."""
+
+    def __init__(self, registry: FingerprintRegistry) -> None:
+        self.registry = registry
+        self._store: dict[tuple[str, ParamKey], BasisEntry] = {}
+        self.exact_hits = 0
+        self.mapped_hits = 0
+        self.misses = 0
+
+    # -- store -------------------------------------------------------------
+
+    def store(
+        self,
+        function: VGFunction,
+        args: Sequence[Any],
+        samples: np.ndarray,
+        worlds: Sequence[int],
+        seeds: Sequence[int],
+    ) -> BasisEntry:
+        """Remember a sample matrix (and ensure its fingerprint is indexed)."""
+        key = (function.name.lower(), tuple(args))
+        matrix = np.asarray(samples, dtype=float)
+        if matrix.ndim != 2:
+            raise FingerprintError(f"sample matrix must be 2-D, got {matrix.ndim}-D")
+        if matrix.shape[0] != len(worlds) or len(worlds) != len(seeds):
+            raise FingerprintError(
+                f"matrix rows {matrix.shape[0]} must match worlds {len(worlds)} "
+                f"and seeds {len(seeds)}"
+            )
+        entry = BasisEntry(
+            vg_name=function.name,
+            args=key[1],
+            samples=matrix,
+            worlds=tuple(worlds),
+            seeds=tuple(seeds),
+        )
+        self._store[key] = entry
+        self.registry.fingerprint_of(function, key[1])
+        return entry
+
+    def stored_args(self, vg_name: str) -> tuple[ParamKey, ...]:
+        lowered = vg_name.lower()
+        return tuple(args for (name, args) in self._store if name == lowered)
+
+    def entry(self, vg_name: str, args: Sequence[Any]) -> Optional[BasisEntry]:
+        return self._store.get((vg_name.lower(), tuple(args)))
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.exact_hits = 0
+        self.mapped_hits = 0
+        self.misses = 0
+
+    # -- acquire -------------------------------------------------------------
+
+    def acquire(
+        self,
+        function: VGFunction,
+        args: Sequence[Any],
+        worlds: Sequence[int],
+        seeds: Sequence[int],
+        *,
+        reuse: bool = True,
+        min_mapped_fraction: float = 0.05,
+    ) -> tuple[Optional[np.ndarray], ReuseReport]:
+        """Try to produce the sample matrix for ``args`` from stored bases.
+
+        Returns ``(samples, report)``; ``samples`` is ``None`` on a miss
+        (the caller must evaluate freshly and call :meth:`store`).
+        """
+        key = (function.name.lower(), tuple(args))
+        n_components = function.n_components
+
+        exact = self._store.get(key)
+        if exact is not None and self._covers(exact, worlds):
+            self.exact_hits += 1
+            report = ReuseReport(
+                vg_name=function.name,
+                args=key[1],
+                source="exact",
+                basis_args=key[1],
+                mapped_fraction=1.0,
+                components_total=n_components,
+                components_recomputed=0,
+                kind_counts={"identity": n_components},
+            )
+            return self._select_worlds(exact, worlds), report
+
+        if reuse:
+            candidates = [
+                stored_args
+                for stored_args in self.stored_args(function.name)
+                if self._covers(self._store[(key[0], stored_args)], worlds)
+            ]
+            candidates = _nearest_candidates(key[1], candidates, limit=8)
+            match = self.registry.best_match(
+                function, key[1], candidates, min_fraction=min_mapped_fraction
+            )
+            if match is not None:
+                basis = self._store[(key[0], match.basis_args)]
+                basis_samples = self._select_worlds(basis, worlds)
+                remapped = remap_samples(basis_samples, match.correlation)
+                unmapped = remapped.unmapped_components
+                if unmapped:
+                    fresh = self._simulate_components(function, key[1], seeds, unmapped)
+                    samples = fill_components(remapped.samples, unmapped, fresh)
+                else:
+                    samples = remapped.samples
+                self.registry.record_mapping(
+                    function.name, match.basis_args, key[1], match.correlation
+                )
+                self.mapped_hits += 1
+                self._store[key] = BasisEntry(
+                    vg_name=function.name,
+                    args=key[1],
+                    samples=samples,
+                    worlds=tuple(worlds),
+                    seeds=tuple(seeds),
+                )
+                report = ReuseReport(
+                    vg_name=function.name,
+                    args=key[1],
+                    source="mapped",
+                    basis_args=match.basis_args,
+                    mapped_fraction=match.correlation.mapped_fraction,
+                    components_total=n_components,
+                    components_recomputed=len(unmapped),
+                    kind_counts=match.correlation.kind_counts(),
+                )
+                return samples, report
+
+        self.misses += 1
+        report = ReuseReport(
+            vg_name=function.name,
+            args=key[1],
+            source="fresh",
+            components_total=n_components,
+            components_recomputed=n_components,
+        )
+        return None, report
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _covers(self, entry: BasisEntry, worlds: Sequence[int]) -> bool:
+        stored = set(entry.worlds)
+        return all(world in stored for world in worlds)
+
+    def _select_worlds(self, entry: BasisEntry, worlds: Sequence[int]) -> np.ndarray:
+        positions = {world: index for index, world in enumerate(entry.worlds)}
+        rows = [positions[world] for world in worlds]
+        return entry.samples[rows, :]
+
+    def _simulate_components(
+        self,
+        function: VGFunction,
+        args: ParamKey,
+        seeds: Sequence[int],
+        components: tuple[int, ...],
+    ) -> np.ndarray:
+        """Real simulation of only the unmapped components, world by world."""
+        columns = np.empty((len(seeds), len(components)), dtype=float)
+        for row, seed in enumerate(seeds):
+            columns[row, :] = function.invoke_components(seed, tuple(args), components)
+        return columns

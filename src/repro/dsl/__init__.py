@@ -1,0 +1,5 @@
+"""The Fuzzy Prophet scenario DSL (paper Figure 2)."""
+
+from repro.dsl.parser import parse_scenario
+
+__all__ = ["parse_scenario"]

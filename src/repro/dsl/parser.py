@@ -1,0 +1,433 @@
+"""Parser for the Fuzzy Prophet scenario DSL (paper Figure 2).
+
+The DSL is TSQL plus Prophet extensions, in three sections:
+
+* ``DECLARE PARAMETER @p AS RANGE a TO b STEP BY s`` / ``AS SET (v, ...)``
+* the scenario query: ``SELECT <VG calls and derived expressions> INTO t``
+* metadata: ``GRAPH OVER @axis EXPECT alias WITH style, ...`` and/or
+  ``OPTIMIZE SELECT @p... FROM t WHERE <constraint> [GROUP BY ...]
+  FOR MAX @p, ...``
+
+:func:`parse_scenario` turns the whole program into a
+:class:`~repro.core.scenario.Scenario`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import DslError
+from repro.core.parameters import Parameter, ParameterSpace
+from repro.core.scenario import (
+    DerivedOutput,
+    GraphSeries,
+    GraphSpec,
+    OptimizeObjective,
+    OptimizeSpec,
+    Scenario,
+    VGOutput,
+)
+from repro.sqldb.ast_nodes import FunctionCall, Select
+from repro.sqldb.functions import builtin_scalar_functions
+from repro.sqldb.parser import parse_expression, parse_statement
+from repro.sqldb.aggregates import is_aggregate_name
+from repro.sqldb.tokenizer import tokenize
+from repro.sqldb.tokens import Token, TokenType
+
+_BUILTIN_SCALARS = frozenset(builtin_scalar_functions())
+
+
+def parse_scenario(
+    text: str,
+    name: str = "scenario",
+    vg_names: Optional[Sequence[str]] = None,
+) -> Scenario:
+    """Parse a full DSL program into a Scenario.
+
+    ``vg_names`` (optional) pins which function names are VG-Functions;
+    without it, any non-builtin, non-aggregate call in the SELECT list is
+    treated as a VG call.
+    """
+    chunks = _split_statements(text)
+    if not chunks:
+        raise DslError("empty scenario program")
+
+    parameters: list[Parameter] = []
+    select_text: Optional[str] = None
+    graph_text: Optional[str] = None
+    optimize_text: Optional[str] = None
+
+    for chunk in chunks:
+        head = _first_keyword(chunk)
+        if head == "DECLARE":
+            parameters.append(_parse_declare(chunk))
+        elif head == "SELECT":
+            if select_text is not None:
+                raise DslError("scenario program has more than one SELECT")
+            select_text = chunk
+        elif head == "GRAPH":
+            if graph_text is not None:
+                raise DslError("scenario program has more than one GRAPH directive")
+            graph_text = chunk
+        elif head == "OPTIMIZE":
+            if optimize_text is not None:
+                raise DslError("scenario program has more than one OPTIMIZE block")
+            optimize_text = chunk
+        else:
+            raise DslError(f"unexpected statement starting with {head!r}")
+
+    if not parameters:
+        raise DslError("scenario declares no parameters")
+    if select_text is None:
+        raise DslError("scenario has no SELECT query")
+
+    space = ParameterSpace(parameters)
+    graph = _parse_graph(graph_text) if graph_text is not None else None
+    outputs, results_table = _parse_select(select_text, vg_names)
+    axis = _deduce_axis(graph, select_text, space, vg_names)
+    optimize = _parse_optimize(optimize_text) if optimize_text is not None else None
+
+    return Scenario(
+        name=name,
+        space=space,
+        axis=axis,
+        outputs=outputs,
+        graph=graph,
+        optimize=optimize,
+        source_sql=text,
+        results_table=results_table or "results",
+    )
+
+
+# -- statement splitting ------------------------------------------------------
+
+
+def _split_statements(text: str) -> list[str]:
+    """Split the program on top-level ';' using token positions.
+
+    Comments are already invisible to the tokenizer, so ``-- SECTION --``
+    markers in Figure 2 are harmless.
+    """
+    tokens = tokenize(text)
+    chunks: list[str] = []
+    start: Optional[int] = None
+    for token in tokens:
+        if token.type == TokenType.EOF:
+            if start is not None:
+                piece = text[start:].strip()
+                if piece:
+                    chunks.append(piece)
+            break
+        if token.type == TokenType.PUNCT and token.value == ";":
+            if start is not None:
+                piece = text[start : token.position].strip()
+                if piece:
+                    chunks.append(piece)
+                start = None
+            continue
+        if start is None:
+            start = token.position
+    return chunks
+
+
+def _first_keyword(chunk: str) -> str:
+    tokens = tokenize(chunk)
+    if tokens and tokens[0].type == TokenType.KEYWORD:
+        return str(tokens[0].value)
+    return tokens[0].describe() if tokens else ""
+
+
+# -- DECLARE PARAMETER -----------------------------------------------------------
+
+
+def _parse_declare(chunk: str) -> Parameter:
+    tokens = tokenize(chunk)
+    cursor = _Cursor(tokens, chunk)
+    cursor.expect_keyword("DECLARE")
+    cursor.expect_keyword("PARAMETER")
+    name = cursor.expect_variable()
+    cursor.expect_keyword("AS")
+    if cursor.accept_keyword("RANGE"):
+        start = cursor.expect_int()
+        cursor.expect_keyword("TO")
+        stop = cursor.expect_int()
+        step = 1
+        if cursor.accept_keyword("STEP"):
+            cursor.expect_keyword("BY")
+            step = cursor.expect_int()
+        cursor.expect_eof()
+        return Parameter.from_range(name, start, stop, step)
+    if cursor.accept_keyword("SET"):
+        cursor.expect_punct("(")
+        values = [cursor.expect_number()]
+        while cursor.accept_punct(","):
+            values.append(cursor.expect_number())
+        cursor.expect_punct(")")
+        cursor.expect_eof()
+        return Parameter.from_set(name, values)
+    raise DslError(f"parameter @{name}: expected RANGE or SET")
+
+
+# -- SELECT conversion ------------------------------------------------------------
+
+
+def _is_vg_call(call: FunctionCall, vg_names: Optional[Sequence[str]]) -> bool:
+    lowered = call.name.lower()
+    if vg_names is not None:
+        return lowered in {n.lower() for n in vg_names}
+    if call.star or is_aggregate_name(call.name):
+        return False
+    if lowered in _BUILTIN_SCALARS:
+        return False
+    if call.name.upper() in ("EXPECT", "EXPECT_STDDEV"):
+        return False
+    return True
+
+
+def _parse_select(
+    chunk: str, vg_names: Optional[Sequence[str]]
+) -> tuple[list[VGOutput | DerivedOutput], Optional[str]]:
+    statement = parse_statement(chunk)
+    if not isinstance(statement, Select):
+        raise DslError("scenario query must be a SELECT statement")
+    if statement.source is not None:
+        raise DslError(
+            "the scenario SELECT takes models from its select list; a FROM "
+            "clause is not supported here"
+        )
+    outputs: list[VGOutput | DerivedOutput] = []
+    for index, item in enumerate(statement.items):
+        if item.star:
+            raise DslError("SELECT * is not meaningful in a scenario query")
+        assert item.expression is not None
+        alias = item.alias or f"column{index + 1}"
+        expression = item.expression
+        if isinstance(expression, FunctionCall) and _is_vg_call(expression, vg_names):
+            if not expression.args:
+                raise DslError(
+                    f"VG call {expression.name} needs at least the axis argument"
+                )
+            outputs.append(
+                VGOutput(
+                    alias=alias,
+                    vg_name=expression.name,
+                    index_expr=expression.args[0],
+                    model_args=tuple(expression.args[1:]),
+                )
+            )
+        else:
+            outputs.append(DerivedOutput(alias=alias, expression=expression))
+    return outputs, statement.into
+
+
+def _deduce_axis(
+    graph: Optional[GraphSpec],
+    select_text: str,
+    space: ParameterSpace,
+    vg_names: Optional[Sequence[str]],
+) -> str:
+    if graph is not None:
+        return graph.axis.lstrip("@").lower()
+    # No GRAPH directive: use the first VG call's first argument.
+    statement = parse_statement(select_text)
+    if isinstance(statement, Select):
+        for item in statement.items:
+            expression = item.expression
+            if isinstance(expression, FunctionCall) and _is_vg_call(expression, vg_names):
+                from repro.sqldb.expressions import collect_variables
+
+                variables = collect_variables(expression.args[0]) if expression.args else set()
+                if len(variables) == 1:
+                    return next(iter(variables))
+    raise DslError(
+        "cannot deduce the axis parameter; add a GRAPH OVER directive"
+    )
+
+
+# -- GRAPH directive ----------------------------------------------------------------
+
+
+def _parse_graph(chunk: str) -> GraphSpec:
+    tokens = tokenize(chunk)
+    cursor = _Cursor(tokens, chunk)
+    cursor.expect_keyword("GRAPH")
+    cursor.expect_keyword("OVER")
+    axis = cursor.expect_variable()
+    series: list[GraphSeries] = []
+    while True:
+        kind = cursor.expect_one_of_keywords("EXPECT", "EXPECT_STDDEV")
+        alias = cursor.expect_identifier()
+        style: list[str] = []
+        if cursor.accept_keyword("WITH"):
+            while cursor.peek_is_style_word():
+                style.append(cursor.take_word())
+        series.append(GraphSeries(kind=kind, alias=alias, style=tuple(style)))
+        if not cursor.accept_punct(","):
+            break
+    cursor.expect_eof()
+    if not series:
+        raise DslError("GRAPH directive declares no series")
+    return GraphSpec(axis=axis, series=tuple(series))
+
+
+# -- OPTIMIZE block ------------------------------------------------------------------
+
+
+def _parse_optimize(chunk: str) -> OptimizeSpec:
+    tokens = tokenize(chunk)
+    cursor = _Cursor(tokens, chunk)
+    cursor.expect_keyword("OPTIMIZE")
+    cursor.expect_keyword("SELECT")
+    select_parameters = [cursor.expect_variable()]
+    while cursor.accept_punct(","):
+        select_parameters.append(cursor.expect_variable())
+    if cursor.accept_keyword("FROM"):
+        cursor.expect_identifier()  # results table (informational)
+
+    constraint = None
+    if cursor.accept_keyword("WHERE"):
+        constraint_text = cursor.text_until_keywords("GROUP", "FOR")
+        constraint = parse_expression(constraint_text)
+
+    group_by: list[str] = []
+    if cursor.accept_keyword("GROUP"):
+        cursor.expect_keyword("BY")
+        group_by.append(cursor.expect_identifier())
+        while cursor.accept_punct(","):
+            group_by.append(cursor.expect_identifier())
+
+    objectives: list[OptimizeObjective] = []
+    if cursor.accept_keyword("FOR"):
+        while True:
+            direction = cursor.expect_one_of_keywords("MAX", "MIN")
+            parameter = cursor.expect_variable()
+            objectives.append(OptimizeObjective(direction=direction, parameter=parameter))
+            if not cursor.accept_punct(","):
+                break
+    cursor.expect_eof()
+    if not objectives:
+        raise DslError("OPTIMIZE block needs at least one FOR MAX/MIN objective")
+    return OptimizeSpec(
+        select_parameters=tuple(select_parameters),
+        constraint=constraint,
+        objectives=tuple(objectives),
+        group_by=tuple(group_by),
+    )
+
+
+# -- token cursor -------------------------------------------------------------------
+
+
+class _Cursor:
+    """Tiny token cursor for the directive grammars."""
+
+    def __init__(self, tokens: list[Token], text: str) -> None:
+        self._tokens = tokens
+        self._text = text
+        self._pos = 0
+
+    def peek(self) -> Token:
+        return self._tokens[min(self._pos, len(self._tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token.type != TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def error(self, message: str) -> DslError:
+        return DslError(f"{message}, found {self.peek().describe()}")
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.peek().matches_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            raise self.error(f"expected {word}")
+
+    def expect_one_of_keywords(self, *words: str) -> str:
+        token = self.peek()
+        if token.matches_keyword(*words):
+            self.advance()
+            return str(token.value)
+        raise self.error(f"expected one of {words}")
+
+    def accept_punct(self, char: str) -> bool:
+        if self.peek().matches_punct(char):
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, char: str) -> None:
+        if not self.accept_punct(char):
+            raise self.error(f"expected {char!r}")
+
+    def expect_variable(self) -> str:
+        token = self.peek()
+        if token.type != TokenType.VARIABLE:
+            raise self.error("expected @parameter")
+        self.advance()
+        return str(token.value)
+
+    def expect_identifier(self) -> str:
+        token = self.peek()
+        if token.type == TokenType.IDENTIFIER:
+            self.advance()
+            return str(token.value)
+        raise self.error("expected identifier")
+
+    def expect_int(self) -> int:
+        token = self.peek()
+        if token.type == TokenType.INTEGER:
+            self.advance()
+            return int(token.value)
+        if token.matches_operator("-") and self._tokens[self._pos + 1].type == TokenType.INTEGER:
+            self.advance()
+            return -int(self.advance().value)
+        raise self.error("expected integer")
+
+    def expect_number(self) -> int | float:
+        token = self.peek()
+        if token.type in (TokenType.INTEGER, TokenType.FLOAT):
+            self.advance()
+            return token.value
+        if token.matches_operator("-"):
+            self.advance()
+            inner = self.peek()
+            if inner.type in (TokenType.INTEGER, TokenType.FLOAT):
+                self.advance()
+                return -inner.value
+        raise self.error("expected number")
+
+    def peek_is_style_word(self) -> bool:
+        token = self.peek()
+        return token.type == TokenType.IDENTIFIER or (
+            token.type == TokenType.KEYWORD and token.value not in ("EXPECT", "EXPECT_STDDEV")
+            and not token.matches_punct(",")
+        )
+
+    def take_word(self) -> str:
+        token = self.advance()
+        return str(token.value)
+
+    def text_until_keywords(self, *words: str) -> str:
+        """Source text from here until (not including) one of ``words``."""
+        start_token = self.peek()
+        start = start_token.position
+        end = len(self._text)
+        while True:
+            token = self.peek()
+            if token.type == TokenType.EOF:
+                break
+            if token.matches_keyword(*words):
+                end = token.position
+                break
+            self.advance()
+        return self._text[start:end].strip()
+
+    def expect_eof(self) -> None:
+        if self.peek().type != TokenType.EOF:
+            raise self.error("unexpected trailing input")

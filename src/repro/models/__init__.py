@@ -1,0 +1,35 @@
+"""The demo business models of paper §3.1 and canned scenarios."""
+
+from repro.models.capacity import (
+    CapacityModel,
+    MaintenanceWindowCapacityModel,
+    WEEKS_PER_YEAR,
+)
+from repro.models.demand import DemandModel
+from repro.models.failures import (
+    FailureClass,
+    default_failure_classes,
+    total_weekly_losses,
+)
+from repro.models.scenario_library import (
+    FIGURE2_DSL,
+    build_demo_library,
+    build_growth_scenario,
+    build_maintenance_scenario,
+    build_risk_vs_cost,
+)
+
+__all__ = [
+    "DemandModel",
+    "CapacityModel",
+    "MaintenanceWindowCapacityModel",
+    "WEEKS_PER_YEAR",
+    "FailureClass",
+    "default_failure_classes",
+    "total_weekly_losses",
+    "FIGURE2_DSL",
+    "build_demo_library",
+    "build_risk_vs_cost",
+    "build_growth_scenario",
+    "build_maintenance_scenario",
+]

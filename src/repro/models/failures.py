@@ -1,0 +1,86 @@
+"""Hardware failure models.
+
+Paper §3.1: *"The Capacity Model is expressed as an aggregate of many
+different individual models, each expressing different classes of hardware
+failures, as well as expected time from new hardware purchase to
+deployment."*
+
+Each :class:`FailureClass` models one class of failures as a marked Poisson
+process per week: the number of failure events is Poisson, and each event
+destroys a random number of cores. Severity draws are truncated at zero.
+
+RNG discipline: every class consumes a *fixed* number of draws per week
+regardless of model arguments, so the same seed produces the same failure
+history under any purchase schedule — the alignment fingerprinting exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import VGFunctionError
+
+
+@dataclass(frozen=True)
+class FailureClass:
+    """One class of hardware failure.
+
+    ``weekly_rate`` — expected failure events per week (Poisson rate);
+    ``cores_lost_mean`` / ``cores_lost_sigma`` — per-event severity
+    (Gaussian, truncated at zero).
+    """
+
+    name: str
+    weekly_rate: float
+    cores_lost_mean: float
+    cores_lost_sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.weekly_rate < 0:
+            raise VGFunctionError(
+                f"failure class {self.name!r}: weekly_rate must be >= 0"
+            )
+        if self.cores_lost_mean < 0:
+            raise VGFunctionError(
+                f"failure class {self.name!r}: cores_lost_mean must be >= 0"
+            )
+        if self.cores_lost_sigma < 0:
+            raise VGFunctionError(
+                f"failure class {self.name!r}: cores_lost_sigma must be >= 0"
+            )
+
+    def sample_weekly_losses(self, rng: np.random.Generator, n_weeks: int) -> np.ndarray:
+        """Cores lost per week over ``n_weeks`` (vectorized, fixed draw count)."""
+        counts = rng.poisson(self.weekly_rate, size=n_weeks).astype(float)
+        severity = rng.normal(self.cores_lost_mean, self.cores_lost_sigma, size=n_weeks)
+        severity = np.clip(severity, 0.0, None)
+        return counts * severity
+
+    def expected_weekly_loss(self) -> float:
+        """Analytic expectation of cores lost per week (ignoring truncation)."""
+        return self.weekly_rate * self.cores_lost_mean
+
+
+def default_failure_classes() -> tuple[FailureClass, ...]:
+    """Failure classes representative of the paper's datacenter setting.
+
+    The paper used arbitrary (IP-scrubbed) numbers; these are chosen so that
+    failures erode a visible but not dominant share of capacity over a year.
+    """
+    return (
+        FailureClass("disk", weekly_rate=2.0, cores_lost_mean=6.0, cores_lost_sigma=1.5),
+        FailureClass("psu", weekly_rate=0.5, cores_lost_mean=30.0, cores_lost_sigma=8.0),
+        FailureClass("switch", weekly_rate=0.1, cores_lost_mean=120.0, cores_lost_sigma=30.0),
+    )
+
+
+def total_weekly_losses(
+    classes: tuple[FailureClass, ...], rng: np.random.Generator, n_weeks: int
+) -> np.ndarray:
+    """Sum of per-class weekly losses (consumes draws in class order)."""
+    total = np.zeros(n_weeks, dtype=float)
+    for failure_class in classes:
+        total += failure_class.sample_weekly_losses(rng, n_weeks)
+    return total

@@ -1,0 +1,238 @@
+"""Canned scenarios, including the paper's Figure 2 business scenario.
+
+:func:`build_risk_vs_cost` constructs the demo's risk-vs-cost-of-ownership
+scenario programmatically; :data:`FIGURE2_DSL` is the verbatim Figure 2 text
+for the DSL parser (both produce equivalent scenarios — a test asserts it).
+"""
+
+from __future__ import annotations
+
+from repro.core.parameters import Parameter, ParameterSpace
+from repro.core.scenario import (
+    DerivedOutput,
+    GraphSeries,
+    GraphSpec,
+    OptimizeObjective,
+    OptimizeSpec,
+    Scenario,
+    VGOutput,
+)
+from repro.models.capacity import CapacityModel, MaintenanceWindowCapacityModel
+from repro.models.demand import DemandModel
+from repro.sqldb.parser import parse_expression
+from repro.vg.library import VGLibrary
+
+#: The verbatim scenario program of paper Figure 2 (comment markers kept).
+FIGURE2_DSL = """
+-- DEFINITION --
+DECLARE PARAMETER @current AS RANGE 0 TO 52 STEP BY 1;
+DECLARE PARAMETER @purchase1 AS RANGE 0 TO 52 STEP BY 4;
+DECLARE PARAMETER @purchase2 AS RANGE 0 TO 52 STEP BY 4;
+DECLARE PARAMETER @feature AS SET (12,36,44);
+
+SELECT DemandModel(@current, @feature)
+         AS demand,
+       CapacityModel(@current, @purchase1, @purchase2)
+         AS capacity,
+       CASE WHEN capacity < demand THEN 1 ELSE 0 END
+         AS overload
+INTO results;
+
+-- ONLINE MODE --
+GRAPH OVER @current
+   EXPECT overload WITH bold red,
+   EXPECT capacity WITH blue y2,
+   EXPECT_STDDEV demand WITH orange y2;
+
+-- OFFLINE MODE --
+OPTIMIZE SELECT @feature, @purchase1, @purchase2
+FROM results
+WHERE MAX(EXPECT overload) < 0.01
+GROUP BY feature, purchase1, purchase2
+FOR MAX @purchase1, MAX @purchase2
+"""
+
+
+def build_demo_library(
+    *,
+    with_growth_arg: bool = False,
+    with_initial_arg: bool = False,
+) -> VGLibrary:
+    """The VG-Function library backing the demo scenario."""
+    library = VGLibrary()
+    library.register(DemandModel(with_growth_arg=with_growth_arg))
+    library.register(CapacityModel(with_initial_arg=with_initial_arg))
+    library.register(MaintenanceWindowCapacityModel())
+    return library
+
+
+def _demo_space(purchase_step: int = 4) -> list[Parameter]:
+    return [
+        Parameter.from_range("current", 0, 52, 1),
+        Parameter.from_range("purchase1", 0, 52, purchase_step),
+        Parameter.from_range("purchase2", 0, 52, purchase_step),
+        Parameter.from_set("feature", (12, 36, 44)),
+    ]
+
+
+def build_risk_vs_cost(
+    purchase_step: int = 4, overload_threshold: float = 0.01
+) -> tuple[Scenario, VGLibrary]:
+    """The Figure 2 scenario, built programmatically.
+
+    ``purchase_step`` widens the purchase grids for faster sweeps in tests
+    and benchmarks (the paper uses STEP BY 4).
+    """
+    space = ParameterSpace(_demo_space(purchase_step))
+    outputs = [
+        VGOutput(
+            alias="demand",
+            vg_name="DemandModel",
+            index_expr=parse_expression("@current"),
+            model_args=(parse_expression("@feature"),),
+        ),
+        VGOutput(
+            alias="capacity",
+            vg_name="CapacityModel",
+            index_expr=parse_expression("@current"),
+            model_args=(
+                parse_expression("@purchase1"),
+                parse_expression("@purchase2"),
+            ),
+        ),
+        DerivedOutput(
+            alias="overload",
+            expression=parse_expression(
+                "CASE WHEN capacity < demand THEN 1 ELSE 0 END"
+            ),
+        ),
+    ]
+    graph = GraphSpec(
+        axis="current",
+        series=(
+            GraphSeries(kind="EXPECT", alias="overload", style=("bold", "red")),
+            GraphSeries(kind="EXPECT", alias="capacity", style=("blue", "y2")),
+            GraphSeries(kind="EXPECT_STDDEV", alias="demand", style=("orange", "y2")),
+        ),
+    )
+    optimize = OptimizeSpec(
+        select_parameters=("feature", "purchase1", "purchase2"),
+        constraint=parse_expression(f"MAX(EXPECT overload) < {overload_threshold}"),
+        objectives=(
+            OptimizeObjective(direction="MAX", parameter="purchase1"),
+            OptimizeObjective(direction="MAX", parameter="purchase2"),
+        ),
+        group_by=("feature", "purchase1", "purchase2"),
+    )
+    scenario = Scenario(
+        name="risk_vs_cost",
+        space=space,
+        axis="current",
+        outputs=outputs,
+        graph=graph,
+        optimize=optimize,
+        source_sql=FIGURE2_DSL,
+    )
+    return scenario, build_demo_library()
+
+
+def build_growth_scenario(purchase_step: int = 8) -> tuple[Scenario, VGLibrary]:
+    """Extended what-if: demand scaled by an uncertain-growth multiplier.
+
+    Exercises genuinely *affine* fingerprint maps (scale != 1) across the
+    ``@growth`` axis — the §3.3 "different user growth" what-if.
+    """
+    space = ParameterSpace(
+        _demo_space(purchase_step)
+        + [Parameter.from_set("growth", (0.8, 1.0, 1.2))]
+    )
+    outputs = [
+        VGOutput(
+            alias="demand",
+            vg_name="DemandModel",
+            index_expr=parse_expression("@current"),
+            model_args=(parse_expression("@feature"), parse_expression("@growth")),
+        ),
+        VGOutput(
+            alias="capacity",
+            vg_name="CapacityModel",
+            index_expr=parse_expression("@current"),
+            model_args=(
+                parse_expression("@purchase1"),
+                parse_expression("@purchase2"),
+            ),
+        ),
+        DerivedOutput(
+            alias="overload",
+            expression=parse_expression("CASE WHEN capacity < demand THEN 1 ELSE 0 END"),
+        ),
+        DerivedOutput(
+            alias="headroom",
+            expression=parse_expression("capacity - demand"),
+        ),
+    ]
+    graph = GraphSpec(
+        axis="current",
+        series=(
+            GraphSeries(kind="EXPECT", alias="overload", style=("bold", "red")),
+            GraphSeries(kind="EXPECT", alias="headroom", style=("green",)),
+        ),
+    )
+    optimize = OptimizeSpec(
+        select_parameters=("feature", "purchase1", "purchase2", "growth"),
+        constraint=parse_expression("MAX(EXPECT overload) < 0.05"),
+        objectives=(
+            OptimizeObjective(direction="MAX", parameter="purchase1"),
+            OptimizeObjective(direction="MAX", parameter="purchase2"),
+        ),
+        group_by=("feature", "purchase1", "purchase2", "growth"),
+    )
+    scenario = Scenario(
+        name="growth_what_if",
+        space=space,
+        axis="current",
+        outputs=outputs,
+        graph=graph,
+        optimize=optimize,
+    )
+    return scenario, build_demo_library(with_growth_arg=True)
+
+
+def build_maintenance_scenario() -> tuple[Scenario, VGLibrary]:
+    """Markov-shortcut demo: capacity driven by maintenance-window failures.
+
+    Used by experiment C6; the chain is deterministic outside windows, so
+    shortcut estimators skip most steps.
+    """
+    space = ParameterSpace(
+        [
+            Parameter.from_range("current", 0, 52, 1),
+            Parameter.from_set("phase", (0, 3, 6)),
+            Parameter.from_set("feature", (12, 36, 44)),
+        ]
+    )
+    outputs = [
+        VGOutput(
+            alias="demand",
+            vg_name="DemandModel",
+            index_expr=parse_expression("@current"),
+            model_args=(parse_expression("@feature"),),
+        ),
+        VGOutput(
+            alias="capacity",
+            vg_name="MaintenanceCapacityModel",
+            index_expr=parse_expression("@current"),
+            model_args=(parse_expression("@phase"),),
+        ),
+        DerivedOutput(
+            alias="overload",
+            expression=parse_expression("CASE WHEN capacity < demand THEN 1 ELSE 0 END"),
+        ),
+    ]
+    scenario = Scenario(
+        name="maintenance_windows",
+        space=space,
+        axis="current",
+        outputs=outputs,
+    )
+    return scenario, build_demo_library()

@@ -1,0 +1,40 @@
+"""A small, honest, in-memory SQL engine (the paper's SQL Server stand-in).
+
+Public surface:
+
+* :class:`Catalog` — tables + scalar + table-generating functions
+* :class:`Executor` — parse & run SQL text against a catalog
+* :class:`Table`, :class:`ResultSet`, :class:`TableSchema`, :class:`Column`
+* :class:`SqlType` and the parser entry points
+* PDB extension helpers (:func:`register_vg_function`, ...)
+"""
+
+from repro.sqldb.catalog import Catalog, TableFunction
+from repro.sqldb.executor import ExecutionStats, Executor
+from repro.sqldb.parser import parse_expression, parse_script, parse_statement
+from repro.sqldb.pdbext import (
+    TABLE_FORM_SUFFIX,
+    register_library,
+    register_vg_function,
+)
+from repro.sqldb.schema import Column, TableSchema
+from repro.sqldb.table import ResultSet, Table
+from repro.sqldb.types import SqlType
+
+__all__ = [
+    "Catalog",
+    "TableFunction",
+    "Executor",
+    "ExecutionStats",
+    "parse_statement",
+    "parse_script",
+    "parse_expression",
+    "Column",
+    "TableSchema",
+    "Table",
+    "ResultSet",
+    "SqlType",
+    "register_vg_function",
+    "register_library",
+    "TABLE_FORM_SUFFIX",
+]

@@ -1,0 +1,204 @@
+"""Aggregate functions for GROUP BY evaluation.
+
+Each aggregate is a small accumulator class with ``add`` / ``result``.
+SQL semantics: NULL inputs are skipped; aggregates over zero non-NULL
+inputs return NULL (except COUNT, which returns 0).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable
+
+from repro.errors import ExecutionError, TypeMismatchError
+from repro.sqldb.types import is_numeric
+
+
+class Aggregate:
+    """Accumulator protocol for one aggregate over one group."""
+
+    def add(self, value: Any) -> None:
+        raise NotImplementedError
+
+    def result(self) -> Any:
+        raise NotImplementedError
+
+
+class CountAggregate(Aggregate):
+    """``COUNT(expr)`` / ``COUNT(*)`` / ``COUNT(DISTINCT expr)``."""
+
+    def __init__(self, star: bool = False, distinct: bool = False) -> None:
+        self._star = star
+        self._distinct = distinct
+        self._count = 0
+        self._seen: set[Any] = set()
+
+    def add(self, value: Any) -> None:
+        if self._star:
+            self._count += 1
+            return
+        if value is None:
+            return
+        if self._distinct:
+            if value in self._seen:
+                return
+            self._seen.add(value)
+        self._count += 1
+
+    def result(self) -> Any:
+        return self._count
+
+
+class SumAggregate(Aggregate):
+    def __init__(self) -> None:
+        self._total: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if not is_numeric(value):
+            raise TypeMismatchError(f"SUM requires numbers, got {value!r}")
+        self._total = value if self._total is None else self._total + value
+
+    def result(self) -> Any:
+        return self._total
+
+
+class AvgAggregate(Aggregate):
+    def __init__(self) -> None:
+        self._total = 0.0
+        self._count = 0
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if not is_numeric(value):
+            raise TypeMismatchError(f"AVG requires numbers, got {value!r}")
+        self._total += float(value)
+        self._count += 1
+
+    def result(self) -> Any:
+        if self._count == 0:
+            return None
+        return self._total / self._count
+
+
+class MinAggregate(Aggregate):
+    def __init__(self) -> None:
+        self._best: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self._best is None or value < self._best:
+            self._best = value
+
+    def result(self) -> Any:
+        return self._best
+
+
+class MaxAggregate(Aggregate):
+    def __init__(self) -> None:
+        self._best: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self._best is None or value > self._best:
+            self._best = value
+
+    def result(self) -> Any:
+        return self._best
+
+
+class _MomentsAggregate(Aggregate):
+    """Shared Welford accumulator for variance/stddev aggregates."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if not is_numeric(value):
+            raise TypeMismatchError(f"{type(self).__name__} requires numbers, got {value!r}")
+        self._count += 1
+        delta = float(value) - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (float(value) - self._mean)
+
+    def _sample_variance(self) -> Any:
+        if self._count < 2:
+            return None
+        return self._m2 / (self._count - 1)
+
+    def _population_variance(self) -> Any:
+        if self._count < 1:
+            return None
+        return self._m2 / self._count
+
+
+class VarAggregate(_MomentsAggregate):
+    """Sample variance (TSQL ``VAR``)."""
+
+    def result(self) -> Any:
+        return self._sample_variance()
+
+
+class VarpAggregate(_MomentsAggregate):
+    """Population variance (TSQL ``VARP``)."""
+
+    def result(self) -> Any:
+        return self._population_variance()
+
+
+class StdevAggregate(_MomentsAggregate):
+    """Sample standard deviation (TSQL ``STDEV``)."""
+
+    def result(self) -> Any:
+        variance = self._sample_variance()
+        return None if variance is None else math.sqrt(variance)
+
+
+class StdevpAggregate(_MomentsAggregate):
+    """Population standard deviation (TSQL ``STDEVP``)."""
+
+    def result(self) -> Any:
+        variance = self._population_variance()
+        return None if variance is None else math.sqrt(variance)
+
+
+#: Factory registry: lowercase name -> zero-arg constructor.
+AGGREGATE_FACTORIES: dict[str, Callable[[], Aggregate]] = {
+    "sum": SumAggregate,
+    "avg": AvgAggregate,
+    "min": MinAggregate,
+    "max": MaxAggregate,
+    "var": VarAggregate,
+    "varp": VarpAggregate,
+    "stdev": StdevAggregate,
+    "stdevp": StdevpAggregate,
+}
+
+
+def is_aggregate_name(name: str) -> bool:
+    """True when ``name`` denotes an aggregate function (COUNT included)."""
+    lowered = name.lower()
+    return lowered == "count" or lowered in AGGREGATE_FACTORIES
+
+
+def make_aggregate(name: str, star: bool = False, distinct: bool = False) -> Aggregate:
+    """Instantiate an aggregate accumulator by SQL name."""
+    lowered = name.lower()
+    if lowered == "count":
+        return CountAggregate(star=star, distinct=distinct)
+    if star:
+        raise ExecutionError(f"{name}(*) is only valid for COUNT")
+    factory = AGGREGATE_FACTORIES.get(lowered)
+    if factory is None:
+        raise ExecutionError(f"unknown aggregate function: {name!r}")
+    if distinct:
+        raise ExecutionError(f"DISTINCT is only supported for COUNT, not {name}")
+    return factory()

@@ -1,0 +1,799 @@
+"""Statement execution against a :class:`~repro.sqldb.catalog.Catalog`.
+
+The executor implements a straightforward iterator-free pipeline: resolve
+FROM sources to bound row dictionaries, apply joins, filter, group/aggregate,
+project, sort, and materialize a :class:`ResultSet`. ``SELECT ... INTO``
+creates (or replaces the contents of) a destination table, which is how the
+Fuzzy Prophet Query Generator lands Monte Carlo samples in the database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+from repro.errors import CatalogError, ExecutionError
+from repro.sqldb.aggregates import Aggregate, is_aggregate_name, make_aggregate
+from repro.sqldb.ast_nodes import (
+    Between,
+    BinaryOp,
+    CaseWhen,
+    Cast,
+    ColumnRef,
+    CreateTable,
+    Delete,
+    DropTable,
+    Expression,
+    FromSource,
+    FunctionCall,
+    InList,
+    InsertSelect,
+    InsertValues,
+    IsNull,
+    Join,
+    Like,
+    Literal,
+    Script,
+    Select,
+    SelectItem,
+    Statement,
+    SubquerySource,
+    TableFunctionSource,
+    TableSource,
+    UnaryOp,
+    Update,
+)
+from repro.sqldb.catalog import Catalog
+from repro.sqldb.expressions import EvalContext, evaluate, is_true
+from repro.sqldb.parser import parse_script, parse_statement
+from repro.sqldb.schema import Column, TableSchema
+from repro.sqldb.table import ResultSet
+from repro.sqldb.types import SqlType, infer_type
+
+#: Fuzzy Prophet aggregate spellings mapped onto engine aggregates.
+#: EXPECT is the Monte Carlo expectation (mean over worlds); EXPECT_STDDEV
+#: the standard deviation over worlds.
+_AGGREGATE_ALIASES = {"expect": "avg", "expect_stddev": "stdev"}
+
+
+@dataclass
+class ExecutionStats:
+    """Counters the benchmarks read to attribute work to engine stages."""
+
+    statements: int = 0
+    rows_scanned: int = 0
+    rows_output: int = 0
+    table_function_calls: int = 0
+
+
+class Executor:
+    """Executes parsed statements (or SQL text) against one catalog."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+        self.stats = ExecutionStats()
+
+    # -- public API ---------------------------------------------------------
+
+    def execute(self, sql: str, variables: Optional[Mapping[str, Any]] = None) -> ResultSet:
+        """Parse and execute one statement; returns its result set.
+
+        Non-query statements return an empty result with a ``rowcount``
+        column so callers can observe effects uniformly.
+        """
+        statement = parse_statement(sql)
+        return self.execute_statement(statement, variables)
+
+    def execute_script(
+        self, sql: str, variables: Optional[Mapping[str, Any]] = None
+    ) -> list[ResultSet]:
+        """Execute a ``;``-separated script; returns one result per statement."""
+        script = parse_script(sql)
+        return [self.execute_statement(stmt, variables) for stmt in script.statements]
+
+    def execute_statement(
+        self, statement: Statement, variables: Optional[Mapping[str, Any]] = None
+    ) -> ResultSet:
+        bound = _normalize_variables(variables)
+        self.stats.statements += 1
+        if isinstance(statement, Select):
+            return self._execute_select(statement, bound)
+        if isinstance(statement, CreateTable):
+            return self._execute_create(statement)
+        if isinstance(statement, InsertValues):
+            return self._execute_insert_values(statement, bound)
+        if isinstance(statement, InsertSelect):
+            return self._execute_insert_select(statement, bound)
+        if isinstance(statement, DropTable):
+            return self._execute_drop(statement)
+        if isinstance(statement, Delete):
+            return self._execute_delete(statement, bound)
+        if isinstance(statement, Update):
+            return self._execute_update(statement, bound)
+        if isinstance(statement, Script):
+            results = [self.execute_statement(s, variables) for s in statement.statements]
+            return results[-1] if results else _rowcount_result(0)
+        raise ExecutionError(f"cannot execute statement {type(statement).__name__}")
+
+    # -- SELECT ---------------------------------------------------------------
+
+    def _execute_select(self, select: Select, variables: Mapping[str, Any]) -> ResultSet:
+        rows, source_schema = self._resolve_from(select, variables)
+
+        if select.where is not None:
+            context = self._context(variables)
+            rows = [
+                row
+                for row in rows
+                if is_true(evaluate(select.where, self._row_context(context, row)))
+            ]
+
+        needs_grouping = bool(select.group_by) or self._any_aggregates(select)
+        order_keys: Optional[list[tuple]] = None
+        if needs_grouping:
+            result_rows, schema, order_keys = self._grouped_projection(
+                select, rows, variables
+            )
+        else:
+            result_rows, schema, order_keys = self._plain_projection(
+                select, rows, source_schema, variables
+            )
+
+        if select.distinct:
+            seen: set[tuple[Any, ...]] = set()
+            unique: list[tuple[Any, ...]] = []
+            unique_keys: list[tuple] = []
+            for index, row in enumerate(result_rows):
+                if row not in seen:
+                    seen.add(row)
+                    unique.append(row)
+                    if order_keys is not None:
+                        unique_keys.append(order_keys[index])
+            result_rows = unique
+            if order_keys is not None:
+                order_keys = unique_keys
+
+        if select.order_by and order_keys is not None:
+            result_rows = _sort_by_keys(result_rows, order_keys, select.order_by)
+
+        if select.offset is not None:
+            result_rows = result_rows[select.offset :]
+        if select.limit is not None:
+            result_rows = result_rows[: select.limit]
+
+        self.stats.rows_output += len(result_rows)
+        result = ResultSet(schema=schema, rows=result_rows)
+
+        if select.into is not None:
+            self._materialize_into(select.into, result)
+        return result
+
+    def _resolve_from(
+        self, select: Select, variables: Mapping[str, Any]
+    ) -> tuple[list[dict[str, Any]], TableSchema]:
+        """Produce bound rows (name -> value dicts) for the FROM clause."""
+        if select.source is None:
+            # SELECT without FROM: one empty row.
+            return [dict()], TableSchema(())
+        rows, schema = self._bind_source(select.source, variables)
+        for join in select.joins:
+            rows, schema = self._apply_join(rows, schema, join, variables)
+        return rows, schema
+
+    def _bind_source(
+        self, source: FromSource, variables: Mapping[str, Any]
+    ) -> tuple[list[dict[str, Any]], TableSchema]:
+        if isinstance(source, TableSource):
+            table = self.catalog.table(source.name)
+            label = (source.alias or source.name).lower()
+            bound = [
+                _bind_row(table.schema.names, row, label) for row in table
+            ]
+            self.stats.rows_scanned += len(bound)
+            return bound, table.schema
+        if isinstance(source, TableFunctionSource):
+            fn = self.catalog.table_function(source.name)
+            context = self._context(variables)
+            args = tuple(evaluate(arg, context) for arg in source.args)
+            result = fn(args, variables)
+            self.stats.table_function_calls += 1
+            label = (source.alias or source.name).lower()
+            bound = [_bind_row(result.schema.names, row, label) for row in result.rows]
+            self.stats.rows_scanned += len(bound)
+            return bound, result.schema
+        if isinstance(source, SubquerySource):
+            result = self._execute_select(source.query, variables)
+            label = source.alias.lower()
+            bound = [_bind_row(result.schema.names, row, label) for row in result.rows]
+            return bound, result.schema
+        raise ExecutionError(f"unsupported FROM source {type(source).__name__}")
+
+    def _apply_join(
+        self,
+        left_rows: list[dict[str, Any]],
+        left_schema: TableSchema,
+        join: Join,
+        variables: Mapping[str, Any],
+    ) -> tuple[list[dict[str, Any]], TableSchema]:
+        right_rows, right_schema = self._bind_source(join.source, variables)
+        merged_schema = _merge_schemas(left_schema, right_schema)
+        context = self._context(variables)
+        output: list[dict[str, Any]] = []
+        if join.kind == "CROSS":
+            for left in left_rows:
+                for right in right_rows:
+                    output.append(_merge_rows(left, right))
+            return output, merged_schema
+        if join.condition is None:
+            raise ExecutionError(f"{join.kind} JOIN requires an ON condition")
+        null_right = _null_row_like(right_rows, right_schema)
+        equi = _equi_join_plan(join.condition, left_rows, right_rows)
+        if equi is not None:
+            left_exprs, right_exprs = equi
+            index: dict[tuple[Any, ...], list[dict[str, Any]]] = {}
+            for right in right_rows:
+                right_context = self._row_context(context, right)
+                key = tuple(evaluate(expr, right_context) for expr in right_exprs)
+                if any(part is None for part in key):
+                    continue  # NULL never equi-joins
+                index.setdefault(key, []).append(right)
+            for left in left_rows:
+                left_context = self._row_context(context, left)
+                key = tuple(evaluate(expr, left_context) for expr in left_exprs)
+                matches = [] if any(part is None for part in key) else index.get(key, [])
+                if matches:
+                    for right in matches:
+                        output.append(_merge_rows(left, right))
+                elif join.kind == "LEFT":
+                    output.append(_merge_rows(left, null_right))
+            return output, merged_schema
+        for left in left_rows:
+            matched = False
+            for right in right_rows:
+                candidate = _merge_rows(left, right)
+                if is_true(evaluate(join.condition, self._row_context(context, candidate))):
+                    output.append(candidate)
+                    matched = True
+            if join.kind == "LEFT" and not matched:
+                output.append(_merge_rows(left, null_right))
+        return output, merged_schema
+
+    def _plain_projection(
+        self,
+        select: Select,
+        rows: list[dict[str, Any]],
+        source_schema: TableSchema,
+        variables: Mapping[str, Any],
+    ) -> tuple[list[tuple[Any, ...]], TableSchema]:
+        names = self._output_names(select, source_schema)
+        output: list[tuple[Any, ...]] = []
+        order_keys: list[tuple] = []
+        # One mutable binding environment reused across rows (hot path).
+        env: dict[str, Any] = {}
+        row_context = EvalContext(
+            columns=env,
+            variables=variables,
+            functions=self.catalog.scalar_functions(),
+        )
+        for row in rows:
+            env.clear()
+            env.update(row)
+            values: list[Any] = []
+            # Aliases defined earlier in the SELECT list are visible to later
+            # items (the paper's Figure 2 relies on this: ``capacity <
+            # demand`` references the two preceding aliases).
+            for item in select.items:
+                if item.star:
+                    for column in source_schema.names:
+                        values.append(row.get(column.lower()))
+                    continue
+                assert item.expression is not None
+                value = evaluate(item.expression, row_context)
+                values.append(value)
+                if item.alias:
+                    env[item.alias.lower()] = value
+            output.append(tuple(values))
+            if select.order_by:
+                # Order keys see source columns AND select-list aliases,
+                # so ORDER BY works on columns dropped by the projection.
+                order_keys.append(
+                    tuple(
+                        evaluate(order.expression, row_context)
+                        for order in select.order_by
+                    )
+                )
+        schema = _infer_schema(names, output)
+        return output, schema, (order_keys if select.order_by else None)
+
+    def _grouped_projection(
+        self,
+        select: Select,
+        rows: list[dict[str, Any]],
+        variables: Mapping[str, Any],
+    ) -> tuple[list[tuple[Any, ...]], TableSchema]:
+        context = self._context(variables)
+        if any(item.star for item in select.items):
+            raise ExecutionError("SELECT * cannot be combined with aggregation")
+
+        # Collect every distinct aggregate call across SELECT, HAVING, ORDER BY.
+        aggregate_nodes: dict[str, FunctionCall] = {}
+        for item in select.items:
+            assert item.expression is not None
+            _collect_aggregates(item.expression, aggregate_nodes)
+        if select.having is not None:
+            _collect_aggregates(select.having, aggregate_nodes)
+        for order in select.order_by:
+            _collect_aggregates(order.expression, aggregate_nodes)
+
+        group_keys: dict[tuple[Any, ...], dict[str, Aggregate]] = {}
+        group_order: list[tuple[Any, ...]] = []
+        group_sample_row: dict[tuple[Any, ...], dict[str, Any]] = {}
+        env: dict[str, Any] = {}
+        row_context = EvalContext(
+            columns=env, variables=variables, functions=self.catalog.scalar_functions()
+        )
+        for row in rows:
+            env.clear()
+            env.update(row)
+            key = tuple(evaluate(expr, row_context) for expr in select.group_by)
+            if key not in group_keys:
+                group_keys[key] = {
+                    rendered: make_aggregate(
+                        _AGGREGATE_ALIASES.get(node.name.lower(), node.name),
+                        star=node.star,
+                        distinct=node.distinct,
+                    )
+                    for rendered, node in aggregate_nodes.items()
+                }
+                group_order.append(key)
+                group_sample_row[key] = row
+            accumulators = group_keys[key]
+            for rendered, node in aggregate_nodes.items():
+                if node.star:
+                    accumulators[rendered].add(None)
+                else:
+                    if len(node.args) != 1:
+                        raise ExecutionError(
+                            f"aggregate {node.name} takes exactly one argument"
+                        )
+                    accumulators[rendered].add(evaluate(node.args[0], row_context))
+
+        # With no GROUP BY and no input rows there is still one output group.
+        if not select.group_by and not group_order:  # pragma: no branch
+            empty_key: tuple[Any, ...] = ()
+            group_keys[empty_key] = {
+                rendered: make_aggregate(
+                    _AGGREGATE_ALIASES.get(node.name.lower(), node.name),
+                    star=node.star,
+                    distinct=node.distinct,
+                )
+                for rendered, node in aggregate_nodes.items()
+            }
+            group_order.append(empty_key)
+            group_sample_row[empty_key] = {}
+
+        names = self._output_names(select, TableSchema(()))
+        output: list[tuple[Any, ...]] = []
+        order_keys: list[tuple] = []
+        for key in group_order:
+            results = {rendered: agg.result() for rendered, agg in group_keys[key].items()}
+            representative = group_sample_row[key]
+            group_context = self._row_context(context, representative)
+            if select.having is not None:
+                having_value = evaluate(
+                    _rewrite_aggregates(select.having, results), group_context
+                )
+                if not is_true(having_value):
+                    continue
+            values = []
+            for item in select.items:
+                assert item.expression is not None
+                rewritten = _rewrite_aggregates(item.expression, results)
+                values.append(evaluate(rewritten, group_context))
+            output.append(tuple(values))
+            if select.order_by:
+                # ORDER BY may reference output aliases, aggregates, or
+                # grouping columns; expose all three.
+                order_env = dict(representative)
+                order_env.update(
+                    (name.lower(), value) for name, value in zip(names, values)
+                )
+                order_context = self._row_context(context, order_env)
+                order_keys.append(
+                    tuple(
+                        evaluate(_rewrite_aggregates(order.expression, results), order_context)
+                        for order in select.order_by
+                    )
+                )
+        schema = _infer_schema(names, output)
+        return output, schema, (order_keys if select.order_by else None)
+
+    def _output_names(self, select: Select, source_schema: TableSchema) -> list[str]:
+        names: list[str] = []
+        used: set[str] = set()
+        for index, item in enumerate(select.items):
+            if item.star:
+                for column in source_schema.names:
+                    names.append(_dedupe_name(column, used))
+                continue
+            assert item.expression is not None
+            if item.alias:
+                name = item.alias
+            elif isinstance(item.expression, ColumnRef):
+                name = item.expression.name
+            else:
+                name = f"column{index + 1}"
+            names.append(_dedupe_name(name, used))
+        return names
+
+    def _any_aggregates(self, select: Select) -> bool:
+        for item in select.items:
+            if item.expression is not None and _has_aggregate(item.expression):
+                return True
+        if select.having is not None and _has_aggregate(select.having):
+            return True
+        return False
+
+    def _materialize_into(self, name: str, result: ResultSet) -> None:
+        """``SELECT ... INTO t``: create table ``t`` (replacing any prior)."""
+        if self.catalog.has_table(name):
+            self.catalog.drop_table(name)
+        table = self.catalog.create_table(name, result.schema)
+        table.load_unchecked(result.rows)
+
+    # -- DML / DDL -------------------------------------------------------------
+
+    def _execute_create(self, statement: CreateTable) -> ResultSet:
+        columns = tuple(
+            Column(col.name, SqlType.from_declaration(col.type_name), col.nullable)
+            for col in statement.columns
+        )
+        self.catalog.create_table(statement.name, TableSchema(columns))
+        return _rowcount_result(0)
+
+    def _execute_insert_values(
+        self, statement: InsertValues, variables: Mapping[str, Any]
+    ) -> ResultSet:
+        table = self.catalog.table(statement.table)
+        context = self._context(variables)
+        positions = self._insert_positions(table.schema, statement.columns)
+        inserted = 0
+        for value_row in statement.rows:
+            if len(value_row) != len(positions):
+                raise ExecutionError(
+                    f"INSERT expects {len(positions)} values, got {len(value_row)}"
+                )
+            full_row: list[Any] = [None] * len(table.schema)
+            for position, expression in zip(positions, value_row):
+                full_row[position] = evaluate(expression, context)
+            table.insert(full_row)
+            inserted += 1
+        return _rowcount_result(inserted)
+
+    def _execute_insert_select(
+        self, statement: InsertSelect, variables: Mapping[str, Any]
+    ) -> ResultSet:
+        table = self.catalog.table(statement.table)
+        positions = self._insert_positions(table.schema, statement.columns)
+        result = self._execute_select(statement.query, variables)
+        if len(result.schema) != len(positions):
+            raise ExecutionError(
+                f"INSERT SELECT arity mismatch: {len(positions)} columns vs "
+                f"{len(result.schema)} selected"
+            )
+        for row in result.rows:
+            full_row: list[Any] = [None] * len(table.schema)
+            for position, value in zip(positions, row):
+                full_row[position] = value
+            table.insert(full_row)
+        return _rowcount_result(len(result.rows))
+
+    def _insert_positions(self, schema: TableSchema, columns: tuple[str, ...]) -> list[int]:
+        if not columns:
+            return list(range(len(schema)))
+        return [schema.position_of(name) for name in columns]
+
+    def _execute_drop(self, statement: DropTable) -> ResultSet:
+        self.catalog.drop_table(statement.name, if_exists=statement.if_exists)
+        return _rowcount_result(0)
+
+    def _execute_delete(self, statement: Delete, variables: Mapping[str, Any]) -> ResultSet:
+        table = self.catalog.table(statement.table)
+        if statement.where is None:
+            removed = len(table)
+            table.truncate()
+            return _rowcount_result(removed)
+        context = self._context(variables)
+        names = table.schema.names
+        kept: list[tuple[Any, ...]] = []
+        removed = 0
+        for row in table:
+            bound = dict(zip((n.lower() for n in names), row))
+            if is_true(evaluate(statement.where, self._row_context(context, bound))):
+                removed += 1
+            else:
+                kept.append(row)
+        table.replace_rows(kept)
+        return _rowcount_result(removed)
+
+    def _execute_update(self, statement: Update, variables: Mapping[str, Any]) -> ResultSet:
+        table = self.catalog.table(statement.table)
+        context = self._context(variables)
+        names = [n.lower() for n in table.schema.names]
+        updated_rows: list[tuple[Any, ...]] = []
+        changed = 0
+        for row in table:
+            bound = dict(zip(names, row))
+            row_context = self._row_context(context, bound)
+            hit = statement.where is None or is_true(evaluate(statement.where, row_context))
+            if not hit:
+                updated_rows.append(row)
+                continue
+            new_row = list(row)
+            for column_name, expression in statement.assignments:
+                position = table.schema.position_of(column_name)
+                new_row[position] = evaluate(expression, row_context)
+            updated_rows.append(tuple(new_row))
+            changed += 1
+        table.replace_rows(updated_rows)
+        return _rowcount_result(changed)
+
+    # -- contexts ---------------------------------------------------------------
+
+    def _context(self, variables: Mapping[str, Any]) -> EvalContext:
+        return EvalContext(
+            columns={},
+            variables=variables,
+            functions=self.catalog.scalar_functions(),
+        )
+
+    def _row_context(self, base: EvalContext, row: Mapping[str, Any]) -> EvalContext:
+        return EvalContext(columns=row, variables=base.variables, functions=base.functions)
+
+
+# -- helpers ---------------------------------------------------------------
+
+
+def _equi_join_plan(
+    condition: Expression,
+    left_rows: list[dict[str, Any]],
+    right_rows: list[dict[str, Any]],
+) -> Optional[tuple[list[Expression], list[Expression]]]:
+    """Recognize an AND-chain of column equalities so joins can hash.
+
+    Returns ``(left_key_exprs, right_key_exprs)`` when every conjunct is
+    ``col = col`` with one side bound by the left rows and the other by the
+    right rows; otherwise ``None`` (the executor falls back to nested loop).
+    """
+    conjuncts: list[Expression] = []
+    _flatten_and(condition, conjuncts)
+    if not left_rows or not right_rows:
+        return None
+    left_keys = set(left_rows[0])
+    right_keys = set(right_rows[0])
+    left_exprs: list[Expression] = []
+    right_exprs: list[Expression] = []
+    for conjunct in conjuncts:
+        if not (isinstance(conjunct, BinaryOp) and conjunct.operator == "="):
+            return None
+        sides = []
+        for operand in (conjunct.left, conjunct.right):
+            if not isinstance(operand, ColumnRef):
+                return None
+            key = (
+                f"{operand.qualifier}.{operand.name}".lower()
+                if operand.qualifier
+                else operand.name.lower()
+            )
+            sides.append((operand, key))
+        (first, first_key), (second, second_key) = sides
+        if first_key in left_keys and second_key in right_keys:
+            left_exprs.append(first)
+            right_exprs.append(second)
+        elif second_key in left_keys and first_key in right_keys:
+            left_exprs.append(second)
+            right_exprs.append(first)
+        else:
+            return None
+    return left_exprs, right_exprs
+
+
+def _flatten_and(expression: Expression, out: list[Expression]) -> None:
+    if isinstance(expression, BinaryOp) and expression.operator.upper() == "AND":
+        _flatten_and(expression.left, out)
+        _flatten_and(expression.right, out)
+    else:
+        out.append(expression)
+
+
+def _normalize_variables(variables: Optional[Mapping[str, Any]]) -> dict[str, Any]:
+    if not variables:
+        return {}
+    return {str(name).lstrip("@").lower(): value for name, value in variables.items()}
+
+
+def _bind_row(names: tuple[str, ...], row: tuple[Any, ...], label: str) -> dict[str, Any]:
+    bound: dict[str, Any] = {}
+    for name, value in zip(names, row):
+        key = name.lower()
+        bound[key] = value
+        bound[f"{label}.{key}"] = value
+    return bound
+
+
+def _merge_rows(left: dict[str, Any], right: dict[str, Any]) -> dict[str, Any]:
+    merged = dict(left)
+    merged.update(right)
+    return merged
+
+
+def _merge_schemas(left: TableSchema, right: TableSchema) -> TableSchema:
+    columns: list[Column] = list(left.columns)
+    used = {c.name.lower() for c in columns}
+    for column in right.columns:
+        name = column.name
+        if name.lower() in used:
+            name = _dedupe_name(name, used)
+            column = Column(name, column.sql_type, column.nullable)
+        used.add(name.lower())
+        columns.append(column)
+    return TableSchema(tuple(columns))
+
+
+def _null_row_like(rows: list[dict[str, Any]], schema: TableSchema) -> dict[str, Any]:
+    if rows:
+        return {key: None for key in rows[0]}
+    return {name.lower(): None for name in schema.names}
+
+
+def _dedupe_name(name: str, used: set[str]) -> str:
+    candidate = name
+    suffix = 1
+    while candidate.lower() in used:
+        suffix += 1
+        candidate = f"{name}_{suffix}"
+    used.add(candidate.lower())
+    return candidate
+
+
+def _infer_schema(names: list[str], rows: list[tuple[Any, ...]]) -> TableSchema:
+    """Infer output column types from the first non-NULL value per column."""
+    columns: list[Column] = []
+    for index, name in enumerate(names):
+        sql_type = SqlType.FLOAT
+        for row in rows:
+            if index < len(row) and row[index] is not None:
+                inferred = infer_type(row[index])
+                assert inferred is not None
+                sql_type = inferred
+                break
+        columns.append(Column(name, sql_type, nullable=True))
+    return TableSchema(tuple(columns))
+
+
+def _sort_by_keys(
+    rows: list[tuple[Any, ...]],
+    keys: list[tuple],
+    order_by: tuple,
+) -> list[tuple[Any, ...]]:
+    """Stable multi-key sort of ``rows`` by precomputed ``keys``."""
+    decorated = list(zip(keys, range(len(rows)), rows))
+    for position in range(len(order_by) - 1, -1, -1):
+        reverse = order_by[position].descending
+        decorated.sort(
+            key=lambda item: _null_safe_key((item[0][position] is None, item[0][position])),
+            reverse=reverse,
+        )
+    return [row for (_, _, row) in decorated]
+
+
+def _null_safe_key(ranked: tuple[bool, Any]) -> tuple[int, Any]:
+    """Sort key placing NULLs first ascending (last descending), like TSQL."""
+    null_rank, value = ranked
+    if null_rank:
+        return (0, 0)
+    return (1, value)
+
+
+def _has_aggregate(expression: Expression) -> bool:
+    found: dict[str, FunctionCall] = {}
+    _collect_aggregates(expression, found)
+    return bool(found)
+
+
+def _collect_aggregates(expression: Expression, found: dict[str, FunctionCall]) -> None:
+    if isinstance(expression, FunctionCall):
+        name = _AGGREGATE_ALIASES.get(expression.name.lower(), expression.name)
+        if is_aggregate_name(name):
+            found[expression.render()] = expression
+            return  # nested aggregates are not supported
+        for arg in expression.args:
+            _collect_aggregates(arg, found)
+    elif isinstance(expression, UnaryOp):
+        _collect_aggregates(expression.operand, found)
+    elif isinstance(expression, BinaryOp):
+        _collect_aggregates(expression.left, found)
+        _collect_aggregates(expression.right, found)
+    elif isinstance(expression, CaseWhen):
+        for condition, value in expression.branches:
+            _collect_aggregates(condition, found)
+            _collect_aggregates(value, found)
+        if expression.otherwise is not None:
+            _collect_aggregates(expression.otherwise, found)
+    elif isinstance(expression, Cast):
+        _collect_aggregates(expression.operand, found)
+    elif isinstance(expression, InList):
+        _collect_aggregates(expression.operand, found)
+        for item in expression.items:
+            _collect_aggregates(item, found)
+    elif isinstance(expression, Between):
+        _collect_aggregates(expression.operand, found)
+        _collect_aggregates(expression.low, found)
+        _collect_aggregates(expression.high, found)
+    elif isinstance(expression, (IsNull, Like)):
+        _collect_aggregates(expression.operand, found)
+        if isinstance(expression, Like):
+            _collect_aggregates(expression.pattern, found)
+
+
+def _rewrite_aggregates(expression: Expression, results: Mapping[str, Any]) -> Expression:
+    """Replace aggregate calls with their computed per-group results."""
+    rendered = expression.render() if isinstance(expression, FunctionCall) else None
+    if rendered is not None and rendered in results:
+        return Literal(results[rendered])
+    if isinstance(expression, FunctionCall):
+        return FunctionCall(
+            name=expression.name,
+            args=tuple(_rewrite_aggregates(arg, results) for arg in expression.args),
+            star=expression.star,
+            distinct=expression.distinct,
+        )
+    if isinstance(expression, UnaryOp):
+        return UnaryOp(expression.operator, _rewrite_aggregates(expression.operand, results))
+    if isinstance(expression, BinaryOp):
+        return BinaryOp(
+            expression.operator,
+            _rewrite_aggregates(expression.left, results),
+            _rewrite_aggregates(expression.right, results),
+        )
+    if isinstance(expression, CaseWhen):
+        return CaseWhen(
+            branches=tuple(
+                (_rewrite_aggregates(c, results), _rewrite_aggregates(v, results))
+                for c, v in expression.branches
+            ),
+            otherwise=(
+                None
+                if expression.otherwise is None
+                else _rewrite_aggregates(expression.otherwise, results)
+            ),
+        )
+    if isinstance(expression, Cast):
+        return Cast(_rewrite_aggregates(expression.operand, results), expression.type_name)
+    if isinstance(expression, InList):
+        return InList(
+            operand=_rewrite_aggregates(expression.operand, results),
+            items=tuple(_rewrite_aggregates(i, results) for i in expression.items),
+            negated=expression.negated,
+        )
+    if isinstance(expression, Between):
+        return Between(
+            operand=_rewrite_aggregates(expression.operand, results),
+            low=_rewrite_aggregates(expression.low, results),
+            high=_rewrite_aggregates(expression.high, results),
+            negated=expression.negated,
+        )
+    if isinstance(expression, IsNull):
+        return IsNull(_rewrite_aggregates(expression.operand, results), expression.negated)
+    if isinstance(expression, Like):
+        return Like(
+            operand=_rewrite_aggregates(expression.operand, results),
+            pattern=_rewrite_aggregates(expression.pattern, results),
+            negated=expression.negated,
+        )
+    return expression
+
+
+def _rowcount_result(count: int) -> ResultSet:
+    schema = TableSchema((Column("rowcount", SqlType.INTEGER),))
+    return ResultSet(schema=schema, rows=[(count,)])

@@ -1,0 +1,393 @@
+"""Expression evaluation with SQL three-valued logic.
+
+An :class:`EvalContext` supplies column bindings, ``@variable`` bindings,
+and the scalar-function registry. NULL propagates through arithmetic and
+comparisons; AND/OR/NOT follow Kleene logic (``NULL AND FALSE = FALSE``,
+``NULL OR TRUE = TRUE``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional
+
+from repro.errors import ExecutionError, TypeMismatchError
+from repro.sqldb.ast_nodes import (
+    Between,
+    BinaryOp,
+    CaseWhen,
+    Cast,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    UnaryOp,
+    Variable,
+)
+from repro.sqldb.types import SqlType, coerce, is_numeric
+
+
+@dataclass
+class EvalContext:
+    """Everything an expression needs to evaluate against one row.
+
+    ``columns`` maps lowercase column names (both bare and qualified, e.g.
+    ``"demand"`` and ``"r.demand"``) to values. ``variables`` maps TSQL
+    ``@name`` (lowercase, no ``@``) to values. ``functions`` maps lowercase
+    function names to Python callables.
+    """
+
+    columns: Mapping[str, Any] = field(default_factory=dict)
+    variables: Mapping[str, Any] = field(default_factory=dict)
+    functions: Mapping[str, Callable[..., Any]] = field(default_factory=dict)
+
+    def lookup_column(self, name: str, qualifier: Optional[str]) -> Any:
+        key = f"{qualifier}.{name}".lower() if qualifier else name.lower()
+        try:
+            return self.columns[key]
+        except KeyError:
+            pass
+        if qualifier is not None and name.lower() in self.columns:
+            # Post-projection contexts (ORDER BY over output columns) have
+            # lost source qualifiers; fall back to the bare output name.
+            return self.columns[name.lower()]
+        # A bare name may be stored only in qualified form: accept it when
+        # exactly one qualified binding matches.
+        if qualifier is None:
+            suffix = f".{name.lower()}"
+            matches = [k for k in self.columns if k.endswith(suffix)]
+            if len(matches) == 1:
+                return self.columns[matches[0]]
+            if len(matches) > 1:
+                raise ExecutionError(f"ambiguous column reference: {name!r}")
+        raise ExecutionError(f"unknown column: {key!r}")
+
+    def lookup_variable(self, name: str) -> Any:
+        key = name.lower()
+        if key not in self.variables:
+            raise ExecutionError(f"unbound variable: @{name}")
+        return self.variables[key]
+
+    def lookup_function(self, name: str) -> Callable[..., Any]:
+        key = name.lower()
+        if key not in self.functions:
+            raise ExecutionError(f"unknown function: {name!r}")
+        return self.functions[key]
+
+
+def evaluate(expression: Expression, context: EvalContext) -> Any:
+    """Evaluate ``expression`` in ``context`` and return a SQL value."""
+    if isinstance(expression, Literal):
+        return expression.value
+    if isinstance(expression, ColumnRef):
+        return context.lookup_column(expression.name, expression.qualifier)
+    if isinstance(expression, Variable):
+        return context.lookup_variable(expression.name)
+    if isinstance(expression, UnaryOp):
+        return _evaluate_unary(expression, context)
+    if isinstance(expression, BinaryOp):
+        return _evaluate_binary(expression, context)
+    if isinstance(expression, FunctionCall):
+        return _evaluate_call(expression, context)
+    if isinstance(expression, CaseWhen):
+        return _evaluate_case(expression, context)
+    if isinstance(expression, Cast):
+        value = evaluate(expression.operand, context)
+        return coerce(value, SqlType.from_declaration(expression.type_name))
+    if isinstance(expression, InList):
+        return _evaluate_in(expression, context)
+    if isinstance(expression, Between):
+        return _evaluate_between(expression, context)
+    if isinstance(expression, IsNull):
+        value = evaluate(expression.operand, context)
+        result = value is None
+        return (not result) if expression.negated else result
+    if isinstance(expression, Like):
+        return _evaluate_like(expression, context)
+    raise ExecutionError(f"cannot evaluate expression node {type(expression).__name__}")
+
+
+def is_true(value: Any) -> bool:
+    """SQL condition check: NULL and FALSE both reject a row."""
+    return value is True
+
+
+def _evaluate_unary(node: UnaryOp, context: EvalContext) -> Any:
+    operator = node.operator.upper()
+    value = evaluate(node.operand, context)
+    if operator == "NOT":
+        if value is None:
+            return None
+        if isinstance(value, bool):
+            return not value
+        raise TypeMismatchError(f"NOT requires a boolean, got {value!r}")
+    if value is None:
+        return None
+    if not is_numeric(value):
+        raise TypeMismatchError(f"unary {node.operator} requires a number, got {value!r}")
+    return -value if node.operator == "-" else +value
+
+
+def _evaluate_binary(node: BinaryOp, context: EvalContext) -> Any:
+    operator = node.operator.upper()
+    if operator == "AND":
+        return _kleene_and(node, context)
+    if operator == "OR":
+        return _kleene_or(node, context)
+    left = evaluate(node.left, context)
+    right = evaluate(node.right, context)
+    if operator in ("=", "<>", "<", "<=", ">", ">="):
+        return _compare(operator, left, right)
+    if operator == "||":
+        if left is None or right is None:
+            return None
+        if not isinstance(left, str) or not isinstance(right, str):
+            raise TypeMismatchError("|| requires text operands")
+        return left + right
+    return _arithmetic(operator, left, right)
+
+
+def _kleene_and(node: BinaryOp, context: EvalContext) -> Any:
+    left = evaluate(node.left, context)
+    if left is False:
+        return False
+    right = evaluate(node.right, context)
+    if right is False:
+        return False
+    if left is None or right is None:
+        return None
+    _require_bool("AND", left)
+    _require_bool("AND", right)
+    return True
+
+
+def _kleene_or(node: BinaryOp, context: EvalContext) -> Any:
+    left = evaluate(node.left, context)
+    if left is True:
+        return True
+    right = evaluate(node.right, context)
+    if right is True:
+        return True
+    if left is None or right is None:
+        return None
+    _require_bool("OR", left)
+    _require_bool("OR", right)
+    return False
+
+
+def _require_bool(operator: str, value: Any) -> None:
+    if not isinstance(value, bool):
+        raise TypeMismatchError(f"{operator} requires boolean operands, got {value!r}")
+
+
+def _compare(operator: str, left: Any, right: Any) -> Any:
+    if left is None or right is None:
+        return None
+    if is_numeric(left) and is_numeric(right):
+        pass  # numbers compare across int/float freely
+    elif isinstance(left, bool) and isinstance(right, bool):
+        pass
+    elif isinstance(left, str) and isinstance(right, str):
+        pass
+    else:
+        raise TypeMismatchError(f"cannot compare {left!r} with {right!r}")
+    if operator == "=":
+        return left == right
+    if operator == "<>":
+        return left != right
+    if operator == "<":
+        return left < right
+    if operator == "<=":
+        return left <= right
+    if operator == ">":
+        return left > right
+    if operator == ">=":
+        return left >= right
+    raise ExecutionError(f"unknown comparison operator {operator!r}")
+
+
+def _arithmetic(operator: str, left: Any, right: Any) -> Any:
+    if left is None or right is None:
+        return None
+    if not is_numeric(left) or not is_numeric(right):
+        raise TypeMismatchError(
+            f"arithmetic {operator} requires numbers, got {left!r} and {right!r}"
+        )
+    if operator == "+":
+        return left + right
+    if operator == "-":
+        return left - right
+    if operator == "*":
+        return left * right
+    if operator == "/":
+        if right == 0:
+            raise ExecutionError("division by zero")
+        if isinstance(left, int) and isinstance(right, int):
+            # SQL-style integer division truncates toward zero.
+            quotient = abs(left) // abs(right)
+            return quotient if (left >= 0) == (right >= 0) else -quotient
+        return left / right
+    if operator == "%":
+        if right == 0:
+            raise ExecutionError("modulo by zero")
+        return left % right
+    raise ExecutionError(f"unknown arithmetic operator {operator!r}")
+
+
+def _evaluate_call(node: FunctionCall, context: EvalContext) -> Any:
+    if node.star:
+        raise ExecutionError(f"{node.name}(*) is only valid as an aggregate")
+    function = context.lookup_function(node.name)
+    args = [evaluate(arg, context) for arg in node.args]
+    return function(*args)
+
+
+def _evaluate_case(node: CaseWhen, context: EvalContext) -> Any:
+    for condition, value in node.branches:
+        if is_true(evaluate(condition, context)):
+            return evaluate(value, context)
+    if node.otherwise is not None:
+        return evaluate(node.otherwise, context)
+    return None
+
+
+def _evaluate_in(node: InList, context: EvalContext) -> Any:
+    value = evaluate(node.operand, context)
+    if value is None:
+        return None
+    saw_null = False
+    for item in node.items:
+        candidate = evaluate(item, context)
+        if candidate is None:
+            saw_null = True
+            continue
+        comparison = _compare("=", value, candidate)
+        if comparison is True:
+            return False if node.negated else True
+    if saw_null:
+        return None
+    return True if node.negated else False
+
+
+def _evaluate_between(node: Between, context: EvalContext) -> Any:
+    value = evaluate(node.operand, context)
+    low = evaluate(node.low, context)
+    high = evaluate(node.high, context)
+    if value is None or low is None or high is None:
+        return None
+    above = _compare(">=", value, low)
+    below = _compare("<=", value, high)
+    result = above is True and below is True
+    return (not result) if node.negated else result
+
+
+def _evaluate_like(node: Like, context: EvalContext) -> Any:
+    value = evaluate(node.operand, context)
+    pattern = evaluate(node.pattern, context)
+    if value is None or pattern is None:
+        return None
+    if not isinstance(value, str) or not isinstance(pattern, str):
+        raise TypeMismatchError("LIKE requires text operands")
+    regex = _like_to_regex(pattern)
+    matched = regex.fullmatch(value) is not None
+    return (not matched) if node.negated else matched
+
+
+def _like_to_regex(pattern: str) -> re.Pattern[str]:
+    pieces: list[str] = []
+    for ch in pattern:
+        if ch == "%":
+            pieces.append(".*")
+        elif ch == "_":
+            pieces.append(".")
+        else:
+            pieces.append(re.escape(ch))
+    return re.compile("".join(pieces), re.DOTALL)
+
+
+def collect_columns(expression: Expression) -> set[str]:
+    """Names of all columns referenced by ``expression`` (lowercased,
+    qualified form when a qualifier is present)."""
+    found: set[str] = set()
+    _walk_columns(expression, found)
+    return found
+
+
+def _walk_columns(expression: Expression, found: set[str]) -> None:
+    if isinstance(expression, ColumnRef):
+        if expression.qualifier:
+            found.add(f"{expression.qualifier}.{expression.name}".lower())
+        else:
+            found.add(expression.name.lower())
+    elif isinstance(expression, UnaryOp):
+        _walk_columns(expression.operand, found)
+    elif isinstance(expression, BinaryOp):
+        _walk_columns(expression.left, found)
+        _walk_columns(expression.right, found)
+    elif isinstance(expression, FunctionCall):
+        for arg in expression.args:
+            _walk_columns(arg, found)
+    elif isinstance(expression, CaseWhen):
+        for condition, value in expression.branches:
+            _walk_columns(condition, found)
+            _walk_columns(value, found)
+        if expression.otherwise is not None:
+            _walk_columns(expression.otherwise, found)
+    elif isinstance(expression, Cast):
+        _walk_columns(expression.operand, found)
+    elif isinstance(expression, InList):
+        _walk_columns(expression.operand, found)
+        for item in expression.items:
+            _walk_columns(item, found)
+    elif isinstance(expression, Between):
+        _walk_columns(expression.operand, found)
+        _walk_columns(expression.low, found)
+        _walk_columns(expression.high, found)
+    elif isinstance(expression, (IsNull, Like)):
+        _walk_columns(expression.operand, found)
+        if isinstance(expression, Like):
+            _walk_columns(expression.pattern, found)
+
+
+def collect_variables(expression: Expression) -> set[str]:
+    """Names of all ``@variables`` referenced by ``expression`` (lowercase)."""
+    found: set[str] = set()
+    _walk_variables(expression, found)
+    return found
+
+
+def _walk_variables(expression: Expression, found: set[str]) -> None:
+    if isinstance(expression, Variable):
+        found.add(expression.name.lower())
+    elif isinstance(expression, UnaryOp):
+        _walk_variables(expression.operand, found)
+    elif isinstance(expression, BinaryOp):
+        _walk_variables(expression.left, found)
+        _walk_variables(expression.right, found)
+    elif isinstance(expression, FunctionCall):
+        for arg in expression.args:
+            _walk_variables(arg, found)
+    elif isinstance(expression, CaseWhen):
+        for condition, value in expression.branches:
+            _walk_variables(condition, found)
+            _walk_variables(value, found)
+        if expression.otherwise is not None:
+            _walk_variables(expression.otherwise, found)
+    elif isinstance(expression, Cast):
+        _walk_variables(expression.operand, found)
+    elif isinstance(expression, InList):
+        _walk_variables(expression.operand, found)
+        for item in expression.items:
+            _walk_variables(item, found)
+    elif isinstance(expression, Between):
+        _walk_variables(expression.operand, found)
+        _walk_variables(expression.low, found)
+        _walk_variables(expression.high, found)
+    elif isinstance(expression, (IsNull, Like)):
+        _walk_variables(expression.operand, found)
+        if isinstance(expression, Like):
+            _walk_variables(expression.pattern, found)

@@ -1,0 +1,208 @@
+"""Built-in scalar functions for the SQL engine.
+
+All functions follow SQL NULL conventions: any NULL argument yields NULL,
+except where SQL semantics say otherwise (``COALESCE``, ``NULLIF``,
+``ISNULL``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable
+
+from repro.errors import ExecutionError, TypeMismatchError
+from repro.sqldb.types import is_numeric
+
+
+def _require_number(name: str, value: Any) -> None:
+    if not is_numeric(value):
+        raise TypeMismatchError(f"{name} requires a numeric argument, got {value!r}")
+
+
+def _require_text(name: str, value: Any) -> None:
+    if not isinstance(value, str):
+        raise TypeMismatchError(f"{name} requires a text argument, got {value!r}")
+
+
+def _null_passthrough(name: str, fn: Callable[..., Any]) -> Callable[..., Any]:
+    def wrapped(*args: Any) -> Any:
+        if any(arg is None for arg in args):
+            return None
+        return fn(*args)
+
+    wrapped.__name__ = name
+    return wrapped
+
+
+def _sql_abs(value: Any) -> Any:
+    _require_number("ABS", value)
+    return abs(value)
+
+
+def _sql_round(value: Any, digits: Any = 0) -> Any:
+    _require_number("ROUND", value)
+    _require_number("ROUND", digits)
+    result = round(float(value), int(digits))
+    return result if int(digits) > 0 else float(result)
+
+
+def _sql_floor(value: Any) -> Any:
+    _require_number("FLOOR", value)
+    return int(math.floor(value))
+
+
+def _sql_ceiling(value: Any) -> Any:
+    _require_number("CEILING", value)
+    return int(math.ceil(value))
+
+
+def _sql_sqrt(value: Any) -> Any:
+    _require_number("SQRT", value)
+    if value < 0:
+        raise ExecutionError(f"SQRT of negative value {value!r}")
+    return math.sqrt(value)
+
+
+def _sql_power(base: Any, exponent: Any) -> Any:
+    _require_number("POWER", base)
+    _require_number("POWER", exponent)
+    return float(base) ** float(exponent)
+
+
+def _sql_exp(value: Any) -> Any:
+    _require_number("EXP", value)
+    return math.exp(value)
+
+
+def _sql_log(value: Any) -> Any:
+    _require_number("LOG", value)
+    if value <= 0:
+        raise ExecutionError(f"LOG of non-positive value {value!r}")
+    return math.log(value)
+
+
+def _sql_sign(value: Any) -> Any:
+    _require_number("SIGN", value)
+    if value > 0:
+        return 1
+    if value < 0:
+        return -1
+    return 0
+
+def _sql_mod(value: Any, divisor: Any) -> Any:
+    _require_number("MOD", value)
+    _require_number("MOD", divisor)
+    if divisor == 0:
+        raise ExecutionError("MOD by zero")
+    return value % divisor
+
+
+def _sql_upper(value: Any) -> Any:
+    _require_text("UPPER", value)
+    return value.upper()
+
+
+def _sql_lower(value: Any) -> Any:
+    _require_text("LOWER", value)
+    return value.lower()
+
+
+def _sql_length(value: Any) -> Any:
+    _require_text("LENGTH", value)
+    return len(value)
+
+
+def _sql_substring(value: Any, start: Any, length: Any) -> Any:
+    _require_text("SUBSTRING", value)
+    _require_number("SUBSTRING", start)
+    _require_number("SUBSTRING", length)
+    begin = max(int(start) - 1, 0)  # SQL SUBSTRING is 1-based
+    return value[begin : begin + int(length)]
+
+
+def _sql_trim(value: Any) -> Any:
+    _require_text("TRIM", value)
+    return value.strip()
+
+
+def _sql_replace(value: Any, old: Any, new: Any) -> Any:
+    _require_text("REPLACE", value)
+    _require_text("REPLACE", old)
+    _require_text("REPLACE", new)
+    return value.replace(old, new)
+
+
+def _sql_concat(*args: Any) -> Any:
+    # TSQL CONCAT treats NULL as empty string (unlike ||).
+    pieces = []
+    for arg in args:
+        if arg is None:
+            continue
+        pieces.append(arg if isinstance(arg, str) else str(arg))
+    return "".join(pieces)
+
+
+def _sql_coalesce(*args: Any) -> Any:
+    for arg in args:
+        if arg is not None:
+            return arg
+    return None
+
+
+def _sql_nullif(left: Any, right: Any) -> Any:
+    if left is not None and right is not None and left == right:
+        return None
+    return left
+
+
+def _sql_isnull(value: Any, fallback: Any) -> Any:
+    return fallback if value is None else value
+
+
+def _sql_least(*args: Any) -> Any:
+    present = [arg for arg in args if arg is not None]
+    if not present:
+        return None
+    return min(present)
+
+
+def _sql_greatest(*args: Any) -> Any:
+    present = [arg for arg in args if arg is not None]
+    if not present:
+        return None
+    return max(present)
+
+
+def builtin_scalar_functions() -> dict[str, Callable[..., Any]]:
+    """Return the default scalar-function registry (lowercase names)."""
+    passthrough = {
+        "abs": _sql_abs,
+        "round": _sql_round,
+        "floor": _sql_floor,
+        "ceiling": _sql_ceiling,
+        "ceil": _sql_ceiling,
+        "sqrt": _sql_sqrt,
+        "power": _sql_power,
+        "exp": _sql_exp,
+        "log": _sql_log,
+        "sign": _sql_sign,
+        "mod": _sql_mod,
+        "upper": _sql_upper,
+        "lower": _sql_lower,
+        "length": _sql_length,
+        "len": _sql_length,
+        "substring": _sql_substring,
+        "trim": _sql_trim,
+        "replace": _sql_replace,
+    }
+    registry: dict[str, Callable[..., Any]] = {
+        name: _null_passthrough(name, fn) for name, fn in passthrough.items()
+    }
+    # NULL-aware functions are registered unwrapped.
+    registry["concat"] = _sql_concat
+    registry["coalesce"] = _sql_coalesce
+    registry["nullif"] = _sql_nullif
+    registry["isnull"] = _sql_isnull
+    registry["least"] = _sql_least
+    registry["greatest"] = _sql_greatest
+    return registry

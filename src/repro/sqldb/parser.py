@@ -1,0 +1,594 @@
+"""Recursive-descent SQL parser.
+
+Parses the subset of (T)SQL that the Fuzzy Prophet Query Generator emits and
+that users write in scenario definitions: SELECT with joins, grouping,
+ordering and ``INTO``; CREATE TABLE; INSERT (VALUES and SELECT forms);
+UPDATE; DELETE; DROP TABLE. Expression grammar covers arithmetic,
+comparisons, boolean logic, CASE, CAST, IN, BETWEEN, LIKE, IS NULL, scalar
+and aggregate function calls, ``@variables``, and table-generating function
+sources in FROM.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ParseError
+from repro.sqldb.ast_nodes import (
+    Between,
+    BinaryOp,
+    CaseWhen,
+    Cast,
+    ColumnDef,
+    ColumnRef,
+    CreateTable,
+    Delete,
+    DropTable,
+    Expression,
+    FromSource,
+    FunctionCall,
+    InList,
+    InsertSelect,
+    InsertValues,
+    IsNull,
+    Join,
+    Like,
+    Literal,
+    OrderItem,
+    Script,
+    Select,
+    SelectItem,
+    Statement,
+    SubquerySource,
+    TableFunctionSource,
+    TableSource,
+    UnaryOp,
+    Update,
+    Variable,
+)
+from repro.sqldb.tokenizer import tokenize
+from repro.sqldb.tokens import Token, TokenType
+
+#: Words that terminate a FROM-source alias position (so ``FROM t WHERE``
+#: does not read WHERE as the alias).
+_CLAUSE_KEYWORDS = frozenset(
+    {
+        "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "OFFSET", "JOIN",
+        "INNER", "LEFT", "RIGHT", "CROSS", "ON", "UNION", "INTO", "SET",
+        "VALUES", "AND", "OR", "WHEN", "THEN", "ELSE", "END", "AS",
+    }
+)
+
+
+def parse_statement(text: str) -> Statement:
+    """Parse exactly one statement (a trailing ``;`` is allowed)."""
+    parser = _Parser(tokenize(text), text)
+    statement = parser.statement()
+    parser.skip_semicolons()
+    parser.expect_eof()
+    return statement
+
+
+def parse_script(text: str) -> Script:
+    """Parse a ``;``-separated sequence of statements."""
+    parser = _Parser(tokenize(text), text)
+    statements: list[Statement] = []
+    parser.skip_semicolons()
+    while not parser.at_eof():
+        statements.append(parser.statement())
+        parser.skip_semicolons()
+    return Script(tuple(statements))
+
+
+def parse_expression(text: str) -> Expression:
+    """Parse a standalone expression (used by the DSL and tests)."""
+    parser = _Parser(tokenize(text), text)
+    expression = parser.expression()
+    parser.expect_eof()
+    return expression
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], text: str) -> None:
+        self._tokens = tokens
+        self._text = text
+        self._pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        index = min(self._pos + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token.type != TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def at_eof(self) -> bool:
+        return self.peek().type == TokenType.EOF
+
+    def error(self, message: str) -> ParseError:
+        token = self.peek()
+        return ParseError(f"{message}, found {token.describe()} at position {token.position}")
+
+    def accept_keyword(self, *words: str) -> bool:
+        if self.peek().matches_keyword(*words):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            raise self.error(f"expected {word}")
+
+    def accept_punct(self, char: str) -> bool:
+        if self.peek().matches_punct(char):
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, char: str) -> None:
+        if not self.accept_punct(char):
+            raise self.error(f"expected {char!r}")
+
+    def expect_identifier(self) -> str:
+        token = self.peek()
+        if token.type == TokenType.IDENTIFIER:
+            self.advance()
+            return str(token.value)
+        # Allow non-reserved-sounding keywords (MIN/MAX...) as identifiers
+        # where an identifier is mandatory, e.g. a column named "max".
+        if token.type == TokenType.KEYWORD and token.value in ("MIN", "MAX", "KEY"):
+            self.advance()
+            return str(token.value).lower()
+        raise self.error("expected identifier")
+
+    def expect_eof(self) -> None:
+        if not self.at_eof():
+            raise self.error("expected end of input")
+
+    def skip_semicolons(self) -> None:
+        while self.accept_punct(";"):
+            pass
+
+    # -- statements ---------------------------------------------------------
+
+    def statement(self) -> Statement:
+        token = self.peek()
+        if token.matches_keyword("SELECT"):
+            return self.select()
+        if token.matches_keyword("CREATE"):
+            return self.create_table()
+        if token.matches_keyword("INSERT"):
+            return self.insert()
+        if token.matches_keyword("DROP"):
+            return self.drop_table()
+        if token.matches_keyword("DELETE"):
+            return self.delete()
+        if token.matches_keyword("UPDATE"):
+            return self.update()
+        raise self.error("expected a statement")
+
+    def select(self) -> Select:
+        self.expect_keyword("SELECT")
+        distinct = bool(self.accept_keyword("DISTINCT"))
+        items = [self.select_item()]
+        while self.accept_punct(","):
+            items.append(self.select_item())
+
+        into: Optional[str] = None
+        if self.accept_keyword("INTO"):
+            into = self.expect_identifier()
+
+        source: Optional[FromSource] = None
+        joins: list[Join] = []
+        if self.accept_keyword("FROM"):
+            source = self.from_source()
+            while True:
+                join = self.maybe_join()
+                if join is None:
+                    break
+                joins.append(join)
+
+        where = self.expression() if self.accept_keyword("WHERE") else None
+
+        group_by: list[Expression] = []
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by.append(self.expression())
+            while self.accept_punct(","):
+                group_by.append(self.expression())
+
+        having = self.expression() if self.accept_keyword("HAVING") else None
+
+        order_by: list[OrderItem] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by.append(self.order_item())
+            while self.accept_punct(","):
+                order_by.append(self.order_item())
+
+        limit: Optional[int] = None
+        offset: Optional[int] = None
+        if self.accept_keyword("LIMIT"):
+            limit = self.integer_literal()
+        if self.accept_keyword("OFFSET"):
+            offset = self.integer_literal()
+
+        return Select(
+            items=tuple(items),
+            source=source,
+            joins=tuple(joins),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            offset=offset,
+            distinct=distinct,
+            into=into,
+        )
+
+    def select_item(self) -> SelectItem:
+        if self.peek().matches_operator("*"):
+            self.advance()
+            return SelectItem(expression=None, star=True)
+        expression = self.expression()
+        alias: Optional[str] = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_identifier()
+        elif self.peek().type == TokenType.IDENTIFIER:
+            alias = self.expect_identifier()
+        return SelectItem(expression=expression, alias=alias)
+
+    def order_item(self) -> OrderItem:
+        expression = self.expression()
+        descending = False
+        if self.accept_keyword("DESC"):
+            descending = True
+        else:
+            self.accept_keyword("ASC")
+        return OrderItem(expression=expression, descending=descending)
+
+    def integer_literal(self) -> int:
+        token = self.peek()
+        if token.type != TokenType.INTEGER:
+            raise self.error("expected integer literal")
+        self.advance()
+        return int(token.value)
+
+    def from_source(self) -> FromSource:
+        if self.accept_punct("("):
+            query = self.select()
+            self.expect_punct(")")
+            self.accept_keyword("AS")
+            alias = self.expect_identifier()
+            return SubquerySource(query=query, alias=alias)
+        name = self.expect_identifier()
+        if self.peek().matches_punct("("):
+            self.advance()
+            args: list[Expression] = []
+            if not self.peek().matches_punct(")"):
+                args.append(self.expression())
+                while self.accept_punct(","):
+                    args.append(self.expression())
+            self.expect_punct(")")
+            alias = self.maybe_alias()
+            return TableFunctionSource(name=name, args=tuple(args), alias=alias)
+        alias = self.maybe_alias()
+        return TableSource(name=name, alias=alias)
+
+    def maybe_alias(self) -> Optional[str]:
+        if self.accept_keyword("AS"):
+            return self.expect_identifier()
+        token = self.peek()
+        if token.type == TokenType.IDENTIFIER:
+            return self.expect_identifier()
+        return None
+
+    def maybe_join(self) -> Optional[Join]:
+        token = self.peek()
+        if token.matches_keyword("JOIN") or token.matches_keyword("INNER"):
+            self.accept_keyword("INNER")
+            self.expect_keyword("JOIN")
+            source = self.from_source()
+            self.expect_keyword("ON")
+            condition = self.expression()
+            return Join(kind="INNER", source=source, condition=condition)
+        if token.matches_keyword("LEFT"):
+            self.advance()
+            self.accept_keyword("OUTER")
+            self.expect_keyword("JOIN")
+            source = self.from_source()
+            self.expect_keyword("ON")
+            condition = self.expression()
+            return Join(kind="LEFT", source=source, condition=condition)
+        if token.matches_keyword("CROSS"):
+            self.advance()
+            self.expect_keyword("JOIN")
+            source = self.from_source()
+            return Join(kind="CROSS", source=source, condition=None)
+        return None
+
+    def create_table(self) -> CreateTable:
+        self.expect_keyword("CREATE")
+        self.expect_keyword("TABLE")
+        name = self.expect_identifier()
+        self.expect_punct("(")
+        columns = [self.column_def()]
+        while self.accept_punct(","):
+            columns.append(self.column_def())
+        self.expect_punct(")")
+        return CreateTable(name=name, columns=tuple(columns))
+
+    def column_def(self) -> ColumnDef:
+        name = self.expect_identifier()
+        type_name = self.expect_identifier() if self.peek().type == TokenType.IDENTIFIER else None
+        if type_name is None:
+            raise self.error("expected column type")
+        nullable = True
+        if self.accept_keyword("NOT"):
+            self.expect_keyword("NULL")
+            nullable = False
+        elif self.accept_keyword("NULL"):
+            nullable = True
+        # Tolerate PRIMARY KEY (ignored; the engine has no index layer).
+        if self.accept_keyword("PRIMARY"):
+            self.expect_keyword("KEY")
+        return ColumnDef(name=name, type_name=type_name, nullable=nullable)
+
+    def insert(self) -> Statement:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.expect_identifier()
+        columns: list[str] = []
+        if self.peek().matches_punct("("):
+            self.advance()
+            columns.append(self.expect_identifier())
+            while self.accept_punct(","):
+                columns.append(self.expect_identifier())
+            self.expect_punct(")")
+        if self.accept_keyword("VALUES"):
+            rows: list[tuple[Expression, ...]] = []
+            rows.append(self.value_row())
+            while self.accept_punct(","):
+                rows.append(self.value_row())
+            return InsertValues(table=table, columns=tuple(columns), rows=tuple(rows))
+        if self.peek().matches_keyword("SELECT"):
+            query = self.select()
+            return InsertSelect(table=table, columns=tuple(columns), query=query)
+        raise self.error("expected VALUES or SELECT after INSERT INTO")
+
+    def value_row(self) -> tuple[Expression, ...]:
+        self.expect_punct("(")
+        values = [self.expression()]
+        while self.accept_punct(","):
+            values.append(self.expression())
+        self.expect_punct(")")
+        return tuple(values)
+
+    def drop_table(self) -> DropTable:
+        self.expect_keyword("DROP")
+        self.expect_keyword("TABLE")
+        if_exists = False
+        if self.accept_keyword("IF"):
+            self.expect_keyword("EXISTS")
+            if_exists = True
+        name = self.expect_identifier()
+        return DropTable(name=name, if_exists=if_exists)
+
+    def delete(self) -> Delete:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.expect_identifier()
+        where = self.expression() if self.accept_keyword("WHERE") else None
+        return Delete(table=table, where=where)
+
+    def update(self) -> Update:
+        self.expect_keyword("UPDATE")
+        table = self.expect_identifier()
+        self.expect_keyword("SET")
+        assignments = [self.assignment()]
+        while self.accept_punct(","):
+            assignments.append(self.assignment())
+        where = self.expression() if self.accept_keyword("WHERE") else None
+        return Update(table=table, assignments=tuple(assignments), where=where)
+
+    def assignment(self) -> tuple[str, Expression]:
+        name = self.expect_identifier()
+        if not self.peek().matches_operator("="):
+            raise self.error("expected '=' in assignment")
+        self.advance()
+        return name, self.expression()
+
+    # -- expressions ---------------------------------------------------------
+    #
+    # Precedence (loosest to tightest):
+    #   OR < AND < NOT < comparison/IN/BETWEEN/LIKE/IS < +- < */% < unary -
+
+    def expression(self) -> Expression:
+        return self.or_expression()
+
+    def or_expression(self) -> Expression:
+        left = self.and_expression()
+        while self.accept_keyword("OR"):
+            right = self.and_expression()
+            left = BinaryOp("OR", left, right)
+        return left
+
+    def and_expression(self) -> Expression:
+        left = self.not_expression()
+        while self.accept_keyword("AND"):
+            right = self.not_expression()
+            left = BinaryOp("AND", left, right)
+        return left
+
+    def not_expression(self) -> Expression:
+        if self.accept_keyword("NOT"):
+            return UnaryOp("NOT", self.not_expression())
+        return self.comparison()
+
+    def comparison(self) -> Expression:
+        left = self.additive()
+        token = self.peek()
+        if token.matches_operator("=", "<>", "!=", "<", "<=", ">", ">="):
+            self.advance()
+            operator = "<>" if token.value == "!=" else str(token.value)
+            right = self.additive()
+            return BinaryOp(operator, left, right)
+        negated = False
+        if token.matches_keyword("NOT"):
+            lookahead = self.peek(1)
+            if lookahead.matches_keyword("IN", "BETWEEN", "LIKE"):
+                self.advance()
+                negated = True
+                token = self.peek()
+        if token.matches_keyword("IN"):
+            self.advance()
+            self.expect_punct("(")
+            items = [self.expression()]
+            while self.accept_punct(","):
+                items.append(self.expression())
+            self.expect_punct(")")
+            return InList(operand=left, items=tuple(items), negated=negated)
+        if token.matches_keyword("BETWEEN"):
+            self.advance()
+            low = self.additive()
+            self.expect_keyword("AND")
+            high = self.additive()
+            return Between(operand=left, low=low, high=high, negated=negated)
+        if token.matches_keyword("LIKE"):
+            self.advance()
+            pattern = self.additive()
+            return Like(operand=left, pattern=pattern, negated=negated)
+        if token.matches_keyword("IS"):
+            self.advance()
+            is_negated = bool(self.accept_keyword("NOT"))
+            self.expect_keyword("NULL")
+            return IsNull(operand=left, negated=is_negated)
+        return left
+
+    def additive(self) -> Expression:
+        left = self.multiplicative()
+        while True:
+            token = self.peek()
+            if token.matches_operator("+", "-", "||"):
+                self.advance()
+                right = self.multiplicative()
+                left = BinaryOp(str(token.value), left, right)
+            else:
+                return left
+
+    def multiplicative(self) -> Expression:
+        left = self.unary()
+        while True:
+            token = self.peek()
+            if token.matches_operator("*", "/", "%"):
+                self.advance()
+                right = self.unary()
+                left = BinaryOp(str(token.value), left, right)
+            else:
+                return left
+
+    def unary(self) -> Expression:
+        token = self.peek()
+        if token.matches_operator("-", "+"):
+            self.advance()
+            return UnaryOp(str(token.value), self.unary())
+        return self.primary()
+
+    def primary(self) -> Expression:
+        token = self.peek()
+        if token.type == TokenType.INTEGER or token.type == TokenType.FLOAT:
+            self.advance()
+            return Literal(token.value)
+        if token.type == TokenType.STRING:
+            self.advance()
+            return Literal(token.value)
+        if token.matches_keyword("NULL"):
+            self.advance()
+            return Literal(None)
+        if token.matches_keyword("TRUE"):
+            self.advance()
+            return Literal(True)
+        if token.matches_keyword("FALSE"):
+            self.advance()
+            return Literal(False)
+        if token.type == TokenType.VARIABLE:
+            self.advance()
+            return Variable(str(token.value))
+        if token.matches_keyword("CASE"):
+            return self.case_when()
+        if token.matches_keyword("CAST"):
+            return self.cast()
+        if token.matches_keyword("EXPECT", "EXPECT_STDDEV"):
+            # Fuzzy Prophet aggregate keywords behave like functions:
+            # EXPECT overload  /  EXPECT_STDDEV demand
+            self.advance()
+            operand = self.unary()
+            return FunctionCall(name=str(token.value), args=(operand,))
+        if token.matches_keyword("MIN", "MAX"):
+            # MIN/MAX are keywords (used by OPTIMIZE) but also aggregates.
+            if self.peek(1).matches_punct("("):
+                self.advance()
+                return self.call_arguments(str(token.value))
+        if self.accept_punct("("):
+            inner = self.expression()
+            self.expect_punct(")")
+            return inner
+        if token.type == TokenType.IDENTIFIER:
+            self.advance()
+            name = str(token.value)
+            if self.peek().matches_punct("("):
+                return self.call_arguments(name)
+            if self.peek().matches_punct(".") and self.peek(1).type in (
+                TokenType.IDENTIFIER,
+                TokenType.KEYWORD,
+            ):
+                self.advance()
+                column = self.expect_identifier()
+                return ColumnRef(name=column, qualifier=name)
+            return ColumnRef(name=name)
+        raise self.error("expected an expression")
+
+    def call_arguments(self, name: str) -> FunctionCall:
+        self.expect_punct("(")
+        if self.peek().matches_operator("*"):
+            self.advance()
+            self.expect_punct(")")
+            return FunctionCall(name=name, star=True)
+        distinct = bool(self.accept_keyword("DISTINCT"))
+        args: list[Expression] = []
+        if not self.peek().matches_punct(")"):
+            args.append(self.expression())
+            while self.accept_punct(","):
+                args.append(self.expression())
+        self.expect_punct(")")
+        return FunctionCall(name=name, args=tuple(args), distinct=distinct)
+
+    def case_when(self) -> CaseWhen:
+        self.expect_keyword("CASE")
+        branches: list[tuple[Expression, Expression]] = []
+        while self.accept_keyword("WHEN"):
+            condition = self.expression()
+            self.expect_keyword("THEN")
+            value = self.expression()
+            branches.append((condition, value))
+        if not branches:
+            raise self.error("CASE requires at least one WHEN branch")
+        otherwise: Optional[Expression] = None
+        if self.accept_keyword("ELSE"):
+            otherwise = self.expression()
+        self.expect_keyword("END")
+        return CaseWhen(branches=tuple(branches), otherwise=otherwise)
+
+    def cast(self) -> Cast:
+        self.expect_keyword("CAST")
+        self.expect_punct("(")
+        operand = self.expression()
+        self.expect_keyword("AS")
+        type_name = self.expect_identifier()
+        self.expect_punct(")")
+        return Cast(operand=operand, type_name=type_name)

@@ -1,0 +1,107 @@
+"""PDB extension: exposing VG-Functions to the SQL engine.
+
+Following MCDB, a VG-Function surfaces in SQL two ways:
+
+* **Scalar form** — ``DemandModel(@_seed, @current, @feature)``: the first
+  argument is the Monte Carlo world seed, the second the component index
+  (the week being simulated), the rest the model arguments. Returns one
+  float. This is the form the paper's Figure 2 scenario uses (with the seed
+  injected by the Query Generator).
+* **Table form** — ``FROM DemandModelT(@_seed, @feature)``: generates the
+  whole vector as rows ``(t, value)``, one per component. This is the form
+  the Query Generator prefers, because it lands every week of a world with
+  one invocation.
+
+Both forms are *pure SQL* on the engine side — no Python objects cross the
+query text. Determinism in ``(seed, args)`` is inherited from the VG layer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import VGFunctionError
+from repro.sqldb.catalog import Catalog
+from repro.sqldb.schema import Column, TableSchema
+from repro.sqldb.table import ResultSet
+from repro.sqldb.types import SqlType
+from repro.vg.base import VGFunction
+from repro.vg.library import VGLibrary
+
+#: Suffix distinguishing the table form from the scalar form in the catalog.
+TABLE_FORM_SUFFIX = "T"
+
+#: Schema of the table form: component index + generated value.
+TABLE_FORM_SCHEMA = TableSchema(
+    (Column("t", SqlType.INTEGER, nullable=False), Column("value", SqlType.FLOAT, nullable=False))
+)
+
+
+def _coerce_seed(value: Any, name: str) -> int:
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise VGFunctionError(f"{name}: first argument must be an integer world seed, got {value!r}")
+    return value
+
+
+def _coerce_component(value: Any, name: str, n_components: int) -> int:
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise VGFunctionError(f"{name}: component index must be an integer, got {value!r}")
+    if not 0 <= value < n_components:
+        raise VGFunctionError(
+            f"{name}: component index {value} out of range [0, {n_components})"
+        )
+    return value
+
+
+def make_scalar_form(function: VGFunction):
+    """Build the scalar SQL adapter ``name(seed, t, *model_args) -> float``."""
+
+    def scalar_form(*sql_args: Any) -> float:
+        expected = 2 + len(function.arg_names)
+        if len(sql_args) != expected:
+            raise VGFunctionError(
+                f"{function.name} scalar form expects {expected} args "
+                f"(seed, t, {', '.join(function.arg_names)}), got {len(sql_args)}"
+            )
+        seed = _coerce_seed(sql_args[0], function.name)
+        component = _coerce_component(sql_args[1], function.name, function.n_components)
+        model_args = tuple(sql_args[2:])
+        vector = function.invoke(seed, model_args)
+        return float(vector[component])
+
+    scalar_form.__name__ = function.name
+    return scalar_form
+
+
+def make_table_form(function: VGFunction):
+    """Build the table SQL adapter ``nameT(seed, *model_args) -> (t, value)``."""
+
+    def table_form(args: tuple[Any, ...], variables: Mapping[str, Any]) -> ResultSet:
+        expected = 1 + len(function.arg_names)
+        if len(args) != expected:
+            raise VGFunctionError(
+                f"{function.name}{TABLE_FORM_SUFFIX} expects {expected} args "
+                f"(seed, {', '.join(function.arg_names)}), got {len(args)}"
+            )
+        seed = _coerce_seed(args[0], function.name)
+        model_args = tuple(args[1:])
+        vector = function.invoke(seed, model_args)
+        rows = [(t, float(value)) for t, value in enumerate(vector)]
+        return ResultSet(schema=TABLE_FORM_SCHEMA, rows=rows)
+
+    table_form.__name__ = function.name + TABLE_FORM_SUFFIX
+    return table_form
+
+
+def register_vg_function(catalog: Catalog, function: VGFunction, *, replace: bool = False) -> None:
+    """Register both SQL forms of ``function`` in ``catalog``."""
+    catalog.register_scalar_function(function.name, make_scalar_form(function), replace=replace)
+    catalog.register_table_function(
+        function.name + TABLE_FORM_SUFFIX, make_table_form(function), replace=replace
+    )
+
+
+def register_library(catalog: Catalog, library: VGLibrary, *, replace: bool = False) -> None:
+    """Register every VG-Function in ``library`` with ``catalog``."""
+    for function in library:
+        register_vg_function(catalog, function, replace=replace)

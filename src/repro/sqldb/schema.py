@@ -1,0 +1,111 @@
+"""Column and table schema descriptions for the mini SQL engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.errors import CatalogError, TypeMismatchError
+from repro.sqldb.types import SqlType, coerce
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single named, typed column.
+
+    ``nullable`` defaults to True; the engine enforces it on insert.
+    """
+
+    name: str
+    sql_type: SqlType
+    nullable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.strip():
+            raise CatalogError("column name must be non-empty")
+
+    def check(self, value: Any) -> Any:
+        """Validate/coerce ``value`` for storage in this column."""
+        if value is None:
+            if not self.nullable:
+                raise TypeMismatchError(f"column {self.name!r} is NOT NULL")
+            return None
+        return coerce(value, self.sql_type)
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """An ordered collection of uniquely named columns."""
+
+    columns: tuple[Column, ...]
+    _index: dict[str, int] = field(init=False, repr=False, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        index: dict[str, int] = {}
+        for position, column in enumerate(self.columns):
+            key = column.name.lower()
+            if key in index:
+                raise CatalogError(f"duplicate column name {column.name!r}")
+            index[key] = position
+        object.__setattr__(self, "_index", index)
+
+    @classmethod
+    def of(cls, *specs: tuple[str, SqlType] | Column) -> "TableSchema":
+        """Build a schema from ``(name, type)`` pairs or Column objects."""
+        columns = []
+        for spec in specs:
+            if isinstance(spec, Column):
+                columns.append(spec)
+            else:
+                name, sql_type = spec
+                columns.append(Column(name, sql_type))
+        return cls(tuple(columns))
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(column.name for column in self.columns)
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self._index
+
+    def position_of(self, name: str) -> int:
+        """Return the index of column ``name`` (case-insensitive)."""
+        try:
+            return self._index[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no such column: {name!r}") from None
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.position_of(name)]
+
+    def check_row(self, row: Iterable[Any]) -> tuple[Any, ...]:
+        """Validate and coerce a full row against this schema."""
+        values = tuple(row)
+        if len(values) != len(self.columns):
+            raise TypeMismatchError(
+                f"row has {len(values)} values, schema has {len(self.columns)} columns"
+            )
+        return tuple(column.check(value) for column, value in zip(self.columns, values))
+
+    def project(self, names: Iterable[str]) -> "TableSchema":
+        """Return a new schema containing only the named columns, in order."""
+        return TableSchema(tuple(self.column(name) for name in names))
+
+    def concat(self, other: "TableSchema", *, prefix_self: str = "", prefix_other: str = "") -> "TableSchema":
+        """Concatenate two schemas (used by joins), optionally prefixing names."""
+
+        def rename(column: Column, prefix: str) -> Column:
+            if not prefix:
+                return column
+            return Column(f"{prefix}.{column.name}", column.sql_type, column.nullable)
+
+        columns = tuple(rename(c, prefix_self) for c in self.columns) + tuple(
+            rename(c, prefix_other) for c in other.columns
+        )
+        return TableSchema(columns)

@@ -1,0 +1,135 @@
+"""In-memory table storage for the mini SQL engine.
+
+Rows are stored as tuples in insertion order. The table offers just enough
+surface for the executor: append, scan, truncate, and bulk load. A small
+``ResultSet`` wrapper carries query output with its schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator
+
+from repro.errors import CatalogError
+from repro.sqldb.schema import TableSchema
+from repro.sqldb.types import format_value
+
+
+class Table:
+    """A named, schema-checked, in-memory relation."""
+
+    def __init__(self, name: str, schema: TableSchema) -> None:
+        if not name or not name.strip():
+            raise CatalogError("table name must be non-empty")
+        self.name = name
+        self.schema = schema
+        self._rows: list[tuple[Any, ...]] = []
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        return iter(self._rows)
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, columns={self.schema.names}, rows={len(self)})"
+
+    @property
+    def rows(self) -> list[tuple[Any, ...]]:
+        """A copy of the stored rows (mutating it does not affect the table)."""
+        return list(self._rows)
+
+    def insert(self, row: Iterable[Any]) -> None:
+        """Validate and append one row."""
+        self._rows.append(self.schema.check_row(row))
+
+    def insert_many(self, rows: Iterable[Iterable[Any]]) -> int:
+        """Validate and append many rows; returns the number inserted."""
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def load_unchecked(self, rows: Iterable[tuple[Any, ...]]) -> int:
+        """Bulk-append pre-validated rows, skipping per-value checks.
+
+        For trusted internal producers only (the executor's ``SELECT INTO``
+        materialization and the Storage Manager's bulk sample loads) — the
+        values there were already produced by the type-checked pipeline.
+        """
+        before = len(self._rows)
+        self._rows.extend(tuple(row) for row in rows)
+        return len(self._rows) - before
+
+    def truncate(self) -> None:
+        """Remove all rows, keeping the schema."""
+        self._rows.clear()
+
+    def replace_rows(self, rows: Iterable[Iterable[Any]]) -> None:
+        """Atomically replace the table contents (used by UPDATE/DELETE)."""
+        checked = [self.schema.check_row(row) for row in rows]
+        self._rows = checked
+
+    def column_values(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        position = self.schema.position_of(name)
+        return [row[position] for row in self._rows]
+
+
+@dataclass
+class ResultSet:
+    """Schema-tagged query output.
+
+    ``rows`` is a plain list of tuples so results stay valid after subsequent
+    statements mutate the source tables.
+    """
+
+    schema: TableSchema
+    rows: list[tuple[Any, ...]]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        return iter(self.rows)
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return self.schema.names
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one output column, in row order."""
+        position = self.schema.position_of(name)
+        return [row[position] for row in self.rows]
+
+    def scalar(self) -> Any:
+        """Return the single value of a 1x1 result (e.g. ``SELECT COUNT(*)``)."""
+        if len(self.rows) != 1 or len(self.schema) != 1:
+            raise CatalogError(
+                f"scalar() requires a 1x1 result, got {len(self.rows)}x{len(self.schema)}"
+            )
+        return self.rows[0][0]
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Rows as dictionaries keyed by column name."""
+        names = self.column_names
+        return [dict(zip(names, row)) for row in self.rows]
+
+    def pretty(self, max_rows: int = 25) -> str:
+        """A fixed-width textual rendering, for examples and debugging."""
+        names = list(self.column_names)
+        shown = self.rows[:max_rows]
+        cells = [[format_value(value) for value in row] for row in shown]
+        widths = [len(name) for name in names]
+        for row in cells:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        header = " | ".join(name.ljust(widths[i]) for i, name in enumerate(names))
+        ruler = "-+-".join("-" * width for width in widths)
+        lines = [header, ruler]
+        for row in cells:
+            lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)

@@ -1,0 +1,156 @@
+"""SQL tokenizer.
+
+Turns SQL (and Fuzzy Prophet DSL) text into a flat token list. The same
+tokenizer serves both the relational engine and the scenario DSL parser —
+the DSL's extra keywords (``DECLARE PARAMETER``, ``GRAPH OVER``...) are
+ordinary keywords here.
+
+Supported lexical forms:
+
+* ``-- line comments`` and ``/* block comments */``
+* single-quoted strings with doubled-quote escaping (``'it''s'``)
+* bracket-quoted identifiers (``[order]``) as in TSQL
+* ``@variables`` (TSQL parameter syntax)
+* integers, decimal floats, scientific notation
+"""
+
+from __future__ import annotations
+
+from repro.errors import TokenizeError
+from repro.sqldb.tokens import KEYWORDS, OPERATORS, PUNCTUATION, Token, TokenType
+
+_WORD_START = frozenset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_WORD_BODY = _WORD_START | frozenset("0123456789$")
+_DIGITS = frozenset("0123456789")
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; always ends with a single EOF token."""
+    tokens: list[Token] = []
+    pos = 0
+    length = len(text)
+    while pos < length:
+        ch = text[pos]
+        if ch in " \t\r\n":
+            pos += 1
+            continue
+        if ch == "-" and text.startswith("--", pos):
+            newline = text.find("\n", pos)
+            pos = length if newline < 0 else newline + 1
+            continue
+        if ch == "/" and text.startswith("/*", pos):
+            end = text.find("*/", pos + 2)
+            if end < 0:
+                raise TokenizeError("unterminated block comment", pos, text)
+            pos = end + 2
+            continue
+        if ch == "'":
+            token, pos = _read_string(text, pos)
+            tokens.append(token)
+            continue
+        if ch == "[":
+            token, pos = _read_bracket_identifier(text, pos)
+            tokens.append(token)
+            continue
+        if ch == "@":
+            token, pos = _read_variable(text, pos)
+            tokens.append(token)
+            continue
+        if ch in _DIGITS or (ch == "." and pos + 1 < length and text[pos + 1] in _DIGITS):
+            token, pos = _read_number(text, pos)
+            tokens.append(token)
+            continue
+        if ch in _WORD_START:
+            token, pos = _read_word(text, pos)
+            tokens.append(token)
+            continue
+        operator = _match_operator(text, pos)
+        if operator is not None:
+            tokens.append(Token(TokenType.OPERATOR, operator, pos))
+            pos += len(operator)
+            continue
+        if ch in PUNCTUATION:
+            tokens.append(Token(TokenType.PUNCT, ch, pos))
+            pos += 1
+            continue
+        raise TokenizeError(f"unexpected character {ch!r}", pos, text)
+    tokens.append(Token(TokenType.EOF, None, length))
+    return tokens
+
+
+def _read_string(text: str, start: int) -> tuple[Token, int]:
+    pos = start + 1
+    pieces: list[str] = []
+    while pos < len(text):
+        ch = text[pos]
+        if ch == "'":
+            if text.startswith("''", pos):
+                pieces.append("'")
+                pos += 2
+                continue
+            return Token(TokenType.STRING, "".join(pieces), start), pos + 1
+        pieces.append(ch)
+        pos += 1
+    raise TokenizeError("unterminated string literal", start, text)
+
+
+def _read_bracket_identifier(text: str, start: int) -> tuple[Token, int]:
+    end = text.find("]", start + 1)
+    if end < 0:
+        raise TokenizeError("unterminated [bracketed] identifier", start, text)
+    name = text[start + 1 : end]
+    if not name:
+        raise TokenizeError("empty [bracketed] identifier", start, text)
+    return Token(TokenType.IDENTIFIER, name, start), end + 1
+
+
+def _read_variable(text: str, start: int) -> tuple[Token, int]:
+    pos = start + 1
+    if pos >= len(text) or text[pos] not in _WORD_START:
+        raise TokenizeError("expected name after '@'", start, text)
+    while pos < len(text) and text[pos] in _WORD_BODY:
+        pos += 1
+    return Token(TokenType.VARIABLE, text[start + 1 : pos], start), pos
+
+
+def _read_number(text: str, start: int) -> tuple[Token, int]:
+    pos = start
+    is_float = False
+    while pos < len(text) and text[pos] in _DIGITS:
+        pos += 1
+    if pos < len(text) and text[pos] == ".":
+        is_float = True
+        pos += 1
+        while pos < len(text) and text[pos] in _DIGITS:
+            pos += 1
+    if pos < len(text) and text[pos] in "eE":
+        peek = pos + 1
+        if peek < len(text) and text[peek] in "+-":
+            peek += 1
+        if peek < len(text) and text[peek] in _DIGITS:
+            is_float = True
+            pos = peek
+            while pos < len(text) and text[pos] in _DIGITS:
+                pos += 1
+    literal = text[start:pos]
+    if is_float:
+        return Token(TokenType.FLOAT, float(literal), start), pos
+    return Token(TokenType.INTEGER, int(literal), start), pos
+
+
+def _read_word(text: str, start: int) -> tuple[Token, int]:
+    pos = start
+    while pos < len(text) and text[pos] in _WORD_BODY:
+        pos += 1
+    word = text[start:pos]
+    upper = word.upper()
+    if upper in KEYWORDS:
+        return Token(TokenType.KEYWORD, upper, start), pos
+    return Token(TokenType.IDENTIFIER, word, start), pos
+
+
+def _match_operator(text: str, pos: int) -> str | None:
+    for operator in OPERATORS:
+        if text.startswith(operator, pos):
+            return operator
+    return None

@@ -1,0 +1,66 @@
+"""Token definitions shared by the SQL tokenizer and parser."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "KEYWORD"
+    IDENTIFIER = "IDENTIFIER"
+    VARIABLE = "VARIABLE"  # TSQL @variable
+    INTEGER = "INTEGER"
+    FLOAT = "FLOAT"
+    STRING = "STRING"
+    OPERATOR = "OPERATOR"
+    PUNCT = "PUNCT"  # ( ) , ; .
+    EOF = "EOF"
+
+
+#: Words treated as keywords by the tokenizer. Everything else that looks
+#: like a word is an identifier. Keywords are uppercased in the token value.
+KEYWORDS: frozenset[str] = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "ASC",
+        "DESC", "LIMIT", "OFFSET", "AS", "AND", "OR", "NOT", "IN", "IS",
+        "NULL", "TRUE", "FALSE", "CASE", "WHEN", "THEN", "ELSE", "END",
+        "BETWEEN", "LIKE", "DISTINCT", "JOIN", "INNER", "LEFT", "RIGHT",
+        "OUTER", "CROSS", "ON", "CREATE", "TABLE", "INSERT", "INTO",
+        "VALUES", "DROP", "DELETE", "UPDATE", "SET", "UNION", "ALL",
+        "EXISTS", "CAST", "DECLARE", "PARAMETER", "RANGE", "TO", "STEP",
+        "GRAPH", "OVER", "EXPECT", "EXPECT_STDDEV", "OPTIMIZE", "FOR",
+        "MAX", "MIN", "WITH", "IF", "PRIMARY", "KEY",
+    }
+)
+
+#: Multi-character operators, longest first so the tokenizer is greedy.
+OPERATORS: tuple[str, ...] = ("<>", "<=", ">=", "!=", "||", "=", "<", ">", "+", "-", "*", "/", "%")
+
+PUNCTUATION: frozenset[str] = frozenset({"(", ")", ",", ";", "."})
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    type: TokenType
+    value: Any
+    position: int
+
+    def matches_keyword(self, *words: str) -> bool:
+        """True when this token is one of the given keywords."""
+        return self.type == TokenType.KEYWORD and self.value in words
+
+    def matches_operator(self, *ops: str) -> bool:
+        return self.type == TokenType.OPERATOR and self.value in ops
+
+    def matches_punct(self, *chars: str) -> bool:
+        return self.type == TokenType.PUNCT and self.value in chars
+
+    def describe(self) -> str:
+        """Human-readable rendering for parse errors."""
+        if self.type == TokenType.EOF:
+            return "end of input"
+        return f"{self.value!r}"

@@ -1,0 +1,153 @@
+"""SQL value types and coercion rules for the mini engine.
+
+The engine supports a deliberately small but honest type system:
+
+* ``INTEGER`` — Python ``int``
+* ``FLOAT`` — Python ``float``
+* ``TEXT`` — Python ``str``
+* ``BOOLEAN`` — Python ``bool``
+* ``NULL`` — Python ``None`` (a value of any type may be NULL)
+
+Three-valued logic is implemented in :mod:`repro.sqldb.expressions`; this
+module owns declaration parsing, runtime type checks, and coercions.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Any
+
+from repro.errors import TypeMismatchError
+
+
+class SqlType(enum.Enum):
+    """Declared type of a table column."""
+
+    INTEGER = "INTEGER"
+    FLOAT = "FLOAT"
+    TEXT = "TEXT"
+    BOOLEAN = "BOOLEAN"
+
+    @classmethod
+    def from_declaration(cls, name: str) -> "SqlType":
+        """Parse a type name as written in ``CREATE TABLE`` statements.
+
+        Accepts common synonyms (``INT``, ``BIGINT``, ``REAL``, ``DOUBLE``,
+        ``VARCHAR``, ``BIT``...) so that generated TSQL-ish text round-trips.
+        """
+        normalized = name.strip().upper()
+        if "(" in normalized:
+            normalized = normalized.split("(", 1)[0].strip()
+        try:
+            return _DECLARATION_SYNONYMS[normalized]
+        except KeyError:
+            raise TypeMismatchError(f"unknown SQL type: {name!r}") from None
+
+    def python_type(self) -> type:
+        """Return the Python runtime type backing this SQL type."""
+        return _PYTHON_TYPES[self]
+
+
+_DECLARATION_SYNONYMS: dict[str, SqlType] = {
+    "INTEGER": SqlType.INTEGER,
+    "INT": SqlType.INTEGER,
+    "BIGINT": SqlType.INTEGER,
+    "SMALLINT": SqlType.INTEGER,
+    "TINYINT": SqlType.INTEGER,
+    "FLOAT": SqlType.FLOAT,
+    "REAL": SqlType.FLOAT,
+    "DOUBLE": SqlType.FLOAT,
+    "DECIMAL": SqlType.FLOAT,
+    "NUMERIC": SqlType.FLOAT,
+    "TEXT": SqlType.TEXT,
+    "VARCHAR": SqlType.TEXT,
+    "NVARCHAR": SqlType.TEXT,
+    "CHAR": SqlType.TEXT,
+    "STRING": SqlType.TEXT,
+    "BOOLEAN": SqlType.BOOLEAN,
+    "BOOL": SqlType.BOOLEAN,
+    "BIT": SqlType.BOOLEAN,
+}
+
+_PYTHON_TYPES: dict[SqlType, type] = {
+    SqlType.INTEGER: int,
+    SqlType.FLOAT: float,
+    SqlType.TEXT: str,
+    SqlType.BOOLEAN: bool,
+}
+
+
+def infer_type(value: Any) -> SqlType | None:
+    """Infer the SQL type of a Python value; ``None`` for SQL NULL.
+
+    Raises :class:`TypeMismatchError` for values outside the supported set.
+    """
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return SqlType.BOOLEAN
+    if isinstance(value, int):
+        return SqlType.INTEGER
+    if isinstance(value, float):
+        return SqlType.FLOAT
+    if isinstance(value, str):
+        return SqlType.TEXT
+    raise TypeMismatchError(
+        f"unsupported Python value for SQL engine: {value!r} ({type(value).__name__})"
+    )
+
+
+def coerce(value: Any, target: SqlType) -> Any:
+    """Coerce ``value`` to ``target``, or raise :class:`TypeMismatchError`.
+
+    NULL passes through unchanged. Numeric widening (int -> float) and
+    narrowing of integral floats (2.0 -> 2) are permitted; everything else is
+    strict — there is no implicit text/number conversion.
+    """
+    if value is None:
+        return None
+    actual = infer_type(value)
+    if actual == target:
+        return value
+    if target == SqlType.FLOAT and actual == SqlType.INTEGER:
+        return float(value)
+    if target == SqlType.INTEGER and actual == SqlType.FLOAT:
+        if math.isfinite(value) and float(value).is_integer():
+            return int(value)
+        raise TypeMismatchError(f"cannot narrow non-integral float {value!r} to INTEGER")
+    if target == SqlType.FLOAT and actual == SqlType.BOOLEAN:
+        return float(value)
+    if target == SqlType.INTEGER and actual == SqlType.BOOLEAN:
+        return int(value)
+    raise TypeMismatchError(f"cannot coerce {value!r} ({actual.value}) to {target.value}")
+
+
+def is_numeric(value: Any) -> bool:
+    """Return True when ``value`` is a non-NULL SQL numeric (int or float)."""
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def common_numeric_type(left: SqlType, right: SqlType) -> SqlType:
+    """Return the widened type for arithmetic over two numeric types."""
+    numeric = (SqlType.INTEGER, SqlType.FLOAT)
+    if left not in numeric or right not in numeric:
+        raise TypeMismatchError(
+            f"arithmetic requires numeric operands, got {left.value} and {right.value}"
+        )
+    if SqlType.FLOAT in (left, right):
+        return SqlType.FLOAT
+    return SqlType.INTEGER
+
+
+def format_value(value: Any) -> str:
+    """Render a SQL value the way result printers display it."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "NaN"
+        return f"{value:g}"
+    return str(value)

@@ -1,0 +1,80 @@
+"""VG-Functions: stochastic black-box generators (the MCDB/PIP idiom).
+
+Public surface:
+
+* :class:`VGFunction`, :class:`SteppedVGFunction`, :class:`CallableVGFunction`
+* primitive distributions (:class:`Normal`, :class:`Poisson`, ...)
+* time-series generators (:class:`GaussianSeries`, :class:`RandomWalk`, ...)
+* combinators (:class:`SumOf`, :class:`MixtureOf`, ...)
+* :class:`VGLibrary` — the per-engine registry
+* seed derivation helpers (:func:`derive_seed`, :func:`world_seed`, ...)
+"""
+
+from repro.vg.base import CallableVGFunction, SteppedVGFunction, VGFunction, as_vg_function
+from repro.vg.composite import (
+    DifferenceOf,
+    MixtureOf,
+    ScaledBy,
+    SumOf,
+    TransformedBy,
+)
+from repro.vg.distributions import (
+    Bernoulli,
+    Constant,
+    Discrete,
+    Distribution,
+    Exponential,
+    LogNormal,
+    Normal,
+    Poisson,
+    Triangular,
+    Uniform,
+)
+from repro.vg.library import VGLibrary
+from repro.vg.seeds import (
+    derive_seed,
+    fingerprint_seeds,
+    rng_for,
+    spawn_streams,
+    world_seed,
+)
+from repro.vg.timeseries import (
+    AR1Series,
+    GaussianSeries,
+    PoissonEventSeries,
+    RandomWalk,
+    SeasonalSeries,
+)
+
+__all__ = [
+    "VGFunction",
+    "SteppedVGFunction",
+    "CallableVGFunction",
+    "as_vg_function",
+    "Distribution",
+    "Normal",
+    "LogNormal",
+    "Uniform",
+    "Exponential",
+    "Poisson",
+    "Bernoulli",
+    "Triangular",
+    "Discrete",
+    "Constant",
+    "GaussianSeries",
+    "RandomWalk",
+    "AR1Series",
+    "SeasonalSeries",
+    "PoissonEventSeries",
+    "SumOf",
+    "DifferenceOf",
+    "ScaledBy",
+    "TransformedBy",
+    "MixtureOf",
+    "VGLibrary",
+    "derive_seed",
+    "rng_for",
+    "world_seed",
+    "fingerprint_seeds",
+    "spawn_streams",
+]

@@ -1,0 +1,216 @@
+"""The VG-Function protocol.
+
+A VG-Function ("variable generation function", the MCDB/PIP idiom the paper
+adopts) is a stochastic black box: given a PRNG seed and a tuple of model
+arguments, it produces a vector of outputs — one value per *component*.
+For time-stepped business models a component is typically one simulated
+week. Determinism given ``(seed, args)`` is part of the contract; it is what
+makes fingerprinting sound.
+
+Two flavours:
+
+* :class:`VGFunction` — arbitrary generator, must implement ``generate``.
+* :class:`SteppedVGFunction` — a Markov-chain simulation exposing its
+  per-step structure (``initial_state`` / ``step`` / ``observe``), which the
+  fingerprint layer can analyze for Markovian shortcuts (paper §2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import VGFunctionError
+from repro.vg.seeds import derive_seed, rng_for
+
+
+class VGFunction:
+    """Base class for VG-Functions.
+
+    Subclasses set :attr:`name`, :attr:`n_components`, and :attr:`arg_names`
+    (the model arguments, excluding seed and component index), then implement
+    :meth:`generate`.
+    """
+
+    #: Registered SQL name of this function.
+    name: str = "vg"
+    #: Number of output components (e.g. weeks simulated).
+    n_components: int = 1
+    #: Names of model arguments, in positional order.
+    arg_names: tuple[str, ...] = ()
+
+    def __init__(self) -> None:
+        self.invocations = 0  # real stochastic generations (benchmark metric)
+        self.component_samples = 0  # components actually simulated
+        self._cache: dict[tuple[int, tuple[Any, ...]], np.ndarray] = {}
+        self._cache_limit = 4096
+
+    # -- contract -------------------------------------------------------------
+
+    def generate(self, seed: int, args: tuple[Any, ...]) -> np.ndarray:
+        """Produce the full output vector for one world. Must be overridden.
+
+        Implementations must be deterministic in ``(seed, args)`` and must
+        route all randomness through ``self.rng(seed, args)`` (or the
+        equivalent seed-derivation helpers).
+        """
+        raise NotImplementedError
+
+    # -- helpers for implementations -------------------------------------------
+
+    def rng(self, seed: int, args: tuple[Any, ...]) -> np.random.Generator:
+        """The canonical generator for one ``(seed, args)`` invocation.
+
+        Note: the stream depends only on ``seed`` and the function name, NOT
+        on ``args``. Using seed-only streams is what creates exploitable
+        correlation between nearby parameter values — the same underlying
+        random events are re-interpreted under different parameters.
+        """
+        return rng_for(derive_seed("vg", self.name, seed))
+
+    def check_args(self, args: tuple[Any, ...]) -> None:
+        if len(args) != len(self.arg_names):
+            raise VGFunctionError(
+                f"{self.name} expects {len(self.arg_names)} args "
+                f"({', '.join(self.arg_names)}), got {len(args)}"
+            )
+
+    # -- instrumented entry points ----------------------------------------------
+
+    def invoke(self, seed: int, args: tuple[Any, ...]) -> np.ndarray:
+        """Generate (with memoization) and count the invocation.
+
+        The memo cache models the fact that within one Monte Carlo world the
+        engine may touch several components of the same generated vector;
+        only genuinely new ``(seed, args)`` pairs count as invocations.
+        """
+        self.check_args(args)
+        key = (seed, tuple(args))
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        vector = np.asarray(self.generate(seed, key[1]), dtype=float)
+        if vector.shape != (self.n_components,):
+            raise VGFunctionError(
+                f"{self.name}.generate returned shape {vector.shape}, "
+                f"expected ({self.n_components},)"
+            )
+        self.invocations += 1
+        self.component_samples += self.n_components
+        if len(self._cache) >= self._cache_limit:
+            self._cache.clear()
+        self._cache[key] = vector
+        return vector
+
+    def invoke_components(
+        self, seed: int, args: tuple[Any, ...], components: Sequence[int]
+    ) -> np.ndarray:
+        """Generate only the requested components.
+
+        The default implementation generates the full vector and slices it
+        (cost accounting still records a full generation). Models that can
+        simulate partially — e.g. a per-week-independent demand model —
+        override :meth:`generate_partial` to make partial recomputation
+        genuinely cheaper, which is where fingerprint savings come from.
+        """
+        indices = np.asarray(list(components), dtype=int)
+        if indices.size == 0:
+            return np.empty(0, dtype=float)
+        partial = self.generate_partial(seed, tuple(args), indices)
+        if partial is not None:
+            self.invocations += 1
+            self.component_samples += int(indices.size)
+            return np.asarray(partial, dtype=float)
+        vector = self.invoke(seed, tuple(args))
+        return vector[indices]
+
+    def generate_partial(
+        self, seed: int, args: tuple[Any, ...], components: np.ndarray
+    ) -> np.ndarray | None:
+        """Optionally produce only ``components``; ``None`` means unsupported."""
+        return None
+
+    def reset_counters(self) -> None:
+        self.invocations = 0
+        self.component_samples = 0
+        self._cache.clear()
+
+    def component_labels(self) -> list[Any]:
+        """Labels for components (default: 0..n-1); models may override."""
+        return list(range(self.n_components))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, n_components={self.n_components})"
+
+
+class SteppedVGFunction(VGFunction):
+    """A VG-Function defined by a Markov chain over its components.
+
+    ``generate`` is derived: start from :meth:`initial_state`, apply
+    :meth:`step` once per component, observe after each step. The state must
+    be a float (scalar chains) — rich-state models should expose the scalar
+    the fingerprint layer should track.
+    """
+
+    def initial_state(self, rng: np.random.Generator, args: tuple[Any, ...]) -> float:
+        raise NotImplementedError
+
+    def step(
+        self, state: float, t: int, rng: np.random.Generator, args: tuple[Any, ...]
+    ) -> float:
+        raise NotImplementedError
+
+    def observe(self, state: float, t: int, args: tuple[Any, ...]) -> float:
+        """Map the chain state to the reported output (default: identity)."""
+        return state
+
+    def generate(self, seed: int, args: tuple[Any, ...]) -> np.ndarray:
+        return self.trace(seed, args)[1]
+
+    def trace(self, seed: int, args: tuple[Any, ...]) -> tuple[np.ndarray, np.ndarray]:
+        """Run the chain, returning ``(states, observations)`` arrays.
+
+        ``states[t]`` is the state *after* step ``t``; both arrays have
+        length :attr:`n_components`. Used by Markov-structure detection.
+        """
+        rng = self.rng(seed, args)
+        state = float(self.initial_state(rng, args))
+        states = np.empty(self.n_components, dtype=float)
+        observations = np.empty(self.n_components, dtype=float)
+        for t in range(self.n_components):
+            state = float(self.step(state, t, rng, args))
+            states[t] = state
+            observations[t] = float(self.observe(state, t, args))
+        return states, observations
+
+
+class CallableVGFunction(VGFunction):
+    """Adapter wrapping a plain callable ``f(rng, args) -> vector``.
+
+    Lets analysts plug in ad-hoc models (the paper's "specialized tools like
+    R" stage) without subclassing.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        n_components: int,
+        arg_names: Sequence[str],
+        fn,
+    ) -> None:
+        self.name = name
+        self.n_components = int(n_components)
+        self.arg_names = tuple(arg_names)
+        self._fn = fn
+        super().__init__()
+
+    def generate(self, seed: int, args: tuple[Any, ...]) -> np.ndarray:
+        return np.asarray(self._fn(self.rng(seed, args), args), dtype=float)
+
+
+def as_vg_function(obj: Any) -> VGFunction:
+    """Coerce ``obj`` to a VGFunction, raising a helpful error otherwise."""
+    if isinstance(obj, VGFunction):
+        return obj
+    raise VGFunctionError(f"expected a VGFunction, got {type(obj).__name__}")

@@ -1,0 +1,64 @@
+"""Named registry of VG-Functions.
+
+One registry instance backs one Prophet engine. Registering a model under an
+existing name with ``replace=True`` implements the paper's "analyst improves
+the model, every scenario picks it up" update path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import VGFunctionError
+from repro.vg.base import VGFunction
+
+
+class VGLibrary:
+    """Case-insensitive name -> VGFunction mapping with counters."""
+
+    def __init__(self) -> None:
+        self._functions: dict[str, VGFunction] = {}
+
+    def register(self, function: VGFunction, *, replace: bool = False) -> VGFunction:
+        key = function.name.lower()
+        if key in self._functions and not replace:
+            raise VGFunctionError(f"VG-Function already registered: {function.name!r}")
+        self._functions[key] = function
+        return function
+
+    def unregister(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._functions:
+            raise VGFunctionError(f"no such VG-Function: {name!r}")
+        del self._functions[key]
+
+    def get(self, name: str) -> VGFunction:
+        try:
+            return self._functions[name.lower()]
+        except KeyError:
+            raise VGFunctionError(f"no such VG-Function: {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._functions
+
+    def __iter__(self) -> Iterator[VGFunction]:
+        return iter(self._functions.values())
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(fn.name for fn in self._functions.values())
+
+    def total_invocations(self) -> int:
+        """Sum of real stochastic generations across all functions."""
+        return sum(fn.invocations for fn in self._functions.values())
+
+    def total_component_samples(self) -> int:
+        """Sum of simulated component-samples across all functions."""
+        return sum(fn.component_samples for fn in self._functions.values())
+
+    def reset_counters(self) -> None:
+        for fn in self._functions.values():
+            fn.reset_counters()

@@ -1,0 +1,186 @@
+"""Time-series VG-Functions: random walks, AR(1), seasonal generators.
+
+These are generic, reusable VG-Functions over a weekly (or any discrete)
+axis. The demo's demand/capacity models in :mod:`repro.models` are built in
+the same style but with business-specific structure.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import VGFunctionError
+from repro.vg.base import SteppedVGFunction, VGFunction
+
+
+class GaussianSeries(VGFunction):
+    """Independent Gaussian per component: ``value[t] ~ N(mu(t), sigma)``.
+
+    ``mu(t) = base + trend * t`` — a linear drift with i.i.d. noise. Because
+    components are independent, partial generation is supported and costs
+    only the requested components.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        n_components: int,
+        base: float,
+        trend: float = 0.0,
+        sigma: float = 1.0,
+    ) -> None:
+        if sigma < 0:
+            raise VGFunctionError(f"sigma must be >= 0, got {sigma}")
+        self.name = name
+        self.n_components = int(n_components)
+        self.arg_names = ()
+        self.base = float(base)
+        self.trend = float(trend)
+        self.sigma = float(sigma)
+        super().__init__()
+
+    def _noise(self, seed: int) -> np.ndarray:
+        # One noise draw per component, independent of args by construction.
+        return self.rng(seed, ()).normal(0.0, 1.0, size=self.n_components)
+
+    def generate(self, seed: int, args: tuple[Any, ...]) -> np.ndarray:
+        t = np.arange(self.n_components, dtype=float)
+        return self.base + self.trend * t + self.sigma * self._noise(seed)
+
+    def generate_partial(
+        self, seed: int, args: tuple[Any, ...], components: np.ndarray
+    ) -> np.ndarray:
+        noise = self._noise(seed)[components]
+        return self.base + self.trend * components.astype(float) + self.sigma * noise
+
+
+class RandomWalk(SteppedVGFunction):
+    """Gaussian random walk: ``x[t] = x[t-1] + N(drift, sigma)``."""
+
+    def __init__(
+        self,
+        name: str,
+        n_components: int,
+        start: float = 0.0,
+        drift: float = 0.0,
+        sigma: float = 1.0,
+    ) -> None:
+        if sigma < 0:
+            raise VGFunctionError(f"sigma must be >= 0, got {sigma}")
+        self.name = name
+        self.n_components = int(n_components)
+        self.arg_names = ()
+        self.start = float(start)
+        self.drift = float(drift)
+        self.sigma = float(sigma)
+        super().__init__()
+
+    def initial_state(self, rng: np.random.Generator, args: tuple[Any, ...]) -> float:
+        return self.start
+
+    def step(
+        self, state: float, t: int, rng: np.random.Generator, args: tuple[Any, ...]
+    ) -> float:
+        return state + rng.normal(self.drift, self.sigma)
+
+
+class AR1Series(SteppedVGFunction):
+    """AR(1): ``x[t] = mu + phi * (x[t-1] - mu) + N(0, sigma)``."""
+
+    def __init__(
+        self,
+        name: str,
+        n_components: int,
+        mu: float = 0.0,
+        phi: float = 0.8,
+        sigma: float = 1.0,
+        start: float | None = None,
+    ) -> None:
+        if not -1.0 < phi < 1.0:
+            raise VGFunctionError(f"AR(1) phi must be in (-1, 1) for stationarity, got {phi}")
+        if sigma < 0:
+            raise VGFunctionError(f"sigma must be >= 0, got {sigma}")
+        self.name = name
+        self.n_components = int(n_components)
+        self.arg_names = ()
+        self.mu = float(mu)
+        self.phi = float(phi)
+        self.sigma = float(sigma)
+        self.start = self.mu if start is None else float(start)
+        super().__init__()
+
+    def initial_state(self, rng: np.random.Generator, args: tuple[Any, ...]) -> float:
+        return self.start
+
+    def step(
+        self, state: float, t: int, rng: np.random.Generator, args: tuple[Any, ...]
+    ) -> float:
+        return self.mu + self.phi * (state - self.mu) + rng.normal(0.0, self.sigma)
+
+
+class SeasonalSeries(VGFunction):
+    """Sinusoidal seasonality plus linear trend and Gaussian noise.
+
+    ``value[t] = base + trend*t + amplitude*sin(2*pi*(t+phase)/period) + noise``
+    """
+
+    def __init__(
+        self,
+        name: str,
+        n_components: int,
+        base: float,
+        amplitude: float,
+        period: float,
+        trend: float = 0.0,
+        phase: float = 0.0,
+        sigma: float = 0.0,
+    ) -> None:
+        if period <= 0:
+            raise VGFunctionError(f"period must be > 0, got {period}")
+        if sigma < 0:
+            raise VGFunctionError(f"sigma must be >= 0, got {sigma}")
+        self.name = name
+        self.n_components = int(n_components)
+        self.arg_names = ()
+        self.base = float(base)
+        self.amplitude = float(amplitude)
+        self.period = float(period)
+        self.trend = float(trend)
+        self.phase = float(phase)
+        self.sigma = float(sigma)
+        super().__init__()
+
+    def generate(self, seed: int, args: tuple[Any, ...]) -> np.ndarray:
+        t = np.arange(self.n_components, dtype=float)
+        seasonal = self.amplitude * np.sin(2.0 * np.pi * (t + self.phase) / self.period)
+        noise = self.rng(seed, args).normal(0.0, self.sigma, size=self.n_components)
+        return self.base + self.trend * t + seasonal + noise
+
+
+class PoissonEventSeries(VGFunction):
+    """Counts of random events per component: ``value[t] ~ Poisson(rate)``.
+
+    Components are independent; supports partial generation.
+    """
+
+    def __init__(self, name: str, n_components: int, rate: float) -> None:
+        if rate < 0:
+            raise VGFunctionError(f"rate must be >= 0, got {rate}")
+        self.name = name
+        self.n_components = int(n_components)
+        self.arg_names = ()
+        self.rate = float(rate)
+        super().__init__()
+
+    def _counts(self, seed: int) -> np.ndarray:
+        return self.rng(seed, ()).poisson(self.rate, size=self.n_components).astype(float)
+
+    def generate(self, seed: int, args: tuple[Any, ...]) -> np.ndarray:
+        return self._counts(seed)
+
+    def generate_partial(
+        self, seed: int, args: tuple[Any, ...], components: np.ndarray
+    ) -> np.ndarray:
+        return self._counts(seed)[components]

@@ -1,0 +1,13 @@
+"""Terminal visualization: online-mode charts and Figure-4 mapping grids."""
+
+from repro.viz.chart import ChartConfig, render_chart, render_sparkline
+from repro.viz.grid import GridSlice, mapping_grid, render_grid
+
+__all__ = [
+    "ChartConfig",
+    "render_chart",
+    "render_sparkline",
+    "GridSlice",
+    "mapping_grid",
+    "render_grid",
+]

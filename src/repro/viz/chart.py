@@ -1,0 +1,107 @@
+"""ASCII line charts — the terminal stand-in for the demo GUI's graph.
+
+Renders multiple series over a shared integer X axis (weeks). Series with
+wildly different scales (overload probability vs. thousands of cores) are
+normalized per series, mirroring the demo GUI's dual Y axes (``y2`` styles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+#: Characters assigned to series, in declaration order.
+_SERIES_MARKS = "o*x+#@%&"
+
+
+@dataclass(frozen=True)
+class ChartConfig:
+    width: int = 72
+    height: int = 16
+
+    def __post_init__(self) -> None:
+        if self.width < 10 or self.height < 4:
+            raise ReproError("chart needs width >= 10 and height >= 4")
+
+
+def render_chart(
+    series: Mapping[str, Sequence[float]],
+    config: ChartConfig | None = None,
+    title: str = "",
+) -> str:
+    """Render named series as an ASCII chart; returns the full text block."""
+    config = config or ChartConfig()
+    if not series:
+        raise ReproError("render_chart needs at least one series")
+    names = list(series)
+    arrays = {name: np.asarray(list(series[name]), dtype=float) for name in names}
+    length = {arr.shape[0] for arr in arrays.values()}
+    if len(length) != 1:
+        raise ReproError(f"series lengths differ: {sorted(length)}")
+    n_points = length.pop()
+    if n_points == 0:
+        raise ReproError("series are empty")
+
+    grid = [[" "] * config.width for _ in range(config.height)]
+    for index, name in enumerate(names):
+        mark = _SERIES_MARKS[index % len(_SERIES_MARKS)]
+        values = arrays[name]
+        finite = values[np.isfinite(values)]
+        if finite.size == 0:
+            continue
+        low, high = float(finite.min()), float(finite.max())
+        span = high - low if high > low else 1.0
+        for point in range(n_points):
+            value = values[point]
+            if not np.isfinite(value):
+                continue
+            column = int(point * (config.width - 1) / max(n_points - 1, 1))
+            row = int((value - low) / span * (config.height - 1))
+            grid[config.height - 1 - row][column] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * config.width)
+    axis_label = f"0{'week'.rjust(config.width // 2)}{str(n_points - 1).rjust(config.width // 2 - 4)}"
+    lines.append(" " + axis_label)
+    legend = []
+    for index, name in enumerate(names):
+        mark = _SERIES_MARKS[index % len(_SERIES_MARKS)]
+        values = arrays[name]
+        finite = values[np.isfinite(values)]
+        lo = f"{finite.min():g}" if finite.size else "?"
+        hi = f"{finite.max():g}" if finite.size else "?"
+        legend.append(f"  {mark} {name} [{lo} .. {hi}]")
+    lines.extend(legend)
+    return "\n".join(lines)
+
+
+def render_sparkline(values: Sequence[float], width: int = 52) -> str:
+    """A one-line sparkline (used in sweep progress displays)."""
+    blocks = " ▁▂▃▄▅▆▇█"
+    data = np.asarray(list(values), dtype=float)
+    finite = data[np.isfinite(data)]
+    if finite.size == 0:
+        return " " * min(width, data.size)
+    low, high = float(finite.min()), float(finite.max())
+    span = high - low if high > low else 1.0
+    if data.size > width:
+        # Downsample by taking block maxima.
+        edges = np.linspace(0, data.size, width + 1).astype(int)
+        data = np.asarray(
+            [np.nanmax(data[a:b]) if b > a else np.nan for a, b in zip(edges, edges[1:])]
+        )
+    chars = []
+    for value in data:
+        if not np.isfinite(value):
+            chars.append(" ")
+            continue
+        level = int((value - low) / span * (len(blocks) - 1))
+        chars.append(blocks[level])
+    return "".join(chars)

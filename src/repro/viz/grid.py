@@ -1,0 +1,113 @@
+"""2D parameter-space exploration grids (paper Figure 4).
+
+Figure 4 visualizes a 2D slice of the parameter space showing which points
+were actually explored (fresh Monte Carlo) and which were *mapped* from
+explored points via fingerprints. :func:`mapping_grid` extracts that slice
+from an offline sweep's records; :func:`render_grid` draws it.
+
+Cell legend: ``F`` fresh simulation, ``M`` fingerprint-mapped, ``E`` exact
+basis hit, ``.`` not visited.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.core.offline import PointRecord
+from repro.core.parameters import ParameterSpace
+
+_SOURCE_CHARS = {"fresh": "F", "mapped": "M", "exact": "E"}
+
+
+@dataclass(frozen=True)
+class GridSlice:
+    """One 2D slice of the exploration state."""
+
+    x_name: str
+    x_values: tuple[Any, ...]
+    y_name: str
+    y_values: tuple[Any, ...]
+    cells: tuple[tuple[str, ...], ...]  # rows (y) of columns (x), chars
+
+    def cell(self, x_value: Any, y_value: Any) -> str:
+        x = self.x_values.index(x_value)
+        y = self.y_values.index(y_value)
+        return self.cells[y][x]
+
+    def counts(self) -> dict[str, int]:
+        counts = {"F": 0, "M": 0, "E": 0, ".": 0}
+        for row in self.cells:
+            for cell in row:
+                counts[cell] = counts.get(cell, 0) + 1
+        return counts
+
+
+def mapping_grid(
+    records: Sequence[PointRecord],
+    space: ParameterSpace,
+    x_name: str,
+    y_name: str,
+    fixed: Optional[Mapping[str, Any]] = None,
+) -> GridSlice:
+    """Build the Figure-4 slice over ``(x_name, y_name)``.
+
+    ``fixed`` pins the remaining parameters (default: the first record's
+    values for them). A record lands in the slice when it matches the pins.
+    """
+    x_key = x_name.lstrip("@").lower()
+    y_key = y_name.lstrip("@").lower()
+    x_parameter = space.parameter(x_key)
+    y_parameter = space.parameter(y_key)
+    if not records:
+        raise ReproError("mapping_grid needs at least one record")
+
+    pins = {k.lstrip("@").lower(): v for k, v in (fixed or {}).items()}
+    for name in space.names:
+        key = name.lower()
+        if key in (x_key, y_key):
+            continue
+        if key not in pins and key in records[0].point:
+            pins[key] = records[0].point[key]
+
+    cells = [["." for _ in x_parameter.values] for _ in y_parameter.values]
+    for record in records:
+        point = record.point
+        if any(point.get(k) != v for k, v in pins.items() if k in point):
+            continue
+        if x_key not in point or y_key not in point:
+            continue
+        x = x_parameter.index_of(point[x_key])
+        y = y_parameter.index_of(point[y_key])
+        cells[y][x] = _SOURCE_CHARS.get(record.dominant_source, "?")
+    return GridSlice(
+        x_name=x_key,
+        x_values=x_parameter.values,
+        y_name=y_key,
+        y_values=y_parameter.values,
+        cells=tuple(tuple(row) for row in cells),
+    )
+
+
+def render_grid(grid_slice: GridSlice, title: str = "") -> str:
+    """Draw the slice with axis labels and a legend."""
+    lines = []
+    if title:
+        lines.append(title)
+    label_width = max(len(str(v)) for v in grid_slice.y_values)
+    header_cells = [str(v) for v in grid_slice.x_values]
+    cell_width = max(max(len(c) for c in header_cells), 1)
+    header = " " * (label_width + 1) + " ".join(c.rjust(cell_width) for c in header_cells)
+    lines.append(f"{' ' * (label_width + 1)}@{grid_slice.x_name} ->")
+    lines.append(header)
+    for y, y_value in enumerate(grid_slice.y_values):
+        row = " ".join(cell.rjust(cell_width) for cell in grid_slice.cells[y])
+        lines.append(f"{str(y_value).rjust(label_width)} {row}")
+    counts = grid_slice.counts()
+    lines.append(
+        f"rows: @{grid_slice.y_name}   "
+        f"F=fresh({counts.get('F', 0)}) M=mapped({counts.get('M', 0)}) "
+        f"E=exact({counts.get('E', 0)}) .=unvisited({counts.get('.', 0)})"
+    )
+    return "\n".join(lines)

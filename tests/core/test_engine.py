@@ -1,0 +1,156 @@
+"""Integration tests for the Prophet engine (the Figure-1 cycle)."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import ProphetConfig, ProphetEngine
+from repro.errors import ParameterError, ScenarioError
+from repro.models import build_risk_vs_cost
+
+POINT = {"purchase1": 16, "purchase2": 32, "feature": 12}
+OTHER = {"purchase1": 32, "purchase2": 32, "feature": 12}
+
+
+@pytest.fixture
+def engine():
+    scenario, library = build_risk_vs_cost(purchase_step=16)
+    return ProphetEngine(scenario, library, ProphetConfig(n_worlds=20))
+
+
+class TestEvaluatePoint:
+    def test_cold_evaluation_is_fresh(self, engine):
+        evaluation = engine.evaluate_point(POINT)
+        assert evaluation.fully_fresh
+        assert evaluation.n_worlds == 20
+        assert set(evaluation.samples) == {"demand", "capacity"}
+        assert evaluation.samples["demand"].shape == (20, 53)
+
+    def test_statistics_cover_axis(self, engine):
+        evaluation = engine.evaluate_point(POINT)
+        stats = evaluation.statistics
+        assert stats.axis_values == tuple(range(53))
+        assert set(stats.aliases()) == {"demand", "capacity", "overload"}
+
+    def test_overload_is_probability(self, engine):
+        stats = engine.evaluate_point(POINT).statistics
+        overload = stats.expectation("overload")
+        assert ((overload >= 0.0) & (overload <= 1.0)).all()
+
+    def test_overload_consistent_with_samples(self, engine):
+        evaluation = engine.evaluate_point(POINT)
+        demand = evaluation.samples["demand"]
+        capacity = evaluation.samples["capacity"]
+        manual = (capacity < demand).mean(axis=0)
+        assert evaluation.statistics.expectation("overload") == pytest.approx(manual)
+
+    def test_statistics_match_numpy_on_samples(self, engine):
+        evaluation = engine.evaluate_point(POINT)
+        demand = evaluation.samples["demand"]
+        assert evaluation.statistics.expectation("demand") == pytest.approx(
+            demand.mean(axis=0)
+        )
+        assert evaluation.statistics.stddev("demand") == pytest.approx(
+            demand.std(axis=0, ddof=1)
+        )
+
+    def test_deterministic_across_engines(self):
+        scenario, library = build_risk_vs_cost(purchase_step=16)
+        first = ProphetEngine(scenario, library, ProphetConfig(n_worlds=10))
+        a = first.evaluate_point(POINT)
+        scenario2, library2 = build_risk_vs_cost(purchase_step=16)
+        second = ProphetEngine(scenario2, library2, ProphetConfig(n_worlds=10))
+        b = second.evaluate_point(POINT)
+        assert a.statistics.expectation("overload") == pytest.approx(
+            b.statistics.expectation("overload")
+        )
+
+    def test_point_validation(self, engine):
+        with pytest.raises(ParameterError):
+            engine.evaluate_point({"purchase1": 3, "purchase2": 32, "feature": 12})
+        with pytest.raises(ParameterError):
+            engine.evaluate_point({"purchase1": 16})
+
+    def test_axis_value_in_point_is_ignored(self, engine):
+        evaluation = engine.evaluate_point({**POINT, "current": 5})
+        assert "current" not in evaluation.point
+
+    def test_empty_worlds_rejected(self, engine):
+        with pytest.raises(ScenarioError):
+            engine.evaluate_point(POINT, worlds=[])
+
+
+class TestReuse:
+    def test_second_point_reuses(self, engine):
+        engine.evaluate_point(POINT)
+        samples_before = engine.component_sample_count()
+        second = engine.evaluate_point(OTHER)
+        fresh_cost = 2 * 20 * 53  # two models, full simulation
+        used = engine.component_sample_count() - samples_before
+        assert second.any_reuse
+        assert used < fresh_cost / 2
+
+    def test_reuse_matches_fresh_statistics(self):
+        scenario, library = build_risk_vs_cost(purchase_step=16)
+        engine = ProphetEngine(scenario, library, ProphetConfig(n_worlds=16))
+        engine.evaluate_point(POINT)
+        reused = engine.evaluate_point(OTHER)
+
+        scenario2, library2 = build_risk_vs_cost(purchase_step=16)
+        cold = ProphetEngine(scenario2, library2, ProphetConfig(n_worlds=16))
+        fresh = cold.evaluate_point(OTHER, reuse=False)
+
+        for alias in ("demand", "capacity", "overload"):
+            assert reused.statistics.expectation(alias) == pytest.approx(
+                fresh.statistics.expectation(alias), abs=1e-6
+            )
+
+    def test_repeat_point_hits_stats_cache(self, engine):
+        engine.evaluate_point(POINT)
+        invocations = engine.invocation_count()
+        again = engine.evaluate_point(POINT)
+        assert engine.invocation_count() == invocations
+        assert again.statistics.expectation("overload") is not None
+
+    def test_reuse_false_bypasses_stats_and_week_caches(self, engine):
+        engine.evaluate_point(POINT)
+        misses_before = engine.week_stats_misses
+        points_before = engine.points_evaluated
+        engine.evaluate_point(POINT, reuse=False)
+        # The week memo and point cache are both bypassed: every week's
+        # statistics recomputed through SQL.
+        assert engine.week_stats_misses == misses_before + 53
+        assert engine.points_evaluated == points_before + 1
+
+    def test_world_extension_reuses_prefix(self, engine):
+        engine.evaluate_point(POINT, worlds=range(10))
+        first_samples = engine.component_sample_count()
+        engine.evaluate_point(POINT, worlds=range(20))
+        added = engine.component_sample_count() - first_samples
+        # Only the 10 new worlds are simulated, not all 20.
+        assert added <= 2 * 10 * 53 + 2 * 8 * 53  # fresh worlds + probe margin
+
+    def test_timings_accumulate(self, engine):
+        engine.evaluate_point(POINT)
+        assert engine.total_timings.total() > 0.0
+        assert engine.points_evaluated == 1
+
+
+class TestWeekMemo:
+    def test_unchanged_weeks_not_recomputed(self, engine):
+        engine.evaluate_point(POINT)
+        hits_before = engine.week_stats_hits
+        engine.evaluate_point(OTHER)
+        assert engine.week_stats_hits > hits_before
+
+    def test_memo_preserves_correctness_across_features(self):
+        scenario, library = build_risk_vs_cost(purchase_step=16)
+        engine = ProphetEngine(scenario, library, ProphetConfig(n_worlds=12))
+        a = engine.evaluate_point({"purchase1": 16, "purchase2": 32, "feature": 12})
+        b = engine.evaluate_point({"purchase1": 16, "purchase2": 32, "feature": 44})
+        # Capacity is identical across feature dates; demand differs.
+        assert a.statistics.expectation("capacity") == pytest.approx(
+            b.statistics.expectation("capacity")
+        )
+        assert not np.allclose(
+            a.statistics.expectation("demand"), b.statistics.expectation("demand")
+        )

@@ -1,0 +1,161 @@
+"""Property-based tests (hypothesis) for the fingerprint machinery.
+
+The central soundness property: whenever correlation detection accepts a
+per-component map from basis to target, applying that map to *world* samples
+(seeds never seen during detection) reproduces the target's samples within
+tolerance. We exercise it over randomly parameterized synthetic VG-Functions
+with known ground-truth structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fingerprint import (
+    CorrelationPolicy,
+    FingerprintSpec,
+    compute_fingerprint,
+    correlate,
+    match_component,
+    remap_samples,
+)
+from repro.vg.base import VGFunction
+from repro.vg.seeds import world_seed
+
+SPEC = FingerprintSpec(n_seeds=8)
+POLICY = CorrelationPolicy(tolerance=1e-6)
+
+
+class AffineFamilyVG(VGFunction):
+    """A VG whose parameterizations are exact affine transforms of a latent
+    noise vector: value = scale * noise + offset * t_factor."""
+
+    name = "AffineFamily"
+    n_components = 12
+    arg_names = ("scale", "offset")
+
+    def generate(self, seed, args):
+        scale, offset = float(args[0]), float(args[1])
+        noise = self.rng(seed, ()).normal(size=self.n_components)
+        return scale * noise + offset
+
+
+class WindowedVG(VGFunction):
+    """Identity outside a parameter-dependent window, noise inside it."""
+
+    name = "Windowed"
+    n_components = 16
+    arg_names = ("start", "width")
+
+    def generate(self, seed, args):
+        start, width = int(args[0]), int(args[1])
+        rng = self.rng(seed, ())
+        base = rng.normal(size=self.n_components)
+        extra = rng.normal(size=self.n_components)
+        out = base.copy()
+        out[start : start + width] += extra[start : start + width]
+        return out
+
+
+scales = st.floats(min_value=0.1, max_value=5.0, allow_nan=False)
+offsets = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+
+
+@settings(max_examples=40, deadline=None)
+@given(s1=scales, o1=offsets, s2=scales, o2=offsets)
+def test_affine_family_always_fully_maps(s1, o1, s2, o2):
+    vg = AffineFamilyVG()
+    basis = compute_fingerprint(vg, (s1, o1), SPEC)
+    target = compute_fingerprint(vg, (s2, o2), SPEC)
+    result = correlate(basis, target, POLICY)
+    assert result.mapped_fraction == 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(s1=scales, o1=offsets, s2=scales, o2=offsets)
+def test_detected_maps_transfer_to_world_samples(s1, o1, s2, o2):
+    """Soundness: maps found on probe seeds hold on world seeds."""
+    vg = AffineFamilyVG()
+    basis_fp = compute_fingerprint(vg, (s1, o1), SPEC)
+    target_fp = compute_fingerprint(vg, (s2, o2), SPEC)
+    result = correlate(basis_fp, target_fp, POLICY)
+
+    seeds = [world_seed(1234, w) for w in range(10)]
+    basis_samples = np.vstack([vg.invoke(s, (s1, o1)) for s in seeds])
+    exact_target = np.vstack([vg.invoke(s, (s2, o2)) for s in seeds])
+    remapped = remap_samples(basis_samples, result)
+    mapped = list(remapped.mapped_components)
+    scale_magnitude = max(abs(s1), abs(s2), abs(o1), abs(o2), 1.0)
+    assert np.allclose(
+        remapped.samples[:, mapped], exact_target[:, mapped],
+        atol=1e-6 * scale_magnitude, rtol=1e-6,
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    start1=st.integers(min_value=0, max_value=10),
+    start2=st.integers(min_value=0, max_value=10),
+    width=st.integers(min_value=1, max_value=5),
+)
+def test_windowed_unmapped_exactly_in_symmetric_difference(start1, start2, width):
+    vg = WindowedVG()
+    basis = compute_fingerprint(vg, (start1, width), SPEC)
+    target = compute_fingerprint(vg, (start2, width), SPEC)
+    result = correlate(basis, target, POLICY)
+    window1 = set(range(start1, min(start1 + width, 16)))
+    window2 = set(range(start2, min(start2 + width, 16)))
+    changed = window1 ^ window2
+    unmapped = set(result.unmapped_components)
+    # Components outside both windows (or inside both) are identity-mapped;
+    # only the symmetric difference may need recomputation.
+    assert unmapped <= changed
+    for component in set(range(16)) - changed:
+        assert result.maps[component] is not None
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    x=st.lists(
+        st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+        min_size=4,
+        max_size=16,
+    ),
+    scale=scales,
+    offset=offsets,
+)
+def test_match_component_recovers_exact_affine(x, scale, offset):
+    x = np.asarray(x)
+    y = scale * x + offset
+    result = match_component(x, y, POLICY)
+    assert result is not None
+    reconstructed = result.apply(x)
+    assert np.allclose(reconstructed, y, atol=1e-6 * max(1.0, np.abs(y).max()))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    x=st.lists(
+        st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+        min_size=4,
+        max_size=16,
+    )
+)
+def test_identity_always_detected(x):
+    x = np.asarray(x)
+    result = match_component(x, x.copy(), POLICY)
+    assert result is not None
+    assert result.residual == pytest.approx(0.0, abs=1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(n_seeds=st.integers(min_value=2, max_value=24))
+def test_fingerprint_rows_match_direct_invocation(n_seeds):
+    spec = FingerprintSpec(n_seeds=n_seeds)
+    vg = AffineFamilyVG()
+    fingerprint = compute_fingerprint(vg, (1.0, 0.0), spec)
+    for row, seed in enumerate(spec.seeds):
+        assert fingerprint.matrix[row] == pytest.approx(vg.invoke(seed, (1.0, 0.0)))

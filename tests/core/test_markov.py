@@ -1,0 +1,147 @@
+"""Unit tests for Markov-structure detection and shortcut estimators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FingerprintError
+from repro.core.fingerprint import FingerprintSpec, analyze_markov, simulate_with_shortcuts
+from repro.models.capacity import MaintenanceWindowCapacityModel
+from repro.vg.base import SteppedVGFunction
+
+SPEC = FingerprintSpec(n_seeds=8)
+
+
+class DeterministicChain(SteppedVGFunction):
+    """x[t] = 2*x[t-1] + 1, fully deterministic."""
+
+    name = "DetChain"
+    n_components = 10
+
+    def initial_state(self, rng, args):
+        return 1.0
+
+    def step(self, state, t, rng, args):
+        return 2.0 * state + 1.0
+
+
+class NoisyChain(SteppedVGFunction):
+    """Random walk — nothing is predictable."""
+
+    name = "NoisyChain"
+    n_components = 10
+
+    def initial_state(self, rng, args):
+        return 0.0
+
+    def step(self, state, t, rng, args):
+        return state + rng.normal(0.0, 1.0)
+
+
+class BurstChain(SteppedVGFunction):
+    """Deterministic growth except a noisy burst at steps 4-5."""
+
+    name = "BurstChain"
+    n_components = 12
+
+    def initial_state(self, rng, args):
+        return 100.0
+
+    def step(self, state, t, rng, args):
+        noise = rng.normal(0.0, 5.0)  # drawn every step (stream alignment)
+        if t in (4, 5):
+            return state + noise
+        return state + 2.0
+
+
+class TestAnalyzeMarkov:
+    def test_deterministic_chain_fully_predictable(self):
+        analysis = analyze_markov(DeterministicChain(), (), SPEC)
+        assert analysis.skippable_steps == 9  # all but step 0
+        assert len(analysis.regions) == 1
+        region = analysis.regions[0]
+        assert (region.start, region.stop) == (1, 9)
+
+    def test_region_composition_is_exact(self):
+        chain = DeterministicChain()
+        analysis = analyze_markov(chain, (), SPEC)
+        region = analysis.regions[0]
+        # Entering with the state after step 0 must exit with the final state.
+        states, _ = chain.trace(0, ())
+        assert region.jump(states[0]) == pytest.approx(states[-1])
+
+    def test_noisy_chain_nothing_predictable(self):
+        analysis = analyze_markov(NoisyChain(), (), SPEC, tolerance=1e-6)
+        assert analysis.regions == ()
+        assert analysis.skippable_fraction == 0.0
+
+    def test_burst_chain_regions_avoid_burst(self):
+        analysis = analyze_markov(BurstChain(), (), SPEC)
+        skipped = {
+            step for region in analysis.regions
+            for step in range(region.start, region.stop + 1)
+        }
+        assert 4 not in skipped and 5 not in skipped
+        assert skipped  # the deterministic stretches are found
+
+    def test_min_region_length_filters(self):
+        analysis = analyze_markov(BurstChain(), (), SPEC, min_region_length=100)
+        assert analysis.regions == ()
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(FingerprintError):
+            analyze_markov(DeterministicChain(), (), SPEC, tolerance=-1.0)
+
+    def test_step_models_predict_exactly(self):
+        # All probe seeds see the same deterministic trajectory, so the fit
+        # degenerates to a constant step — which still predicts exactly.
+        chain = DeterministicChain()
+        analysis = analyze_markov(chain, (), SPEC)
+        states, _ = chain.trace(0, ())
+        for model in analysis.step_models:
+            predicted = model.scale * states[model.step - 1] + model.offset
+            assert predicted == pytest.approx(states[model.step])
+            assert model.residual == pytest.approx(0.0, abs=1e-9)
+
+
+class TestSimulateWithShortcuts:
+    def test_deterministic_chain_exact_with_one_step(self):
+        chain = DeterministicChain()
+        analysis = analyze_markov(chain, (), SPEC)
+        observations, simulated = simulate_with_shortcuts(chain, 123, (), analysis)
+        exact = chain.generate(123, ())
+        assert observations == pytest.approx(exact)
+        assert simulated == 1  # only step 0 actually ran
+
+    def test_burst_chain_accurate_and_cheaper(self):
+        chain = BurstChain()
+        analysis = analyze_markov(chain, (), SPEC)
+        observations, simulated = simulate_with_shortcuts(chain, 7, (), analysis)
+        assert simulated < chain.n_components
+        # Values after the burst track the exact simulation closely in shape
+        # (burst noise itself is seed-dependent; skipped regions are exact
+        # conditional on entry state).
+        exact = chain.generate(7, ())
+        assert observations[:4] == pytest.approx(exact[:4])
+
+    def test_maintenance_model_majority_skippable(self):
+        model = MaintenanceWindowCapacityModel()
+        analysis = analyze_markov(model, (0,), SPEC, tolerance=1e-9)
+        # Windows are 2 of every 13 weeks; most steps are deterministic.
+        assert analysis.skippable_fraction > 0.5
+
+    def test_maintenance_model_shortcut_accuracy(self):
+        model = MaintenanceWindowCapacityModel()
+        analysis = analyze_markov(model, (0,), SPEC, tolerance=1e-9)
+        observations, simulated = simulate_with_shortcuts(model, 99, (0,), analysis)
+        assert simulated < model.n_components
+        # Weeks before the first maintenance window are exact.
+        first_window = 0
+        exact = model.generate(99, (0,))
+        assert observations[:first_window + 1] == pytest.approx(exact[:first_window + 1])
+
+    def test_analysis_shape_checked(self):
+        chain = DeterministicChain()
+        other = BurstChain()
+        analysis = analyze_markov(chain, (), SPEC)
+        with pytest.raises(FingerprintError, match="steps"):
+            simulate_with_shortcuts(other, 1, (), analysis)

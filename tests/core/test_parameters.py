@@ -1,0 +1,133 @@
+"""Unit tests for parameters and parameter spaces."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.core.parameters import Parameter, ParameterSpace
+
+
+class TestParameter:
+    def test_from_range_inclusive(self):
+        parameter = Parameter.from_range("p", 0, 52, 4)
+        assert parameter.values[0] == 0
+        assert parameter.values[-1] == 52
+        assert len(parameter) == 14
+
+    def test_from_range_step_validation(self):
+        with pytest.raises(ParameterError, match="STEP BY"):
+            Parameter.from_range("p", 0, 10, 0)
+
+    def test_from_range_empty_rejected(self):
+        with pytest.raises(ParameterError, match="empty"):
+            Parameter.from_range("p", 10, 0)
+
+    def test_from_set(self):
+        parameter = Parameter.from_set("f", (12, 36, 44))
+        assert parameter.values == (12, 36, 44)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ParameterError, match="duplicate"):
+            Parameter.from_set("f", (1, 1))
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ParameterError, match="empty"):
+            Parameter("p", ())
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ParameterError):
+            Parameter(" ", (1,))
+
+    def test_contains_and_index(self):
+        parameter = Parameter.from_set("f", (5, 10))
+        assert 5 in parameter and 7 not in parameter
+        assert parameter.index_of(10) == 1
+        with pytest.raises(ParameterError):
+            parameter.index_of(7)
+
+    def test_default_is_first(self):
+        assert Parameter.from_set("f", (9, 1)).default() == 9
+
+    def test_neighbors(self):
+        parameter = Parameter.from_range("p", 0, 8, 4)  # 0, 4, 8
+        assert parameter.neighbors(0) == (4,)
+        assert parameter.neighbors(4) == (0, 8)
+        assert parameter.neighbors(8) == (4,)
+
+
+class TestParameterSpace:
+    def make(self) -> ParameterSpace:
+        return ParameterSpace(
+            [
+                Parameter.from_range("current", 0, 4, 1),
+                Parameter.from_range("purchase", 0, 8, 4),
+                Parameter.from_set("feature", (1, 2)),
+            ]
+        )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ParameterError, match="duplicate"):
+            ParameterSpace([Parameter.from_set("p", (1,)), Parameter.from_set("P", (2,))])
+
+    def test_lookup_case_insensitive(self):
+        space = self.make()
+        assert space.parameter("FEATURE").name == "feature"
+        assert "Purchase" in space
+        with pytest.raises(ParameterError):
+            space.parameter("nope")
+
+    def test_grid_size(self):
+        space = self.make()
+        assert space.grid_size() == 5 * 3 * 2
+        assert space.grid_size(exclude=["current"]) == 6
+
+    def test_grid_iterates_row_major(self):
+        space = self.make()
+        points = list(space.grid(exclude=["current"]))
+        assert len(points) == 6
+        assert points[0] == {"purchase": 0, "feature": 1}
+        assert points[1] == {"purchase": 0, "feature": 2}
+        assert points[-1] == {"purchase": 8, "feature": 2}
+
+    def test_validate_point_normalizes_keys(self):
+        space = self.make().without("current")
+        point = space.validate_point({"@Purchase": 4, "FEATURE": 2})
+        assert point == {"purchase": 4, "feature": 2}
+
+    def test_validate_point_missing(self):
+        space = self.make().without("current")
+        with pytest.raises(ParameterError, match="missing"):
+            space.validate_point({"purchase": 4})
+
+    def test_validate_point_unknown(self):
+        space = self.make().without("current")
+        with pytest.raises(ParameterError, match="unknown"):
+            space.validate_point({"purchase": 4, "feature": 2, "bogus": 1})
+
+    def test_validate_point_out_of_domain(self):
+        space = self.make().without("current")
+        with pytest.raises(ParameterError, match="not in domain"):
+            space.validate_point({"purchase": 3, "feature": 2})
+
+    def test_default_point(self):
+        assert self.make().default_point() == {
+            "current": 0,
+            "purchase": 0,
+            "feature": 1,
+        }
+
+    def test_point_key_stable_and_ordered(self):
+        space = self.make().without("current")
+        key1 = space.point_key({"feature": 2, "purchase": 4})
+        key2 = space.point_key({"purchase": 4, "feature": 2})
+        assert key1 == key2 == (("purchase", 4), ("feature", 2))
+
+    def test_point_key_exclude(self):
+        space = self.make()
+        key = space.point_key(
+            {"current": 1, "purchase": 4, "feature": 2}, exclude=["current"]
+        )
+        assert ("current", 1) not in key
+
+    def test_without(self):
+        space = self.make().without("current", "@feature")
+        assert space.names == ("purchase",)

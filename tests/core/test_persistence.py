@@ -1,0 +1,152 @@
+"""Tests for basis-distribution persistence (warm session restarts)."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import ProphetConfig, ProphetEngine
+from repro.core.persistence import load_bases, save_bases
+from repro.errors import FingerprintError
+from repro.models import build_risk_vs_cost
+
+POINT = {"purchase1": 16, "purchase2": 32, "feature": 12}
+CONFIG = ProphetConfig(n_worlds=12)
+
+
+def make_engine(config=CONFIG):
+    scenario, library = build_risk_vs_cost(purchase_step=16)
+    return ProphetEngine(scenario, library, config)
+
+
+@pytest.fixture
+def archive(tmp_path):
+    return tmp_path / "bases.npz"
+
+
+class TestSaveLoadRoundTrip:
+    def test_counts_match(self, archive):
+        engine = make_engine()
+        engine.evaluate_point(POINT)
+        saved = save_bases(engine, archive)
+        assert saved == 2  # demand + capacity bases
+
+        fresh = make_engine()
+        assert load_bases(fresh, archive) == 2
+        assert len(fresh.storage) == 2
+
+    def test_loaded_bases_serve_exact_hits_without_simulation(self, archive):
+        engine = make_engine()
+        engine.evaluate_point(POINT)
+        save_bases(engine, archive)
+
+        fresh = make_engine()
+        load_bases(fresh, archive)
+        invocations_before = fresh.invocation_count()
+        evaluation = fresh.evaluate_point(POINT)
+        assert fresh.invocation_count() == invocations_before  # zero simulation
+        assert all(report.source == "exact" for report in evaluation.reuse_reports)
+
+    def test_loaded_statistics_match_original(self, archive):
+        engine = make_engine()
+        original = engine.evaluate_point(POINT)
+        save_bases(engine, archive)
+
+        fresh = make_engine()
+        load_bases(fresh, archive)
+        restored = fresh.evaluate_point(POINT)
+        for alias in ("demand", "capacity", "overload"):
+            assert restored.statistics.expectation(alias) == pytest.approx(
+                original.statistics.expectation(alias)
+            )
+
+    def test_loaded_fingerprints_enable_mapping(self, archive):
+        engine = make_engine()
+        engine.evaluate_point(POINT)
+        save_bases(engine, archive)
+
+        fresh = make_engine()
+        load_bases(fresh, archive)
+        probes_before = fresh.registry.probes_computed
+        neighbor = fresh.evaluate_point(
+            {"purchase1": 32, "purchase2": 32, "feature": 12}
+        )
+        assert neighbor.any_reuse
+        # Basis fingerprints were restored, not re-probed; only the target
+        # parameterizations needed probing.
+        assert fresh.registry.probes_computed == probes_before + 1
+
+
+class TestSpecCompatibility:
+    def test_mismatched_spec_strict_raises(self, archive):
+        engine = make_engine()
+        engine.evaluate_point(POINT)
+        save_bases(engine, archive)
+
+        other = make_engine(ProphetConfig(n_worlds=12, fingerprint_seeds=4))
+        with pytest.raises(FingerprintError, match="probe spec"):
+            load_bases(other, archive)
+
+    def test_mismatched_spec_lenient_loads_bases_only(self, archive):
+        engine = make_engine()
+        engine.evaluate_point(POINT)
+        save_bases(engine, archive)
+
+        other = make_engine(ProphetConfig(n_worlds=12, fingerprint_seeds=4))
+        assert load_bases(other, archive, strict=False) == 2
+        assert len(other.storage) == 2
+
+    def test_removed_model_skipped(self, archive):
+        engine = make_engine()
+        engine.evaluate_point(POINT)
+        save_bases(engine, archive)
+
+        scenario, library = build_risk_vs_cost(purchase_step=16)
+        library.unregister("CapacityModel")
+        from repro.vg.library import VGLibrary
+
+        slim = VGLibrary()
+        slim.register(library.get("DemandModel"))
+        # Build an engine over a demand-only scenario.
+        from repro.core.scenario import Scenario, VGOutput, DerivedOutput
+        from repro.sqldb.parser import parse_expression
+
+        demand_only = Scenario(
+            name="slim",
+            space=scenario.space.without("purchase1", "purchase2"),
+            axis="current",
+            outputs=[
+                VGOutput("demand", "DemandModel", parse_expression("@current"),
+                         (parse_expression("@feature"),)),
+                DerivedOutput("high", parse_expression(
+                    "CASE WHEN demand > 7000 THEN 1 ELSE 0 END"
+                )),
+            ],
+        )
+        slim_engine = ProphetEngine(demand_only, slim, CONFIG)
+        assert load_bases(slim_engine, archive) == 1  # only the demand basis
+
+    def test_reshaped_model_skipped(self, archive):
+        engine = make_engine()
+        engine.evaluate_point(POINT)
+        save_bases(engine, archive)
+
+        scenario, library = build_risk_vs_cost(purchase_step=16)
+        from repro.models import DemandModel
+
+        library.register(DemandModel(n_weeks=30), replace=True)
+        short_space = scenario.space.without("current")
+        from repro.core.parameters import Parameter, ParameterSpace
+        from repro.core.scenario import Scenario
+
+        new_space = ParameterSpace(
+            [Parameter.from_range("current", 0, 29, 1)]
+            + [p for p in short_space]
+        )
+        reshaped = Scenario(
+            name="reshaped",
+            space=new_space,
+            axis="current",
+            outputs=list(scenario.outputs),
+        )
+        reshaped_engine = ProphetEngine(reshaped, library, CONFIG)
+        # Demand basis is stale (53 != 30 components); capacity still loads.
+        assert load_bases(reshaped_engine, archive) == 1

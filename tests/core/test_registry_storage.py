@@ -1,0 +1,196 @@
+"""Unit tests for the fingerprint registry and the Storage Manager."""
+
+import numpy as np
+import pytest
+
+from repro.core.fingerprint import CorrelationPolicy, FingerprintSpec
+from repro.core.fingerprint.registry import FingerprintRegistry
+from repro.core.storage import StorageManager
+from repro.models import CapacityModel, DemandModel
+from repro.vg.seeds import world_seed
+
+SPEC = FingerprintSpec(n_seeds=8)
+POLICY = CorrelationPolicy(tolerance=1e-6)
+
+
+def make_registry():
+    return FingerprintRegistry(SPEC, POLICY)
+
+
+def world_seeds(n, base=42):
+    return [world_seed(base, w) for w in range(n)]
+
+
+class TestFingerprintRegistry:
+    def test_fingerprint_cached(self):
+        registry = make_registry()
+        vg = DemandModel()
+        a = registry.fingerprint_of(vg, (12,))
+        b = registry.fingerprint_of(vg, (12,))
+        assert a is b
+        assert registry.probes_computed == 1
+        assert len(registry) == 1
+
+    def test_known_args(self):
+        registry = make_registry()
+        vg = DemandModel()
+        registry.fingerprint_of(vg, (12,))
+        registry.fingerprint_of(vg, (36,))
+        assert set(registry.known_args("demandmodel")) == {(12,), (36,)}
+        assert registry.has_fingerprint("DemandModel", (12,))
+
+    def test_best_match_picks_highest_fraction(self):
+        registry = make_registry()
+        vg = DemandModel()
+        registry.fingerprint_of(vg, (12,))
+        registry.fingerprint_of(vg, (36,))
+        # Target 44: basis 36 maps more weeks than basis 12.
+        outcome = registry.best_match(vg, (44,), [(12,), (36,)])
+        assert outcome is not None
+        assert outcome.basis_args == (36,)
+
+    def test_best_match_excludes_self(self):
+        registry = make_registry()
+        vg = DemandModel()
+        registry.fingerprint_of(vg, (12,))
+        assert registry.best_match(vg, (12,), [(12,)]) is None
+
+    def test_best_match_min_fraction(self):
+        registry = make_registry()
+        vg = DemandModel()
+        registry.fingerprint_of(vg, (12,))
+        outcome = registry.best_match(vg, (44,), [(12,)], min_fraction=0.99)
+        assert outcome is None  # only ~55% of weeks map from 12 to 44
+
+    def test_record_mapping(self):
+        registry = make_registry()
+        vg = DemandModel()
+        registry.fingerprint_of(vg, (12,))
+        outcome = registry.best_match(vg, (36,), [(12,)])
+        registry.record_mapping("DemandModel", (12,), (36,), outcome.correlation)
+        assert len(registry.mappings) == 1
+        record = registry.mappings_for("demandmodel")[0]
+        assert record.basis_args == (12,) and record.target_args == (36,)
+
+    def test_clear(self):
+        registry = make_registry()
+        registry.fingerprint_of(DemandModel(), (12,))
+        registry.clear()
+        assert len(registry) == 0 and registry.probes_computed == 0
+
+
+class TestStorageManager:
+    def make(self):
+        return StorageManager(make_registry())
+
+    def matrix_for(self, vg, args, seeds):
+        return np.vstack([vg.invoke(s, args) for s in seeds])
+
+    def test_store_and_exact_hit(self):
+        storage = self.make()
+        vg = DemandModel()
+        seeds = world_seeds(10)
+        matrix = self.matrix_for(vg, (12,), seeds)
+        storage.store(vg, (12,), matrix, range(10), seeds)
+        samples, report = storage.acquire(vg, (12,), range(10), seeds)
+        assert report.source == "exact"
+        assert samples == pytest.approx(matrix)
+        assert storage.exact_hits == 1
+
+    def test_exact_hit_with_world_subset(self):
+        storage = self.make()
+        vg = DemandModel()
+        seeds = world_seeds(10)
+        matrix = self.matrix_for(vg, (12,), seeds)
+        storage.store(vg, (12,), matrix, range(10), seeds)
+        samples, report = storage.acquire(vg, (12,), [2, 5], [seeds[2], seeds[5]])
+        assert report.source == "exact"
+        assert samples == pytest.approx(matrix[[2, 5], :])
+
+    def test_miss_when_empty(self):
+        storage = self.make()
+        vg = DemandModel()
+        seeds = world_seeds(5)
+        samples, report = storage.acquire(vg, (12,), range(5), seeds)
+        assert samples is None and report.source == "fresh"
+        assert storage.misses == 1
+
+    def test_mapped_acquisition_matches_exact_simulation(self):
+        storage = self.make()
+        vg = DemandModel()
+        seeds = world_seeds(12)
+        basis = self.matrix_for(vg, (12,), seeds)
+        storage.store(vg, (12,), basis, range(12), seeds)
+
+        samples, report = storage.acquire(vg, (36,), range(12), seeds)
+        assert report.source == "mapped"
+        assert report.basis_args == (12,)
+        assert 0 < report.mapped_fraction < 1
+        exact = self.matrix_for(vg, (36,), seeds)
+        assert samples == pytest.approx(exact, abs=1e-6)
+        assert storage.mapped_hits == 1
+
+    def test_mapped_result_is_stored_for_future_exact_hits(self):
+        storage = self.make()
+        vg = DemandModel()
+        seeds = world_seeds(6)
+        storage.store(vg, (12,), self.matrix_for(vg, (12,), seeds), range(6), seeds)
+        storage.acquire(vg, (36,), range(6), seeds)
+        _, report = storage.acquire(vg, (36,), range(6), seeds)
+        assert report.source == "exact"
+
+    def test_reuse_disabled_forces_miss(self):
+        storage = self.make()
+        vg = DemandModel()
+        seeds = world_seeds(6)
+        storage.store(vg, (12,), self.matrix_for(vg, (12,), seeds), range(6), seeds)
+        samples, report = storage.acquire(vg, (36,), range(6), seeds, reuse=False)
+        assert samples is None and report.source == "fresh"
+
+    def test_min_mapped_fraction_gate(self):
+        storage = self.make()
+        vg = DemandModel()
+        seeds = world_seeds(6)
+        storage.store(vg, (12,), self.matrix_for(vg, (12,), seeds), range(6), seeds)
+        samples, report = storage.acquire(
+            vg, (44,), range(6), seeds, min_mapped_fraction=0.999
+        )
+        assert samples is None and report.source == "fresh"
+
+    def test_basis_must_cover_worlds(self):
+        storage = self.make()
+        vg = DemandModel()
+        seeds = world_seeds(4)
+        storage.store(vg, (12,), self.matrix_for(vg, (12,), seeds), range(4), seeds)
+        # Requesting worlds 0..9: the stored basis only has 0..3.
+        wide_seeds = world_seeds(10)
+        samples, report = storage.acquire(vg, (36,), range(10), wide_seeds)
+        assert samples is None and report.source == "fresh"
+
+    def test_capacity_model_reuse_report_counts(self):
+        storage = self.make()
+        vg = CapacityModel()
+        seeds = world_seeds(8)
+        storage.store(vg, (8, 24), self.matrix_for(vg, (8, 24), seeds), range(8), seeds)
+        samples, report = storage.acquire(vg, (12, 24), range(8), seeds)
+        assert report.source == "mapped"
+        assert report.components_recomputed < vg.n_components // 4
+        assert report.components_reused > 0
+        exact = self.matrix_for(vg, (12, 24), seeds)
+        assert samples == pytest.approx(exact, abs=1e-6)
+
+    def test_store_validates_shapes(self):
+        storage = self.make()
+        vg = DemandModel()
+        with pytest.raises(Exception):
+            storage.store(vg, (12,), np.zeros(53), range(1), world_seeds(1))
+        with pytest.raises(Exception):
+            storage.store(vg, (12,), np.zeros((2, 53)), range(3), world_seeds(3))
+
+    def test_clear(self):
+        storage = self.make()
+        vg = DemandModel()
+        seeds = world_seeds(4)
+        storage.store(vg, (12,), self.matrix_for(vg, (12,), seeds), range(4), seeds)
+        storage.clear()
+        assert len(storage) == 0

@@ -1,0 +1,179 @@
+"""Unit tests for the Figure-2 DSL parser."""
+
+import pytest
+
+from repro.dsl import parse_scenario
+from repro.errors import DslError
+from repro.models import FIGURE2_DSL
+
+MINIMAL = """
+DECLARE PARAMETER @t AS RANGE 0 TO 9 STEP BY 1;
+DECLARE PARAMETER @k AS SET (1, 2);
+SELECT MyModel(@t, @k) AS m INTO out;
+GRAPH OVER @t EXPECT m WITH green;
+"""
+
+
+class TestFullProgram:
+    def test_figure2_parses(self):
+        scenario = parse_scenario(FIGURE2_DSL, name="fig2")
+        assert scenario.name == "fig2"
+        assert scenario.axis == "current"
+        assert scenario.results_table == "results"
+        assert len(scenario.space) == 4
+
+    def test_source_preserved(self):
+        scenario = parse_scenario(FIGURE2_DSL)
+        assert scenario.source_sql == FIGURE2_DSL
+
+    def test_comment_markers_ignored(self):
+        # Figure 2's "-- DEFINITION --" style markers must be harmless.
+        assert parse_scenario(FIGURE2_DSL).axis == "current"
+
+
+class TestDeclare:
+    def test_range_with_step(self):
+        scenario = parse_scenario(MINIMAL)
+        assert scenario.space.parameter("t").values == tuple(range(10))
+
+    def test_set_values(self):
+        scenario = parse_scenario(MINIMAL)
+        assert scenario.space.parameter("k").values == (1, 2)
+
+    def test_range_default_step(self):
+        text = MINIMAL.replace("RANGE 0 TO 9 STEP BY 1", "RANGE 0 TO 3")
+        assert parse_scenario(text).space.parameter("t").values == (0, 1, 2, 3)
+
+    def test_set_with_floats_and_negatives(self):
+        text = """
+        DECLARE PARAMETER @t AS RANGE 0 TO 4 STEP BY 1;
+        DECLARE PARAMETER @g AS SET (-1.5, 1.0, 2.5);
+        SELECT M(@t, @g) AS m INTO out;
+        GRAPH OVER @t EXPECT m;
+        """
+        assert parse_scenario(text).space.parameter("g").values == (-1.5, 1.0, 2.5)
+
+    def test_declare_requires_range_or_set(self):
+        with pytest.raises(DslError, match="RANGE or SET"):
+            parse_scenario("DECLARE PARAMETER @x AS LIST (1); SELECT M(@x) AS m;")
+
+    def test_no_parameters_rejected(self):
+        with pytest.raises(DslError, match="no parameters"):
+            parse_scenario("SELECT M(@t) AS m;")
+
+
+class TestScenarioSelect:
+    def test_vg_call_split_into_index_and_model_args(self):
+        scenario = parse_scenario(FIGURE2_DSL)
+        capacity = scenario.vg_outputs[1]
+        assert capacity.vg_name == "CapacityModel"
+        assert capacity.index_expr.render() == "@current"
+        assert [a.render() for a in capacity.model_args] == ["@purchase1", "@purchase2"]
+
+    def test_derived_output_kept_as_expression(self):
+        scenario = parse_scenario(FIGURE2_DSL)
+        overload = scenario.derived_outputs[0]
+        assert overload.alias == "overload"
+        assert "CASE" in overload.expression.render()
+
+    def test_explicit_vg_names_pin_classification(self):
+        # With vg_names given, an unknown call is treated as derived...
+        text = """
+        DECLARE PARAMETER @t AS RANGE 0 TO 4 STEP BY 1;
+        SELECT Known(@t) AS a, ABS(-1) AS b INTO out;
+        GRAPH OVER @t EXPECT a;
+        """
+        scenario = parse_scenario(text, vg_names=["Known"])
+        assert [o.alias for o in scenario.vg_outputs] == ["a"]
+        assert [o.alias for o in scenario.derived_outputs] == ["b"]
+
+    def test_builtin_calls_are_not_vg(self):
+        text = """
+        DECLARE PARAMETER @t AS RANGE 0 TO 4 STEP BY 1;
+        SELECT M(@t) AS m, ROUND(m, 2) AS r INTO out;
+        GRAPH OVER @t EXPECT m;
+        """
+        scenario = parse_scenario(text)
+        assert [o.alias for o in scenario.vg_outputs] == ["m"]
+
+    def test_missing_select_rejected(self):
+        with pytest.raises(DslError, match="no SELECT"):
+            parse_scenario("DECLARE PARAMETER @t AS RANGE 0 TO 1 STEP BY 1;")
+
+    def test_two_selects_rejected(self):
+        text = MINIMAL + "; SELECT MyModel(@t, @k) AS x INTO out2;"
+        with pytest.raises(DslError, match="more than one SELECT"):
+            parse_scenario(text)
+
+    def test_from_clause_rejected(self):
+        text = """
+        DECLARE PARAMETER @t AS RANGE 0 TO 1 STEP BY 1;
+        SELECT a FROM somewhere;
+        GRAPH OVER @t EXPECT a;
+        """
+        with pytest.raises(DslError, match="FROM"):
+            parse_scenario(text)
+
+    def test_star_rejected(self):
+        text = """
+        DECLARE PARAMETER @t AS RANGE 0 TO 1 STEP BY 1;
+        SELECT * INTO out;
+        """
+        with pytest.raises(DslError, match="SELECT \\*"):
+            parse_scenario(text)
+
+
+class TestGraphDirective:
+    def test_series_styles(self):
+        scenario = parse_scenario(FIGURE2_DSL)
+        assert scenario.graph.series[0].style == ("bold", "red")
+        assert scenario.graph.series[1].style == ("blue", "y2")
+
+    def test_graph_without_styles(self):
+        text = MINIMAL.replace("EXPECT m WITH green", "EXPECT m")
+        assert parse_scenario(text).graph.series[0].style == ()
+
+    def test_axis_deduced_without_graph(self):
+        text = """
+        DECLARE PARAMETER @w AS RANGE 0 TO 9 STEP BY 1;
+        DECLARE PARAMETER @k AS SET (1, 2);
+        SELECT M(@w, @k) AS m INTO out;
+        """
+        assert parse_scenario(text).axis == "w"
+
+    def test_duplicate_graph_rejected(self):
+        text = MINIMAL + "; GRAPH OVER @t EXPECT m;"
+        with pytest.raises(DslError, match="more than one GRAPH"):
+            parse_scenario(text)
+
+
+class TestOptimizeBlock:
+    def test_full_block(self):
+        scenario = parse_scenario(FIGURE2_DSL)
+        spec = scenario.optimize
+        assert spec.select_parameters == ("feature", "purchase1", "purchase2")
+        assert spec.constraint.render() == "(MAX(EXPECT(overload)) < 0.01)"
+        assert spec.group_by == ("feature", "purchase1", "purchase2")
+        assert [(o.direction, o.parameter) for o in spec.objectives] == [
+            ("MAX", "purchase1"),
+            ("MAX", "purchase2"),
+        ]
+
+    def test_optimize_without_where(self):
+        text = MINIMAL + "; OPTIMIZE SELECT @k FROM out FOR MIN @k;"
+        spec = parse_scenario(text).optimize
+        assert spec.constraint is None
+        assert spec.objectives[0].direction == "MIN"
+
+    def test_optimize_requires_objective(self):
+        text = MINIMAL + "; OPTIMIZE SELECT @k FROM out WHERE MAX(EXPECT m) < 1;"
+        with pytest.raises(DslError, match="FOR MAX/MIN"):
+            parse_scenario(text)
+
+    def test_unknown_statement_rejected(self):
+        with pytest.raises(DslError, match="unexpected statement"):
+            parse_scenario("FROBNICATE; " + MINIMAL)
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(DslError, match="empty"):
+            parse_scenario("   -- just a comment\n")

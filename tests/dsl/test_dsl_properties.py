@@ -1,0 +1,94 @@
+"""Property-based tests (hypothesis) for the DSL parser."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsl import parse_scenario
+
+names = st.sampled_from(["alpha", "beta", "gamma", "delta"])
+range_params = st.tuples(
+    st.integers(min_value=0, max_value=20),
+    st.integers(min_value=1, max_value=30),
+    st.integers(min_value=1, max_value=7),
+)
+set_values = st.lists(
+    st.integers(min_value=-50, max_value=50), min_size=1, max_size=6, unique=True
+)
+
+
+def program_for(range_decls, set_decls):
+    """Build a syntactically valid DSL program from generated declarations."""
+    lines = []
+    axis_name = "t"
+    axis_stop = 10
+    lines.append(f"DECLARE PARAMETER @{axis_name} AS RANGE 0 TO {axis_stop} STEP BY 1;")
+    declared = [axis_name]
+    for index, (start, span, step) in enumerate(range_decls):
+        name = f"r{index}"
+        declared.append(name)
+        lines.append(
+            f"DECLARE PARAMETER @{name} AS RANGE {start} TO {start + span} STEP BY {step};"
+        )
+    for index, values in enumerate(set_decls):
+        name = f"s{index}"
+        declared.append(name)
+        rendered = ", ".join(str(v) for v in values)
+        lines.append(f"DECLARE PARAMETER @{name} AS SET ({rendered});")
+    model_args = ", ".join(f"@{n}" for n in declared[1:])
+    call = f"Model(@{axis_name}{', ' + model_args if model_args else ''})"
+    lines.append(f"SELECT {call} AS m INTO out;")
+    lines.append(f"GRAPH OVER @{axis_name} EXPECT m;")
+    return "\n".join(lines), declared
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    range_decls=st.lists(range_params, min_size=0, max_size=3),
+    set_decls=st.lists(set_values, min_size=0, max_size=2),
+)
+def test_generated_programs_parse_with_correct_domains(range_decls, set_decls):
+    text, declared = program_for(range_decls, set_decls)
+    scenario = parse_scenario(text)
+    assert scenario.axis == "t"
+    assert set(scenario.space.names) == set(declared)
+    for index, (start, span, step) in enumerate(range_decls):
+        domain = scenario.space.parameter(f"r{index}").values
+        assert domain == tuple(range(start, start + span + 1, step))
+    for index, values in enumerate(set_decls):
+        domain = scenario.space.parameter(f"s{index}").values
+        assert domain == tuple(values)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    range_decls=st.lists(range_params, min_size=1, max_size=3),
+    set_decls=st.lists(set_values, min_size=0, max_size=2),
+)
+def test_model_args_preserved_in_order(range_decls, set_decls):
+    text, declared = program_for(range_decls, set_decls)
+    scenario = parse_scenario(text)
+    vg = scenario.vg_outputs[0]
+    assert vg.index_expr.render() == "@t"
+    rendered_args = [arg.render() for arg in vg.model_args]
+    assert rendered_args == [f"@{name}" for name in declared[1:]]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    whitespace=st.sampled_from(["\n", "\n\n", "  \n", "\t\n"]),
+    comment=st.sampled_from(["", "-- a comment\n", "/* block */\n"]),
+)
+def test_whitespace_and_comments_are_insignificant(whitespace, comment):
+    base = (
+        "DECLARE PARAMETER @t AS RANGE 0 TO 5 STEP BY 1;"
+        "SELECT M(@t) AS m INTO out;"
+        "GRAPH OVER @t EXPECT m;"
+    )
+    noisy = comment + base.replace(";", ";" + whitespace + comment)
+    plain = parse_scenario(base)
+    parsed = parse_scenario(noisy)
+    assert parsed.axis == plain.axis
+    assert parsed.output_aliases == plain.output_aliases
+    assert parsed.space.parameter("t").values == plain.space.parameter("t").values

@@ -1,0 +1,212 @@
+"""Unit tests for the §3.1 demo models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VGFunctionError
+from repro.models import (
+    CapacityModel,
+    DemandModel,
+    FailureClass,
+    MaintenanceWindowCapacityModel,
+    default_failure_classes,
+    total_weekly_losses,
+)
+from repro.vg.seeds import rng_for
+
+
+class TestFailureClass:
+    def test_validation(self):
+        with pytest.raises(VGFunctionError):
+            FailureClass("x", -1.0, 1.0)
+        with pytest.raises(VGFunctionError):
+            FailureClass("x", 1.0, -1.0)
+        with pytest.raises(VGFunctionError):
+            FailureClass("x", 1.0, 1.0, -0.5)
+
+    def test_losses_nonnegative(self):
+        fc = FailureClass("disk", 3.0, 8.0, 4.0)
+        losses = fc.sample_weekly_losses(rng_for(1), 200)
+        assert (losses >= 0).all()
+
+    def test_expected_weekly_loss(self):
+        assert FailureClass("x", 2.0, 10.0).expected_weekly_loss() == 20.0
+
+    def test_empirical_mean_near_analytic(self):
+        fc = FailureClass("disk", 2.0, 6.0, 1.0)
+        losses = fc.sample_weekly_losses(rng_for(2), 50_000)
+        assert np.mean(losses) == pytest.approx(fc.expected_weekly_loss(), rel=0.05)
+
+    def test_total_losses_sum_classes(self):
+        classes = default_failure_classes()
+        total = total_weekly_losses(classes, rng_for(3), 100)
+        assert total.shape == (100,)
+        assert (total >= 0).all()
+
+    def test_draws_are_deterministic_per_seed(self):
+        classes = default_failure_classes()
+        a = total_weekly_losses(classes, rng_for(5), 50)
+        b = total_weekly_losses(classes, rng_for(5), 50)
+        assert (a == b).all()
+
+
+class TestDemandModel:
+    def test_surge_applies_after_feature(self):
+        vg = DemandModel(sigma_base=0.0, sigma_surge=0.0)
+        out = vg.invoke(1, (20,))
+        for week in range(20):
+            assert out[week] == pytest.approx(vg.base + vg.trend * week)
+        assert out[20] == pytest.approx(
+            vg.base + vg.trend * 20 + vg.surge_jump
+        )
+        assert out[30] == pytest.approx(
+            vg.base + vg.trend * 30 + vg.surge_jump + vg.surge_slope * 10
+        )
+
+    def test_expected_demand_helper_matches_mc(self):
+        vg = DemandModel()
+        samples = np.vstack([vg.invoke(seed, (12,)) for seed in range(400)])
+        for week in (0, 12, 30, 52):
+            empirical = samples[:, week].mean()
+            assert empirical == pytest.approx(vg.expected_demand(week, 12), rel=0.02)
+
+    def test_noise_shared_across_feature_dates(self):
+        vg = DemandModel()
+        early = vg.invoke(7, (12,))
+        late = vg.invoke(7, (36,))
+        # Weeks before either release are bit-identical.
+        assert early[:12] == pytest.approx(late[:12], abs=0)
+
+    def test_partial_equals_full(self):
+        vg = DemandModel()
+        full = vg.invoke(9, (36,))
+        partial = vg.invoke_components(9, (36,), [0, 36, 52])
+        assert partial == pytest.approx([full[0], full[36], full[52]])
+
+    def test_growth_arg_scales_linearly(self):
+        vg = DemandModel(with_growth_arg=True)
+        base = vg.invoke(3, (12, 1.0))
+        scaled = vg.invoke(3, (12, 1.5))
+        assert scaled == pytest.approx(1.5 * base)
+
+    def test_growth_must_be_positive(self):
+        vg = DemandModel(with_growth_arg=True)
+        with pytest.raises(VGFunctionError):
+            vg.invoke(1, (12, 0.0))
+
+    def test_constructor_validation(self):
+        with pytest.raises(VGFunctionError):
+            DemandModel(n_weeks=0)
+        with pytest.raises(VGFunctionError):
+            DemandModel(sigma_base=-1.0)
+
+
+class TestCapacityModel:
+    def test_purchases_raise_capacity(self):
+        vg = CapacityModel(failure_classes=())
+        out = vg.invoke(1, (10, 20))
+        assert out[0] == pytest.approx(vg.initial_capacity)
+        # After both latest-possible arrivals, both purchases are deployed.
+        late = 20 + max(vg.lag_choices)
+        assert out[late] == pytest.approx(vg.initial_capacity + 2 * vg.purchase_cores)
+
+    def test_arrival_lag_within_choices(self):
+        vg = CapacityModel(failure_classes=())
+        out = vg.invoke(5, (10, 40))
+        jumps = np.nonzero(np.diff(out) > 0)[0] + 1
+        assert len(jumps) == 2
+        assert jumps[0] - 10 in vg.lag_choices
+        assert jumps[1] - 40 in vg.lag_choices
+
+    def test_failures_erode_capacity(self):
+        vg = CapacityModel()
+        out = vg.invoke(1, (52, 52))  # purchases effectively never arrive
+        assert out[-1] < out[0]
+
+    def test_capacity_never_negative(self):
+        vg = CapacityModel(initial_capacity=10.0)
+        out = vg.invoke(1, (52, 52))
+        assert (out >= 0).all()
+
+    def test_failure_history_shared_across_schedules(self):
+        vg = CapacityModel()
+        a = vg.invoke(3, (8, 24))
+        b = vg.invoke(3, (12, 24))
+        # Weeks before the earliest possible arrival are identical.
+        min_arrival = 8 + min(vg.lag_choices)
+        assert a[:min_arrival] == pytest.approx(b[:min_arrival], abs=0)
+        # After both latest arrivals the curves coincide again.
+        max_arrival = 12 + max(vg.lag_choices)
+        assert a[max_arrival:] == pytest.approx(b[max_arrival:], abs=0)
+
+    def test_initial_arg_shifts_curve(self):
+        vg = CapacityModel(with_initial_arg=True)
+        low = vg.invoke(2, (8, 24, 5000))
+        high = vg.invoke(2, (8, 24, 7000))
+        difference = high - low
+        # A pure vertical shift (where unclipped).
+        positive = (low > 0) & (high > 0)
+        assert difference[positive] == pytest.approx(
+            np.full(positive.sum(), 2000.0)
+        )
+
+    def test_expected_capacity_helper_in_ballpark(self):
+        vg = CapacityModel()
+        samples = np.vstack([vg.invoke(seed, (8, 24)) for seed in range(300)])
+        for week in (0, 26, 52):
+            empirical = samples[:, week].mean()
+            assert empirical == pytest.approx(
+                vg.expected_capacity(week, 8, 24), rel=0.05
+            )
+
+    def test_constructor_validation(self):
+        with pytest.raises(VGFunctionError):
+            CapacityModel(purchase_cores=-1.0)
+        with pytest.raises(VGFunctionError):
+            CapacityModel(lag_choices=(), lag_weights=())
+        with pytest.raises(VGFunctionError):
+            CapacityModel(lag_choices=(1, 2), lag_weights=(0.5,))
+        with pytest.raises(VGFunctionError):
+            CapacityModel(lag_weights=(-1.0, 1.0, 1.0))
+
+    def test_partial_equals_full(self):
+        vg = CapacityModel()
+        full = vg.invoke(11, (8, 24))
+        partial = vg.invoke_components(11, (8, 24), [5, 30])
+        assert partial == pytest.approx([full[5], full[30]])
+
+
+class TestMaintenanceWindowModel:
+    def test_window_schedule(self):
+        vg = MaintenanceWindowCapacityModel(window_every=13, window_width=2)
+        assert vg.in_window(0, 0) and vg.in_window(1, 0)
+        assert not vg.in_window(2, 0)
+        assert vg.in_window(13, 0)
+        assert vg.in_window(3, 3)  # phase shifts the schedule
+
+    def test_growth_outside_windows_deterministic(self):
+        vg = MaintenanceWindowCapacityModel()
+        a = vg.invoke(1, (0,))
+        b = vg.invoke(2, (0,))
+        # Steps outside windows add the same deterministic delivery.
+        outside = [
+            t for t in range(1, vg.n_components)
+            if not vg.in_window(t, 0) and not vg.in_window(t - 1, 0)
+        ]
+        for t in outside:
+            assert a[t] - a[t - 1] == pytest.approx(vg.weekly_delivery)
+            assert b[t] - b[t - 1] == pytest.approx(vg.weekly_delivery)
+
+    def test_windows_cause_seed_variation(self):
+        vg = MaintenanceWindowCapacityModel()
+        a = vg.invoke(1, (0,))
+        b = vg.invoke(2, (0,))
+        assert not np.allclose(a, b)
+
+    def test_constructor_validation(self):
+        with pytest.raises(VGFunctionError):
+            MaintenanceWindowCapacityModel(window_every=0)
+        with pytest.raises(VGFunctionError):
+            MaintenanceWindowCapacityModel(window_width=0)
+        with pytest.raises(VGFunctionError):
+            MaintenanceWindowCapacityModel(window_every=4, window_width=5)

@@ -1,0 +1,110 @@
+"""Tests for the canned scenarios (Figure 2 and the extensions)."""
+
+import pytest
+
+from repro.dsl import parse_scenario
+from repro.models import (
+    FIGURE2_DSL,
+    build_demo_library,
+    build_growth_scenario,
+    build_maintenance_scenario,
+    build_risk_vs_cost,
+)
+
+
+class TestBuildRiskVsCost:
+    def test_matches_paper_parameters(self):
+        scenario, library = build_risk_vs_cost()
+        assert scenario.space.parameter("current").values == tuple(range(53))
+        assert scenario.space.parameter("purchase1").values == tuple(range(0, 53, 4))
+        assert scenario.space.parameter("feature").values == (12, 36, 44)
+        assert scenario.axis == "current"
+        scenario.check_against_library(library)
+
+    def test_outputs_match_figure2(self):
+        scenario, _ = build_risk_vs_cost()
+        assert scenario.output_aliases == ("demand", "capacity", "overload")
+        assert [o.vg_name for o in scenario.vg_outputs] == [
+            "DemandModel",
+            "CapacityModel",
+        ]
+
+    def test_graph_directive(self):
+        scenario, _ = build_risk_vs_cost()
+        kinds = [(s.kind, s.alias) for s in scenario.graph.series]
+        assert kinds == [
+            ("EXPECT", "overload"),
+            ("EXPECT", "capacity"),
+            ("EXPECT_STDDEV", "demand"),
+        ]
+
+    def test_optimize_spec(self):
+        scenario, _ = build_risk_vs_cost()
+        spec = scenario.optimize
+        assert spec.select_parameters == ("feature", "purchase1", "purchase2")
+        assert [(o.direction, o.parameter) for o in spec.objectives] == [
+            ("MAX", "purchase1"),
+            ("MAX", "purchase2"),
+        ]
+
+    def test_purchase_step_widens_grid(self):
+        scenario, _ = build_risk_vs_cost(purchase_step=16)
+        assert scenario.space.parameter("purchase1").values == (0, 16, 32, 48)
+
+
+class TestDslEquivalence:
+    """The verbatim Figure 2 text and the programmatic builder agree."""
+
+    def test_spaces_match(self):
+        from_dsl = parse_scenario(FIGURE2_DSL, name="risk_vs_cost")
+        built, _ = build_risk_vs_cost()
+        for name in built.space.names:
+            assert from_dsl.space.parameter(name).values == built.space.parameter(name).values
+
+    def test_outputs_match(self):
+        from_dsl = parse_scenario(FIGURE2_DSL, name="risk_vs_cost")
+        built, _ = build_risk_vs_cost()
+        assert from_dsl.output_aliases == built.output_aliases
+        assert [o.vg_name for o in from_dsl.vg_outputs] == [
+            o.vg_name for o in built.vg_outputs
+        ]
+        # Derived expressions render identically.
+        assert [d.expression.render() for d in from_dsl.derived_outputs] == [
+            d.expression.render() for d in built.derived_outputs
+        ]
+
+    def test_directives_match(self):
+        from_dsl = parse_scenario(FIGURE2_DSL, name="risk_vs_cost")
+        built, _ = build_risk_vs_cost()
+        assert from_dsl.graph.axis == built.graph.axis
+        assert [s.kind for s in from_dsl.graph.series] == [
+            s.kind for s in built.graph.series
+        ]
+        assert from_dsl.optimize.select_parameters == built.optimize.select_parameters
+        assert from_dsl.optimize.constraint.render() == built.optimize.constraint.render()
+
+    def test_dsl_scenario_runs_against_library(self):
+        scenario = parse_scenario(FIGURE2_DSL, name="risk_vs_cost")
+        scenario.check_against_library(build_demo_library())
+
+
+class TestExtensionScenarios:
+    def test_growth_scenario_valid(self):
+        scenario, library = build_growth_scenario()
+        scenario.check_against_library(library)
+        assert "growth" in scenario.space
+        assert "headroom" in scenario.output_aliases
+
+    def test_maintenance_scenario_valid(self):
+        scenario, library = build_maintenance_scenario()
+        scenario.check_against_library(library)
+        assert scenario.vg_outputs[1].vg_name == "MaintenanceCapacityModel"
+
+    def test_demo_library_flags(self):
+        library = build_demo_library(with_growth_arg=True, with_initial_arg=True)
+        assert library.get("DemandModel").arg_names == ("feature", "growth")
+        assert library.get("CapacityModel").arg_names == (
+            "purchase1",
+            "purchase2",
+            "initial",
+        )

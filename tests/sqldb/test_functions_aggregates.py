@@ -1,0 +1,152 @@
+"""Unit tests for scalar functions and aggregate accumulators."""
+
+import math
+
+import pytest
+
+from repro.errors import ExecutionError, TypeMismatchError
+from repro.sqldb.aggregates import is_aggregate_name, make_aggregate
+from repro.sqldb.functions import builtin_scalar_functions
+
+FUNCS = builtin_scalar_functions()
+
+
+class TestScalarFunctions:
+    def test_abs_round_floor_ceiling(self):
+        assert FUNCS["abs"](-3) == 3
+        assert FUNCS["round"](2.567, 2) == 2.57
+        assert FUNCS["floor"](2.9) == 2
+        assert FUNCS["ceiling"](2.1) == 3
+        assert FUNCS["ceil"](2.1) == 3
+
+    def test_sqrt_power_exp_log(self):
+        assert FUNCS["sqrt"](9) == 3.0
+        assert FUNCS["power"](2, 10) == 1024.0
+        assert FUNCS["exp"](0) == 1.0
+        assert FUNCS["log"](math.e) == pytest.approx(1.0)
+
+    def test_sqrt_negative_raises(self):
+        with pytest.raises(ExecutionError):
+            FUNCS["sqrt"](-1)
+
+    def test_log_nonpositive_raises(self):
+        with pytest.raises(ExecutionError):
+            FUNCS["log"](0)
+
+    def test_sign_and_mod(self):
+        assert FUNCS["sign"](-5) == -1
+        assert FUNCS["sign"](0) == 0
+        assert FUNCS["sign"](2.5) == 1
+        assert FUNCS["mod"](7, 3) == 1
+
+    def test_string_functions(self):
+        assert FUNCS["upper"]("ab") == "AB"
+        assert FUNCS["lower"]("AB") == "ab"
+        assert FUNCS["length"]("abc") == 3
+        assert FUNCS["substring"]("hello", 2, 3) == "ell"  # 1-based
+        assert FUNCS["trim"]("  x ") == "x"
+        assert FUNCS["replace"]("aaa", "a", "b") == "bbb"
+
+    def test_null_passthrough(self):
+        assert FUNCS["abs"](None) is None
+        assert FUNCS["upper"](None) is None
+        assert FUNCS["round"](None, 2) is None
+
+    def test_type_errors(self):
+        with pytest.raises(TypeMismatchError):
+            FUNCS["abs"]("x")
+        with pytest.raises(TypeMismatchError):
+            FUNCS["upper"](3)
+
+    def test_concat_treats_null_as_empty(self):
+        assert FUNCS["concat"]("a", None, "b", 3) == "ab3"
+
+    def test_coalesce(self):
+        assert FUNCS["coalesce"](None, None, 5, 7) == 5
+        assert FUNCS["coalesce"](None, None) is None
+
+    def test_nullif(self):
+        assert FUNCS["nullif"](1, 1) is None
+        assert FUNCS["nullif"](1, 2) == 1
+        assert FUNCS["nullif"](None, 1) is None
+
+    def test_isnull(self):
+        assert FUNCS["isnull"](None, 9) == 9
+        assert FUNCS["isnull"](4, 9) == 4
+
+    def test_least_greatest_skip_nulls(self):
+        assert FUNCS["least"](3, None, 1) == 1
+        assert FUNCS["greatest"](3, None, 5) == 5
+        assert FUNCS["least"](None, None) is None
+
+
+class TestAggregates:
+    def feed(self, aggregate, values):
+        for value in values:
+            aggregate.add(value)
+        return aggregate.result()
+
+    def test_count_star_counts_everything(self):
+        agg = make_aggregate("count", star=True)
+        assert self.feed(agg, [1, None, "x"]) == 3
+
+    def test_count_skips_nulls(self):
+        assert self.feed(make_aggregate("count"), [1, None, 2]) == 2
+
+    def test_count_distinct(self):
+        agg = make_aggregate("count", distinct=True)
+        assert self.feed(agg, [1, 1, 2, None, 2]) == 2
+
+    def test_count_empty_is_zero(self):
+        assert make_aggregate("count").result() == 0
+
+    def test_sum(self):
+        assert self.feed(make_aggregate("sum"), [1, 2, 3]) == 6
+        assert self.feed(make_aggregate("sum"), [None]) is None
+
+    def test_sum_rejects_text(self):
+        with pytest.raises(TypeMismatchError):
+            self.feed(make_aggregate("sum"), ["x"])
+
+    def test_avg(self):
+        assert self.feed(make_aggregate("avg"), [1, 2, 3, None]) == 2.0
+        assert self.feed(make_aggregate("avg"), []) is None
+
+    def test_min_max(self):
+        assert self.feed(make_aggregate("min"), [3, 1, None, 2]) == 1
+        assert self.feed(make_aggregate("max"), [3, 1, None, 2]) == 3
+        assert self.feed(make_aggregate("min"), [None]) is None
+
+    def test_var_and_stdev_sample(self):
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        variance = self.feed(make_aggregate("var"), values)
+        assert variance == pytest.approx(32.0 / 7.0)
+        stdev = self.feed(make_aggregate("stdev"), values)
+        assert stdev == pytest.approx(math.sqrt(32.0 / 7.0))
+
+    def test_varp_stdevp_population(self):
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        assert self.feed(make_aggregate("varp"), values) == pytest.approx(4.0)
+        assert self.feed(make_aggregate("stdevp"), values) == pytest.approx(2.0)
+
+    def test_variance_needs_two_values(self):
+        assert self.feed(make_aggregate("var"), [1.0]) is None
+        assert self.feed(make_aggregate("stdev"), [1.0]) is None
+        assert self.feed(make_aggregate("varp"), [1.0]) == 0.0
+
+    def test_is_aggregate_name(self):
+        assert is_aggregate_name("COUNT")
+        assert is_aggregate_name("stdev")
+        assert not is_aggregate_name("round")
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(ExecutionError, match="unknown aggregate"):
+            make_aggregate("median")
+
+    def test_star_only_for_count(self):
+        with pytest.raises(ExecutionError):
+            make_aggregate("sum", star=True)
+
+    def test_distinct_only_for_count(self):
+        with pytest.raises(ExecutionError):
+            make_aggregate("sum", distinct=True)

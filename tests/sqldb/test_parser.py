@@ -1,0 +1,243 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sqldb.ast_nodes import (
+    Between,
+    BinaryOp,
+    CaseWhen,
+    Cast,
+    ColumnRef,
+    CreateTable,
+    Delete,
+    DropTable,
+    FunctionCall,
+    InList,
+    InsertSelect,
+    InsertValues,
+    IsNull,
+    Like,
+    Literal,
+    Select,
+    SubquerySource,
+    TableFunctionSource,
+    TableSource,
+    UnaryOp,
+    Update,
+    Variable,
+)
+from repro.sqldb.parser import parse_expression, parse_script, parse_statement
+
+
+class TestExpressionParsing:
+    def test_literals(self):
+        assert parse_expression("42") == Literal(42)
+        assert parse_expression("2.5") == Literal(2.5)
+        assert parse_expression("'hi'") == Literal("hi")
+        assert parse_expression("NULL") == Literal(None)
+        assert parse_expression("TRUE") == Literal(True)
+        assert parse_expression("FALSE") == Literal(False)
+
+    def test_precedence_multiplication_over_addition(self):
+        expression = parse_expression("1 + 2 * 3")
+        assert isinstance(expression, BinaryOp) and expression.operator == "+"
+        assert isinstance(expression.right, BinaryOp) and expression.right.operator == "*"
+
+    def test_parentheses_override(self):
+        expression = parse_expression("(1 + 2) * 3")
+        assert expression.operator == "*"
+
+    def test_and_binds_tighter_than_or(self):
+        expression = parse_expression("a OR b AND c")
+        assert expression.operator == "OR"
+        assert isinstance(expression.right, BinaryOp) and expression.right.operator == "AND"
+
+    def test_not(self):
+        expression = parse_expression("NOT a")
+        assert isinstance(expression, UnaryOp) and expression.operator == "NOT"
+
+    def test_unary_minus(self):
+        assert parse_expression("-x") == UnaryOp("-", ColumnRef("x"))
+
+    def test_comparison_normalizes_not_equal(self):
+        assert parse_expression("a != b").operator == "<>"
+
+    def test_qualified_column(self):
+        assert parse_expression("t.col") == ColumnRef("col", qualifier="t")
+
+    def test_variable(self):
+        assert parse_expression("@current") == Variable("current")
+
+    def test_function_call(self):
+        expression = parse_expression("ROUND(x, 2)")
+        assert expression == FunctionCall("ROUND", (ColumnRef("x"), Literal(2)))
+
+    def test_count_star(self):
+        assert parse_expression("COUNT(*)") == FunctionCall("COUNT", star=True)
+
+    def test_count_distinct(self):
+        expression = parse_expression("COUNT(DISTINCT x)")
+        assert expression.distinct and expression.args == (ColumnRef("x"),)
+
+    def test_case_when(self):
+        expression = parse_expression(
+            "CASE WHEN a < b THEN 1 WHEN a = b THEN 0 ELSE -1 END"
+        )
+        assert isinstance(expression, CaseWhen)
+        assert len(expression.branches) == 2
+        assert expression.otherwise is not None
+
+    def test_case_requires_when(self):
+        with pytest.raises(ParseError):
+            parse_expression("CASE ELSE 1 END")
+
+    def test_cast(self):
+        assert parse_expression("CAST(x AS FLOAT)") == Cast(ColumnRef("x"), "FLOAT")
+
+    def test_in_list(self):
+        expression = parse_expression("x IN (1, 2, 3)")
+        assert isinstance(expression, InList) and not expression.negated
+        assert len(expression.items) == 3
+
+    def test_not_in(self):
+        assert parse_expression("x NOT IN (1)").negated
+
+    def test_between(self):
+        expression = parse_expression("x BETWEEN 1 AND 10")
+        assert isinstance(expression, Between)
+        assert expression.low == Literal(1) and expression.high == Literal(10)
+
+    def test_not_between(self):
+        assert parse_expression("x NOT BETWEEN 1 AND 2").negated
+
+    def test_is_null_and_is_not_null(self):
+        assert parse_expression("x IS NULL") == IsNull(ColumnRef("x"))
+        assert parse_expression("x IS NOT NULL") == IsNull(ColumnRef("x"), negated=True)
+
+    def test_like(self):
+        expression = parse_expression("name LIKE 'a%'")
+        assert isinstance(expression, Like) and not expression.negated
+
+    def test_expect_keyword_becomes_call(self):
+        expression = parse_expression("MAX(EXPECT overload)")
+        assert expression.name == "MAX"
+        inner = expression.args[0]
+        assert inner == FunctionCall("EXPECT", (ColumnRef("overload"),))
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("1 2")
+
+    def test_render_round_trips(self):
+        text = "CASE WHEN capacity < demand THEN 1 ELSE 0 END"
+        expression = parse_expression(text)
+        assert parse_expression(expression.render()) == expression
+
+
+class TestSelectParsing:
+    def test_minimal(self):
+        statement = parse_statement("SELECT 1")
+        assert isinstance(statement, Select)
+        assert statement.items[0].expression == Literal(1)
+
+    def test_star(self):
+        statement = parse_statement("SELECT * FROM t")
+        assert statement.items[0].star
+
+    def test_aliases_with_and_without_as(self):
+        statement = parse_statement("SELECT a AS x, b y FROM t")
+        assert statement.items[0].alias == "x"
+        assert statement.items[1].alias == "y"
+
+    def test_into(self):
+        statement = parse_statement("SELECT 1 AS x INTO results")
+        assert statement.into == "results"
+
+    def test_from_alias(self):
+        statement = parse_statement("SELECT a FROM t AS u")
+        assert statement.source == TableSource("t", alias="u")
+
+    def test_table_function_source(self):
+        statement = parse_statement("SELECT t, value FROM DemandModelT(@seed, 12)")
+        assert isinstance(statement.source, TableFunctionSource)
+        assert statement.source.name == "DemandModelT"
+        assert len(statement.source.args) == 2
+
+    def test_subquery_source(self):
+        statement = parse_statement("SELECT x FROM (SELECT a AS x FROM t) AS s")
+        assert isinstance(statement.source, SubquerySource)
+        assert statement.source.alias == "s"
+
+    def test_joins(self):
+        statement = parse_statement(
+            "SELECT * FROM a JOIN b ON a.id = b.id LEFT JOIN c ON a.id = c.id "
+            "CROSS JOIN d"
+        )
+        kinds = [j.kind for j in statement.joins]
+        assert kinds == ["INNER", "LEFT", "CROSS"]
+        assert statement.joins[2].condition is None
+
+    def test_where_group_having_order_limit_offset(self):
+        statement = parse_statement(
+            "SELECT name, COUNT(*) AS n FROM t WHERE age > 18 GROUP BY name "
+            "HAVING COUNT(*) > 1 ORDER BY n DESC, name ASC LIMIT 10 OFFSET 5"
+        )
+        assert statement.where is not None
+        assert len(statement.group_by) == 1
+        assert statement.having is not None
+        assert statement.order_by[0].descending and not statement.order_by[1].descending
+        assert statement.limit == 10 and statement.offset == 5
+
+    def test_distinct(self):
+        assert parse_statement("SELECT DISTINCT a FROM t").distinct
+
+    def test_missing_on_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT * FROM a JOIN b")
+
+
+class TestOtherStatements:
+    def test_create_table(self):
+        statement = parse_statement(
+            "CREATE TABLE t (a INT NOT NULL, b VARCHAR, c FLOAT NULL)"
+        )
+        assert isinstance(statement, CreateTable)
+        assert [c.name for c in statement.columns] == ["a", "b", "c"]
+        assert not statement.columns[0].nullable
+        assert statement.columns[1].nullable
+
+    def test_insert_values(self):
+        statement = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(statement, InsertValues)
+        assert statement.columns == ("a", "b")
+        assert len(statement.rows) == 2
+
+    def test_insert_select(self):
+        statement = parse_statement("INSERT INTO t SELECT a FROM u")
+        assert isinstance(statement, InsertSelect)
+
+    def test_drop_table(self):
+        assert parse_statement("DROP TABLE t") == DropTable("t")
+        assert parse_statement("DROP TABLE IF EXISTS t").if_exists
+
+    def test_delete(self):
+        statement = parse_statement("DELETE FROM t WHERE a = 1")
+        assert isinstance(statement, Delete) and statement.where is not None
+
+    def test_update(self):
+        statement = parse_statement("UPDATE t SET a = 1, b = 'x' WHERE c > 0")
+        assert isinstance(statement, Update)
+        assert len(statement.assignments) == 2
+
+    def test_script_multiple_statements(self):
+        script = parse_script("SELECT 1; SELECT 2;; SELECT 3")
+        assert len(script.statements) == 3
+
+    def test_statement_rejects_garbage(self):
+        with pytest.raises(ParseError, match="expected a statement"):
+            parse_statement("FOO BAR")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT 1 SELECT 2")

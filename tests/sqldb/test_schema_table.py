@@ -1,0 +1,141 @@
+"""Unit tests for schemas, tables, and result sets."""
+
+import pytest
+
+from repro.errors import CatalogError, TypeMismatchError
+from repro.sqldb.schema import Column, TableSchema
+from repro.sqldb.table import ResultSet, Table
+from repro.sqldb.types import SqlType
+
+
+def schema_ab() -> TableSchema:
+    return TableSchema.of(("a", SqlType.INTEGER), ("b", SqlType.TEXT))
+
+
+class TestColumn:
+    def test_empty_name_rejected(self):
+        with pytest.raises(CatalogError):
+            Column("", SqlType.INTEGER)
+
+    def test_not_null_enforced(self):
+        column = Column("a", SqlType.INTEGER, nullable=False)
+        with pytest.raises(TypeMismatchError, match="NOT NULL"):
+            column.check(None)
+
+    def test_check_coerces(self):
+        column = Column("a", SqlType.FLOAT)
+        assert column.check(2) == 2.0
+
+
+class TestTableSchema:
+    def test_duplicate_names_rejected_case_insensitively(self):
+        with pytest.raises(CatalogError, match="duplicate column"):
+            TableSchema.of(("a", SqlType.INTEGER), ("A", SqlType.TEXT))
+
+    def test_position_and_lookup(self):
+        schema = schema_ab()
+        assert schema.position_of("B") == 1
+        assert schema.column("a").sql_type == SqlType.INTEGER
+        assert schema.has_column("b") and not schema.has_column("c")
+
+    def test_missing_column_raises(self):
+        with pytest.raises(CatalogError, match="no such column"):
+            schema_ab().position_of("zz")
+
+    def test_check_row_arity(self):
+        with pytest.raises(TypeMismatchError, match="row has 1 values"):
+            schema_ab().check_row([1])
+
+    def test_check_row_coerces(self):
+        schema = TableSchema.of(("x", SqlType.FLOAT))
+        assert schema.check_row([3]) == (3.0,)
+
+    def test_project(self):
+        projected = schema_ab().project(["b"])
+        assert projected.names == ("b",)
+
+    def test_concat_with_prefixes(self):
+        left = TableSchema.of(("a", SqlType.INTEGER))
+        right = TableSchema.of(("a", SqlType.TEXT))
+        merged = left.concat(right, prefix_self="l", prefix_other="r")
+        assert merged.names == ("l.a", "r.a")
+
+    def test_iteration_and_len(self):
+        schema = schema_ab()
+        assert len(schema) == 2
+        assert [c.name for c in schema] == ["a", "b"]
+
+
+class TestTable:
+    def test_insert_and_scan(self):
+        table = Table("t", schema_ab())
+        table.insert([1, "x"])
+        table.insert([2, None])
+        assert len(table) == 2
+        assert list(table) == [(1, "x"), (2, None)]
+
+    def test_insert_many_counts(self):
+        table = Table("t", schema_ab())
+        assert table.insert_many([[1, "a"], [2, "b"]]) == 2
+
+    def test_insert_validates(self):
+        table = Table("t", schema_ab())
+        with pytest.raises(TypeMismatchError):
+            table.insert(["not-int", "x"])
+
+    def test_rows_returns_copy(self):
+        table = Table("t", schema_ab())
+        table.insert([1, "x"])
+        rows = table.rows
+        rows.append((9, "z"))
+        assert len(table) == 1
+
+    def test_truncate_and_replace(self):
+        table = Table("t", schema_ab())
+        table.insert([1, "x"])
+        table.truncate()
+        assert len(table) == 0
+        table.replace_rows([[5, "y"]])
+        assert table.rows == [(5, "y")]
+
+    def test_load_unchecked_skips_validation(self):
+        table = Table("t", schema_ab())
+        assert table.load_unchecked([(1, "a"), (2, "b")]) == 2
+        assert len(table) == 2
+
+    def test_column_values(self):
+        table = Table("t", schema_ab())
+        table.insert_many([[1, "a"], [2, "b"]])
+        assert table.column_values("a") == [1, 2]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(CatalogError):
+            Table("  ", schema_ab())
+
+
+class TestResultSet:
+    def make(self) -> ResultSet:
+        return ResultSet(schema=schema_ab(), rows=[(1, "x"), (2, "y")])
+
+    def test_len_iter_columns(self):
+        result = self.make()
+        assert len(result) == 2
+        assert result.column_names == ("a", "b")
+        assert result.column("b") == ["x", "y"]
+
+    def test_scalar_requires_1x1(self):
+        result = ResultSet(schema=TableSchema.of(("n", SqlType.INTEGER)), rows=[(7,)])
+        assert result.scalar() == 7
+        with pytest.raises(CatalogError):
+            self.make().scalar()
+
+    def test_to_dicts(self):
+        assert self.make().to_dicts()[0] == {"a": 1, "b": "x"}
+
+    def test_pretty_contains_header_and_truncation(self):
+        result = ResultSet(
+            schema=TableSchema.of(("n", SqlType.INTEGER)),
+            rows=[(i,) for i in range(30)],
+        )
+        text = result.pretty(max_rows=5)
+        assert "n" in text and "more rows" in text

@@ -1,0 +1,150 @@
+"""Property-based tests for the SQL engine (hypothesis).
+
+These cross-check the engine's aggregation and filtering against direct
+Python computation over randomly generated tables.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqldb import Catalog, Executor
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+cell = st.one_of(st.none(), st.integers(min_value=-1000, max_value=1000))
+rows_strategy = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=5), cell), min_size=0, max_size=40
+)
+
+
+def load(rows):
+    executor = Executor(Catalog())
+    executor.execute("CREATE TABLE t (g INT, v INT)")
+    table = executor.catalog.table("t")
+    table.insert_many(rows)
+    return executor
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=rows_strategy)
+def test_count_matches_python(rows):
+    executor = load(rows)
+    assert executor.execute("SELECT COUNT(*) FROM t").scalar() == len(rows)
+    non_null = sum(1 for _, v in rows if v is not None)
+    assert executor.execute("SELECT COUNT(v) FROM t").scalar() == non_null
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=rows_strategy)
+def test_sum_avg_min_max_match_python(rows):
+    executor = load(rows)
+    values = [v for _, v in rows if v is not None]
+    result = executor.execute(
+        "SELECT SUM(v) AS s, AVG(v) AS a, MIN(v) AS lo, MAX(v) AS hi FROM t"
+    ).to_dicts()[0]
+    if not values:
+        assert result == {"s": None, "a": None, "lo": None, "hi": None}
+    else:
+        assert result["s"] == sum(values)
+        assert result["a"] == pytest.approx(sum(values) / len(values))
+        assert result["lo"] == min(values)
+        assert result["hi"] == max(values)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=rows_strategy)
+def test_group_by_partitions_rows(rows):
+    executor = load(rows)
+    result = executor.execute("SELECT g, COUNT(*) AS n FROM t GROUP BY g")
+    by_group: dict[int, int] = {}
+    for g, _ in rows:
+        by_group[g] = by_group.get(g, 0) + 1
+    assert dict(result.rows) == by_group
+    # Group counts always sum back to the table size.
+    assert sum(n for _, n in result.rows) == len(rows)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=rows_strategy, threshold=st.integers(min_value=-1000, max_value=1000))
+def test_where_filter_matches_python(rows, threshold):
+    executor = load(rows)
+    result = executor.execute(f"SELECT COUNT(*) FROM t WHERE v >= {threshold}")
+    expected = sum(1 for _, v in rows if v is not None and v >= threshold)
+    assert result.scalar() == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=rows_strategy)
+def test_order_by_sorts_non_null_values(rows):
+    executor = load(rows)
+    result = executor.execute("SELECT v FROM t ORDER BY v")
+    values = [v for (v,) in result.rows]
+    nulls = [v for v in values if v is None]
+    rest = [v for v in values if v is not None]
+    # NULLs first, then ascending.
+    assert values == nulls + sorted(rest)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=rows_strategy)
+def test_select_into_round_trips(rows):
+    executor = load(rows)
+    executor.execute("SELECT g, v INTO t2 FROM t")
+    original = executor.execute("SELECT g, v FROM t").rows
+    copied = executor.execute("SELECT g, v FROM t2").rows
+    assert original == copied
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(finite_floats, min_size=2, max_size=30),
+)
+def test_stdev_matches_numpy_formula(values):
+    executor = Executor(Catalog())
+    executor.execute("CREATE TABLE t (v FLOAT)")
+    executor.catalog.table("t").insert_many([(v,) for v in values])
+    result = executor.execute("SELECT STDEV(v) AS s FROM t").scalar()
+    mean = sum(values) / len(values)
+    variance = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+    if variance < 0:
+        variance = 0.0
+    assert result == pytest.approx(math.sqrt(variance), rel=1e-6, abs=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=rows_strategy)
+def test_distinct_removes_exact_duplicates(rows):
+    executor = load(rows)
+    result = executor.execute("SELECT DISTINCT g, v FROM t")
+    assert len(result.rows) == len(set(rows))
+    assert set(result.rows) == set(rows)
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows=rows_strategy, limit=st.integers(min_value=0, max_value=10))
+def test_limit_truncates(rows, limit):
+    executor = load(rows)
+    result = executor.execute(f"SELECT g FROM t LIMIT {limit}")
+    assert len(result.rows) == min(limit, len(rows))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    left=st.lists(st.integers(min_value=0, max_value=8), min_size=0, max_size=20),
+    right=st.lists(st.integers(min_value=0, max_value=8), min_size=0, max_size=20),
+)
+def test_inner_join_cardinality_matches_python(left, right):
+    executor = Executor(Catalog())
+    executor.execute("CREATE TABLE l (k INT)")
+    executor.execute("CREATE TABLE r (k INT)")
+    executor.catalog.table("l").insert_many([(v,) for v in left])
+    executor.catalog.table("r").insert_many([(v,) for v in right])
+    result = executor.execute("SELECT COUNT(*) FROM l JOIN r ON l.k = r.k")
+    expected = sum(left.count(v) * right.count(v) for v in set(left))
+    assert result.scalar() == expected

@@ -1,0 +1,135 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import TokenizeError
+from repro.sqldb.tokenizer import tokenize
+from repro.sqldb.tokens import TokenType
+
+
+def kinds(text):
+    return [(t.type, t.value) for t in tokenize(text)[:-1]]  # drop EOF
+
+
+class TestBasics:
+    def test_empty_input_is_just_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].type == TokenType.EOF
+
+    def test_keywords_uppercase(self):
+        assert kinds("select From") == [
+            (TokenType.KEYWORD, "SELECT"),
+            (TokenType.KEYWORD, "FROM"),
+        ]
+
+    def test_identifiers_preserve_case(self):
+        assert kinds("DemandModel") == [(TokenType.IDENTIFIER, "DemandModel")]
+
+    def test_variables(self):
+        assert kinds("@purchase1") == [(TokenType.VARIABLE, "purchase1")]
+
+    def test_variable_requires_name(self):
+        with pytest.raises(TokenizeError, match="expected name"):
+            tokenize("@ 1")
+
+    def test_punctuation_and_operators(self):
+        values = [v for _, v in kinds("(a, b) <= c <> d != e")]
+        assert "<=" in values and "<>" in values and "!=" in values
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert kinds("42") == [(TokenType.INTEGER, 42)]
+
+    def test_float_forms(self):
+        assert kinds("2.5")[0] == (TokenType.FLOAT, 2.5)
+        assert kinds(".5")[0] == (TokenType.FLOAT, 0.5)
+        assert kinds("1e3")[0] == (TokenType.FLOAT, 1000.0)
+        assert kinds("1.5e-2")[0] == (TokenType.FLOAT, 0.015)
+
+    def test_trailing_e_is_not_exponent(self):
+        # "1e" is integer 1 followed by identifier e.
+        result = kinds("1e")
+        assert result[0] == (TokenType.INTEGER, 1)
+        assert result[1] == (TokenType.IDENTIFIER, "e")
+
+    def test_dot_after_integer_binds_as_float(self):
+        assert kinds("3.14")[0] == (TokenType.FLOAT, 3.14)
+
+
+class TestStrings:
+    def test_simple_string(self):
+        assert kinds("'hello'") == [(TokenType.STRING, "hello")]
+
+    def test_doubled_quote_escape(self):
+        assert kinds("'it''s'") == [(TokenType.STRING, "it's")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(TokenizeError, match="unterminated string"):
+            tokenize("'oops")
+
+    def test_empty_string(self):
+        assert kinds("''") == [(TokenType.STRING, "")]
+
+
+class TestBracketIdentifiers:
+    def test_bracketed(self):
+        assert kinds("[order]") == [(TokenType.IDENTIFIER, "order")]
+
+    def test_unterminated(self):
+        with pytest.raises(TokenizeError, match="unterminated"):
+            tokenize("[oops")
+
+    def test_empty_rejected(self):
+        with pytest.raises(TokenizeError, match="empty"):
+            tokenize("[]")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("1 -- comment here\n2") == [
+            (TokenType.INTEGER, 1),
+            (TokenType.INTEGER, 2),
+        ]
+
+    def test_line_comment_at_eof(self):
+        assert kinds("1 -- trailing") == [(TokenType.INTEGER, 1)]
+
+    def test_block_comment(self):
+        assert kinds("1 /* x\ny */ 2") == [
+            (TokenType.INTEGER, 1),
+            (TokenType.INTEGER, 2),
+        ]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(TokenizeError, match="block comment"):
+            tokenize("/* nope")
+
+    def test_minus_alone_is_operator(self):
+        assert kinds("1 - 2")[1] == (TokenType.OPERATOR, "-")
+
+
+class TestErrors:
+    def test_unexpected_character_reports_position(self):
+        with pytest.raises(TokenizeError) as exc:
+            tokenize("a ? b")
+        assert "line 1" in str(exc.value)
+
+    def test_multiline_error_position(self):
+        with pytest.raises(TokenizeError) as exc:
+            tokenize("a\nb ?")
+        assert "line 2" in str(exc.value)
+
+
+class TestTokenHelpers:
+    def test_matches_helpers(self):
+        token = tokenize("SELECT")[0]
+        assert token.matches_keyword("SELECT", "FROM")
+        assert not token.matches_keyword("FROM")
+        op = tokenize("<=")[0]
+        assert op.matches_operator("<=", ">=")
+        punct = tokenize(",")[0]
+        assert punct.matches_punct(",")
+
+    def test_describe_eof(self):
+        assert tokenize("")[0].describe() == "end of input"

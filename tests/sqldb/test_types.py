@@ -1,0 +1,136 @@
+"""Unit tests for SQL type declarations, inference, and coercion."""
+
+import math
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.sqldb.types import (
+    SqlType,
+    coerce,
+    common_numeric_type,
+    format_value,
+    infer_type,
+    is_numeric,
+)
+
+
+class TestFromDeclaration:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("INTEGER", SqlType.INTEGER),
+            ("int", SqlType.INTEGER),
+            ("BIGINT", SqlType.INTEGER),
+            ("float", SqlType.FLOAT),
+            ("REAL", SqlType.FLOAT),
+            ("DOUBLE", SqlType.FLOAT),
+            ("decimal", SqlType.FLOAT),
+            ("TEXT", SqlType.TEXT),
+            ("VARCHAR", SqlType.TEXT),
+            ("nvarchar", SqlType.TEXT),
+            ("BOOLEAN", SqlType.BOOLEAN),
+            ("BIT", SqlType.BOOLEAN),
+        ],
+    )
+    def test_synonyms(self, name, expected):
+        assert SqlType.from_declaration(name) == expected
+
+    def test_parenthesized_length_is_ignored(self):
+        assert SqlType.from_declaration("VARCHAR(255)") == SqlType.TEXT
+        assert SqlType.from_declaration("DECIMAL(10, 2)") == SqlType.FLOAT
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeMismatchError, match="unknown SQL type"):
+            SqlType.from_declaration("BLOB")
+
+    def test_python_type(self):
+        assert SqlType.INTEGER.python_type() is int
+        assert SqlType.TEXT.python_type() is str
+
+
+class TestInferType:
+    def test_null(self):
+        assert infer_type(None) is None
+
+    def test_bool_before_int(self):
+        # bool is a subclass of int; it must infer as BOOLEAN.
+        assert infer_type(True) == SqlType.BOOLEAN
+        assert infer_type(0) == SqlType.INTEGER
+
+    def test_numbers_and_text(self):
+        assert infer_type(3) == SqlType.INTEGER
+        assert infer_type(3.5) == SqlType.FLOAT
+        assert infer_type("x") == SqlType.TEXT
+
+    def test_unsupported(self):
+        with pytest.raises(TypeMismatchError):
+            infer_type([1, 2])
+
+
+class TestCoerce:
+    def test_null_passthrough(self):
+        assert coerce(None, SqlType.INTEGER) is None
+
+    def test_identity(self):
+        assert coerce(5, SqlType.INTEGER) == 5
+        assert coerce("a", SqlType.TEXT) == "a"
+
+    def test_int_widens_to_float(self):
+        value = coerce(5, SqlType.FLOAT)
+        assert value == 5.0 and isinstance(value, float)
+
+    def test_integral_float_narrows_to_int(self):
+        value = coerce(2.0, SqlType.INTEGER)
+        assert value == 2 and isinstance(value, int)
+
+    def test_fractional_float_does_not_narrow(self):
+        with pytest.raises(TypeMismatchError, match="non-integral"):
+            coerce(2.5, SqlType.INTEGER)
+
+    def test_nan_does_not_narrow(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(float("nan"), SqlType.INTEGER)
+
+    def test_bool_to_numbers(self):
+        assert coerce(True, SqlType.INTEGER) == 1
+        assert coerce(False, SqlType.FLOAT) == 0.0
+
+    def test_no_text_number_conversion(self):
+        with pytest.raises(TypeMismatchError):
+            coerce("5", SqlType.INTEGER)
+        with pytest.raises(TypeMismatchError):
+            coerce(5, SqlType.TEXT)
+
+
+class TestNumericHelpers:
+    def test_is_numeric(self):
+        assert is_numeric(1) and is_numeric(1.5)
+        assert not is_numeric(True)
+        assert not is_numeric("1")
+        assert not is_numeric(None)
+
+    def test_common_numeric_type(self):
+        assert common_numeric_type(SqlType.INTEGER, SqlType.INTEGER) == SqlType.INTEGER
+        assert common_numeric_type(SqlType.INTEGER, SqlType.FLOAT) == SqlType.FLOAT
+
+    def test_common_numeric_rejects_text(self):
+        with pytest.raises(TypeMismatchError):
+            common_numeric_type(SqlType.TEXT, SqlType.INTEGER)
+
+
+class TestFormatValue:
+    def test_null(self):
+        assert format_value(None) == "NULL"
+
+    def test_booleans(self):
+        assert format_value(True) == "TRUE"
+        assert format_value(False) == "FALSE"
+
+    def test_float_compact(self):
+        assert format_value(2.5) == "2.5"
+        assert format_value(float("nan")) == "NaN"
+
+    def test_text_and_int(self):
+        assert format_value("hi") == "hi"
+        assert format_value(42) == "42"

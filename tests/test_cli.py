@@ -1,0 +1,137 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_assignment, build_parser, main
+from repro.errors import ReproError
+from repro.models import FIGURE2_DSL
+
+SMALL_DSL = """
+DECLARE PARAMETER @current AS RANGE 0 TO 52 STEP BY 1;
+DECLARE PARAMETER @purchase1 AS RANGE 0 TO 52 STEP BY 26;
+DECLARE PARAMETER @purchase2 AS RANGE 0 TO 52 STEP BY 26;
+DECLARE PARAMETER @feature AS SET (12, 36);
+SELECT DemandModel(@current, @feature) AS demand,
+       CapacityModel(@current, @purchase1, @purchase2) AS capacity,
+       CASE WHEN capacity < demand THEN 1 ELSE 0 END AS overload
+INTO results;
+GRAPH OVER @current EXPECT overload WITH red;
+OPTIMIZE SELECT @purchase1, @purchase2 FROM results
+WHERE MAX(EXPECT overload) < 0.5
+FOR MAX @purchase1, MAX @purchase2
+"""
+
+
+@pytest.fixture
+def scenario_file(tmp_path):
+    path = tmp_path / "scenario.sql"
+    path.write_text(SMALL_DSL)
+    return str(path)
+
+
+class TestParseAssignment:
+    def test_integer(self):
+        assert _parse_assignment("purchase1=8") == ("purchase1", 8)
+
+    def test_float(self):
+        assert _parse_assignment("growth=1.5") == ("growth", 1.5)
+
+    def test_string(self):
+        assert _parse_assignment("mode=fast") == ("mode", "fast")
+
+    def test_at_prefix_stripped(self):
+        assert _parse_assignment("@feature=12") == ("feature", 12)
+
+    def test_missing_equals(self):
+        with pytest.raises(ReproError, match="NAME=VALUE"):
+            _parse_assignment("purchase1")
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_collects_assignments(self):
+        args = build_parser().parse_args(
+            ["run", "-", "--set", "a=1", "--set", "b=2"]
+        )
+        assert args.assignments == ["a=1", "b=2"]
+
+
+class TestInfo:
+    def test_info_builtin_scenario(self, capsys):
+        assert main(["info", "-"]) == 0
+        output = capsys.readouterr().out
+        assert "@current" in output and "(axis)" in output
+        assert "DemandModel" in output
+        assert "OPTIMIZE" in output or "optimize" in output
+
+    def test_info_from_file(self, scenario_file, capsys):
+        assert main(["info", scenario_file]) == 0
+        assert "sweep grid: 18 points" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["info", "/no/such/file.sql"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_run_evaluates_point(self, scenario_file, capsys):
+        code = main(
+            [
+                "run", scenario_file, "--worlds", "10", "--no-chart",
+                "--set", "purchase1=26", "--set", "purchase2=52",
+                "--set", "feature=12",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "E[overload]" in output
+        assert "E[capacity]" in output
+
+    def test_run_with_chart(self, scenario_file, capsys):
+        code = main(["run", scenario_file, "--worlds", "10"])
+        assert code == 0
+        assert "E[overload]" in capsys.readouterr().out
+
+    def test_run_rejects_bad_value(self, scenario_file, capsys):
+        code = main(
+            ["run", scenario_file, "--worlds", "10", "--set", "purchase1=3"]
+        )
+        assert code == 2
+        assert "not in domain" in capsys.readouterr().err
+
+    def test_run_defaults_unset_parameters(self, scenario_file, capsys):
+        assert main(["run", scenario_file, "--worlds", "10", "--no-chart"]) == 0
+        assert "'purchase1': 0" in capsys.readouterr().out
+
+
+class TestOptimize:
+    def test_optimize_finds_best(self, scenario_file, capsys):
+        code = main(["optimize", scenario_file, "--worlds", "10"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "best point" in output
+        assert "sources" in output
+
+    def test_optimize_with_grid(self, scenario_file, capsys):
+        code = main(
+            ["optimize", scenario_file, "--worlds", "10",
+             "--grid", "purchase1", "purchase2"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "F=fresh" in output
+
+    def test_optimize_no_reuse(self, scenario_file, capsys):
+        code = main(["optimize", scenario_file, "--worlds", "8", "--no-reuse"])
+        assert code == 0
+        assert "reuse off" in capsys.readouterr().out
+
+    def test_optimize_infeasible_exit_code(self, tmp_path, capsys):
+        text = SMALL_DSL.replace("< 0.5", "< -1.0")
+        path = tmp_path / "impossible.sql"
+        path.write_text(text)
+        assert main(["optimize", str(path), "--worlds", "8"]) == 1
+        assert "no feasible" in capsys.readouterr().out

@@ -1,0 +1,128 @@
+"""Unit and statistical tests for the primitive distributions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VGFunctionError
+from repro.vg.distributions import (
+    Bernoulli,
+    Constant,
+    Discrete,
+    Exponential,
+    LogNormal,
+    Normal,
+    Poisson,
+    Triangular,
+    Uniform,
+)
+from repro.vg.seeds import rng_for
+
+N = 20_000
+
+
+def check_moments(distribution, rel=0.08, abs_tol=0.05):
+    """Empirical mean/std within tolerance of the analytic moments."""
+    samples = distribution.sample(rng_for(7), N)
+    assert samples.shape == (N,)
+    assert np.mean(samples) == pytest.approx(distribution.mean(), rel=rel, abs=abs_tol)
+    assert np.std(samples, ddof=1) == pytest.approx(distribution.std(), rel=rel, abs=abs_tol)
+
+
+class TestMoments:
+    def test_normal(self):
+        check_moments(Normal(10.0, 3.0))
+
+    def test_lognormal(self):
+        check_moments(LogNormal(0.5, 0.4))
+
+    def test_uniform(self):
+        check_moments(Uniform(-2.0, 6.0))
+
+    def test_exponential(self):
+        check_moments(Exponential(0.5))
+
+    def test_poisson(self):
+        check_moments(Poisson(4.0))
+
+    def test_bernoulli(self):
+        check_moments(Bernoulli(0.3))
+
+    def test_triangular(self):
+        check_moments(Triangular(0.0, 2.0, 10.0))
+
+    def test_discrete(self):
+        check_moments(Discrete([1.0, 5.0, 9.0], [0.5, 0.25, 0.25]))
+
+    def test_constant(self):
+        samples = Constant(4.2).sample(rng_for(1), 100)
+        assert (samples == 4.2).all()
+        assert Constant(4.2).std() == 0.0
+
+
+class TestValidation:
+    def test_normal_negative_sigma(self):
+        with pytest.raises(VGFunctionError):
+            Normal(0.0, -1.0)
+
+    def test_uniform_inverted_bounds(self):
+        with pytest.raises(VGFunctionError):
+            Uniform(2.0, 1.0)
+
+    def test_exponential_rate_positive(self):
+        with pytest.raises(VGFunctionError):
+            Exponential(0.0)
+
+    def test_poisson_rate_nonnegative(self):
+        with pytest.raises(VGFunctionError):
+            Poisson(-1.0)
+
+    def test_bernoulli_probability_range(self):
+        with pytest.raises(VGFunctionError):
+            Bernoulli(1.5)
+
+    def test_triangular_mode_in_range(self):
+        with pytest.raises(VGFunctionError):
+            Triangular(0.0, 5.0, 3.0)
+
+    def test_discrete_requires_values(self):
+        with pytest.raises(VGFunctionError):
+            Discrete([])
+
+    def test_discrete_weight_shape(self):
+        with pytest.raises(VGFunctionError):
+            Discrete([1.0, 2.0], [1.0])
+
+    def test_discrete_negative_weight(self):
+        with pytest.raises(VGFunctionError):
+            Discrete([1.0], [-1.0])
+
+
+class TestBehaviour:
+    def test_bernoulli_values_binary(self):
+        samples = Bernoulli(0.5).sample(rng_for(3), 500)
+        assert set(np.unique(samples)) <= {0.0, 1.0}
+
+    def test_poisson_values_integral(self):
+        samples = Poisson(2.0).sample(rng_for(3), 500)
+        assert (samples == np.round(samples)).all()
+        assert (samples >= 0).all()
+
+    def test_uniform_within_bounds(self):
+        samples = Uniform(1.0, 2.0).sample(rng_for(3), 500)
+        assert ((samples >= 1.0) & (samples < 2.0)).all()
+
+    def test_discrete_uniform_default_weights(self):
+        distribution = Discrete([1.0, 2.0])
+        assert distribution.probabilities == pytest.approx([0.5, 0.5])
+
+    def test_discrete_only_emits_declared_values(self):
+        samples = Discrete([2.0, 4.0], [0.9, 0.1]).sample(rng_for(3), 200)
+        assert set(np.unique(samples)) <= {2.0, 4.0}
+
+    def test_degenerate_triangular(self):
+        samples = Triangular(3.0, 3.0, 3.0).sample(rng_for(1), 10)
+        assert (samples == 3.0).all()
+
+    def test_sampling_is_deterministic_per_seed(self):
+        d = Normal(0.0, 1.0)
+        assert (d.sample(rng_for(5), 10) == d.sample(rng_for(5), 10)).all()

@@ -1,0 +1,171 @@
+"""Unit tests for time-series VG-Functions and combinators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VGFunctionError
+from repro.vg.composite import DifferenceOf, MixtureOf, ScaledBy, SumOf, TransformedBy
+from repro.vg.timeseries import (
+    AR1Series,
+    GaussianSeries,
+    PoissonEventSeries,
+    RandomWalk,
+    SeasonalSeries,
+)
+
+
+class TestGaussianSeries:
+    def test_trend_visible_in_mean(self):
+        vg = GaussianSeries("g", 40, base=100.0, trend=2.0, sigma=0.0)
+        out = vg.invoke(1, ())
+        assert out[0] == pytest.approx(100.0)
+        assert out[39] == pytest.approx(100.0 + 2.0 * 39)
+
+    def test_partial_matches_full(self):
+        vg = GaussianSeries("g", 20, base=5.0, trend=0.5, sigma=2.0)
+        full = vg.invoke(3, ())
+        partial = vg.invoke_components(3, (), [2, 7, 19])
+        assert partial == pytest.approx([full[2], full[7], full[19]])
+
+    def test_partial_is_cheaper(self):
+        vg = GaussianSeries("g", 100, base=0.0, sigma=1.0)
+        vg.invoke_components(3, (), [5])
+        assert vg.component_samples == 1
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(VGFunctionError):
+            GaussianSeries("g", 10, base=0.0, sigma=-1.0)
+
+
+class TestRandomWalkAndAR1:
+    def test_walk_deterministic_drift(self):
+        vg = RandomWalk("w", 5, start=10.0, drift=1.0, sigma=0.0)
+        assert vg.invoke(1, ()) == pytest.approx([11.0, 12.0, 13.0, 14.0, 15.0])
+
+    def test_walk_increments_are_gaussian_scale(self):
+        vg = RandomWalk("w", 500, drift=0.0, sigma=2.0)
+        out = vg.invoke(1, ())
+        increments = np.diff(out)
+        assert np.std(increments) == pytest.approx(2.0, rel=0.15)
+
+    def test_ar1_reverts_to_mean(self):
+        vg = AR1Series("a", 300, mu=50.0, phi=0.5, sigma=0.1, start=0.0)
+        out = vg.invoke(1, ())
+        assert abs(np.mean(out[100:]) - 50.0) < 2.0
+
+    def test_ar1_phi_bounds(self):
+        with pytest.raises(VGFunctionError):
+            AR1Series("a", 10, phi=1.0)
+
+    def test_stepped_trace_matches_generate(self):
+        vg = RandomWalk("w", 10, sigma=1.0)
+        states, observations = vg.trace(4, ())
+        assert observations == pytest.approx(vg.generate(4, ()))
+        assert states == pytest.approx(observations)  # identity observe
+
+
+class TestSeasonalAndPoisson:
+    def test_seasonal_period(self):
+        vg = SeasonalSeries("s", 48, base=0.0, amplitude=3.0, period=12.0)
+        out = vg.invoke(1, ())
+        assert out[0] == pytest.approx(out[12], abs=1e-9)
+        assert out[3] == pytest.approx(3.0, abs=1e-9)  # sin peak
+
+    def test_seasonal_validation(self):
+        with pytest.raises(VGFunctionError):
+            SeasonalSeries("s", 10, base=0.0, amplitude=1.0, period=0.0)
+
+    def test_poisson_partial_consistent(self):
+        vg = PoissonEventSeries("p", 30, rate=3.0)
+        full = vg.invoke(2, ())
+        partial = vg.invoke_components(2, (), [0, 29])
+        assert partial == pytest.approx([full[0], full[29]])
+
+    def test_poisson_rate_validated(self):
+        with pytest.raises(VGFunctionError):
+            PoissonEventSeries("p", 10, rate=-1.0)
+
+
+class TestComposites:
+    def make_children(self):
+        a = GaussianSeries("a", 10, base=10.0, sigma=0.0)
+        b = GaussianSeries("b", 10, base=3.0, sigma=0.0)
+        return a, b
+
+    def test_sum(self):
+        a, b = self.make_children()
+        combined = SumOf("sum", [a, b])
+        assert combined.invoke(1, ()) == pytest.approx(np.full(10, 13.0))
+
+    def test_difference(self):
+        a, b = self.make_children()
+        combined = DifferenceOf("diff", [a, b])
+        assert combined.invoke(1, ()) == pytest.approx(np.full(10, 7.0))
+
+    def test_scaled(self):
+        a, _ = self.make_children()
+        scaled = ScaledBy("scaled", a, scale=2.0, offset=1.0)
+        assert scaled.invoke(1, ()) == pytest.approx(np.full(10, 21.0))
+
+    def test_transformed(self):
+        a, _ = self.make_children()
+        vg = TransformedBy("clip", a, lambda v, args: np.minimum(v, 5.0))
+        assert vg.invoke(1, ()) == pytest.approx(np.full(10, 5.0))
+
+    def test_transform_shape_checked(self):
+        a, _ = self.make_children()
+        vg = TransformedBy("bad", a, lambda v, args: v[:3])
+        with pytest.raises(VGFunctionError, match="shape"):
+            vg.invoke(1, ())
+
+    def test_mixture_picks_children(self):
+        a, b = self.make_children()
+        mixture = MixtureOf("mix", [a, b], weights=[0.5, 0.5])
+        seen = set()
+        for seed in range(40):
+            seen.add(float(mixture.invoke(seed, ())[0]))
+        assert seen == {10.0, 3.0}
+
+    def test_mixture_weights_validated(self):
+        a, b = self.make_children()
+        with pytest.raises(VGFunctionError):
+            MixtureOf("mix", [a, b], weights=[1.0])
+        with pytest.raises(VGFunctionError):
+            MixtureOf("mix", [a, b], weights=[-1.0, 2.0])
+
+    def test_children_width_mismatch_rejected(self):
+        a = GaussianSeries("a", 10, base=0.0)
+        c = GaussianSeries("c", 12, base=0.0)
+        with pytest.raises(VGFunctionError, match="n_components"):
+            SumOf("bad", [a, c])
+
+    def test_empty_children_rejected(self):
+        with pytest.raises(VGFunctionError):
+            SumOf("bad", [])
+
+    def test_arg_routing_by_name(self):
+        class NeedsX(GaussianSeries):
+            def __init__(self):
+                super().__init__("needs_x", 5, base=0.0, sigma=0.0)
+                self.arg_names = ("x",)
+
+            def generate(self, seed, args):
+                return np.full(5, float(args[0]))
+
+        class NeedsXY(GaussianSeries):
+            def __init__(self):
+                super().__init__("needs_xy", 5, base=0.0, sigma=0.0)
+                self.arg_names = ("x", "y")
+
+            def generate(self, seed, args):
+                return np.full(5, float(args[0]) + float(args[1]))
+
+        combined = SumOf("routed", [NeedsX(), NeedsXY()])
+        assert combined.arg_names == ("x", "y")
+        # x=2 routed to both children; y=10 only to the second.
+        assert combined.invoke(1, (2, 10)) == pytest.approx(np.full(5, 2 + 12))
+
+    def test_composite_determinism(self):
+        a, b = self.make_children()
+        mix = MixtureOf("mix2", [a, b])
+        assert (mix.invoke(9, ()) == mix.invoke(9, ())).all()
