@@ -5,10 +5,14 @@ stages (Query Generator, SQL execution, Storage Manager, Result Aggregator),
 reproducing the architecture walkthrough of paper §2.
 """
 
+import time
+
+import numpy as np
 import pytest
 
 from conftest import report
-from repro.core.engine import ProphetEngine
+from repro.core.engine import ProphetConfig, ProphetEngine, StageTimings
+from repro.core.instance import InstanceBatch
 from repro.models import build_risk_vs_cost
 
 POINT = {"purchase1": 8, "purchase2": 24, "feature": 12}
@@ -71,3 +75,64 @@ def test_f1_warm_evaluation_skips_sampling_sql(benchmark, fast_config):
         ],
     )
     assert evaluation.any_reuse
+
+
+@pytest.mark.benchmark(group="F1-pipeline")
+def test_f1_combine_aggregate_stage_speedup(benchmark):
+    """The compiled pipeline's combine/aggregate stage vs the interpreter.
+
+    ``reuse=False`` disables every caching layer (stats cache, week memo,
+    basis reuse), so the comparison isolates raw execution mechanics:
+    columnar landing, vectorized combine join, vectorized aggregation.
+    """
+    config = ProphetConfig(n_worlds=200, enable_stats_cache=False)
+
+    def build(fast: bool) -> ProphetEngine:
+        scenario, library = build_risk_vs_cost(purchase_step=8)
+        engine = ProphetEngine(scenario, library, config)
+        if not fast:
+            engine.executor.enable_vectorized = False
+            engine.executor.enable_compiled = False
+            engine.executor.plan_cache.capacity = 0
+        return engine
+
+    def stage_seconds(engine: ProphetEngine, rounds: int = 3):
+        evaluation = engine.evaluate_point(POINT, reuse=False)
+        batch = InstanceBatch.at_point(
+            evaluation.point, tuple(range(config.n_worlds)), config.base_seed
+        )
+        best = float("inf")
+        statistics = None
+        for _ in range(rounds):
+            timings = StageTimings()
+            started = time.perf_counter()
+            statistics = engine._combine_and_aggregate(
+                evaluation.point, batch, evaluation.samples, timings,
+                use_week_memo=False,
+            )
+            best = min(best, time.perf_counter() - started)
+        return best, statistics
+
+    fast_engine = build(fast=True)
+    slow_engine = build(fast=False)
+
+    def measure():
+        return stage_seconds(fast_engine)
+
+    fast_seconds, fast_stats = benchmark.pedantic(measure, rounds=1, iterations=1)
+    slow_seconds, slow_stats = stage_seconds(slow_engine)
+    speedup = slow_seconds / fast_seconds
+    report(
+        "F1: combine/aggregate stage, n_worlds=200, reuse=False",
+        [
+            f"interpreted {slow_seconds * 1000:8.1f} ms",
+            f"compiled    {fast_seconds * 1000:8.1f} ms",
+            f"speedup     {speedup:8.1f}x (target: >= 5x)",
+        ],
+    )
+    for alias in fast_stats.aliases():
+        assert np.array_equal(
+            fast_stats.expectation(alias), slow_stats.expectation(alias)
+        )
+        assert np.array_equal(fast_stats.stddev(alias), slow_stats.stddev(alias))
+    assert speedup >= 5.0

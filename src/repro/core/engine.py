@@ -22,6 +22,7 @@ The cycle (stage names match Figure 1):
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional, Sequence
@@ -40,7 +41,11 @@ from repro.core.scenario import Scenario, VGOutput
 from repro.core.storage import ReuseReport, StorageManager
 from repro.sqldb.catalog import Catalog
 from repro.sqldb.executor import Executor
+from repro.sqldb.expressions import collect_variables
 from repro.sqldb.pdbext import register_library
+from repro.sqldb.schema import Column, TableSchema
+from repro.sqldb.table import ResultSet
+from repro.sqldb.types import SqlType
 from repro.vg.library import VGLibrary
 
 
@@ -305,9 +310,17 @@ class ProphetEngine:
     def _sql_sample(
         self, output: VGOutput, batch: InstanceBatch, timings: StageTimings
     ) -> np.ndarray:
-        """Fresh Monte Carlo through the generated-SQL path."""
+        """Fresh Monte Carlo through the generated-SQL path.
+
+        The sampling program is *parameterized*: one INSERT template with
+        ``@_world``/``@_seed`` (and the model's ``@parameters``) executes
+        once per world with fresh bindings, so the executor's plan cache
+        parses the text once per scenario instead of once per world.
+        """
         started = time.perf_counter()
-        statements = self.querygen.sampling_script(output, batch)
+        drop = self.querygen.drop_samples_table_sql(output.alias)
+        create = self.querygen.create_samples_table_sql(output.alias)
+        insert = self.querygen.insert_world_template(output)
         readback = (
             f"SELECT world, t, value FROM {self.querygen.samples_table(output.alias)} "
             f"ORDER BY world, t"
@@ -315,20 +328,26 @@ class ProphetEngine:
         timings.querygen += time.perf_counter() - started
 
         started = time.perf_counter()
-        for statement in statements:
-            self.executor.execute(statement)
+        self.executor.execute(drop)
+        self.executor.execute(create)
+        point = batch.point_dict
+        for instance in batch:
+            self.executor.execute(
+                insert,
+                self.querygen.world_variables(instance.world, instance.seed, point),
+            )
         result = self.executor.execute(readback)
         timings.sql += time.perf_counter() - started
 
         function = self.library.get(output.vg_name)
         n_components = function.n_components
         n_worlds = len(batch)
-        if len(result.rows) != n_worlds * n_components:
+        if len(result) != n_worlds * n_components:
             raise ScenarioError(
-                f"sampling produced {len(result.rows)} rows, expected "
+                f"sampling produced {len(result)} rows, expected "
                 f"{n_worlds * n_components}"
             )
-        values = np.asarray([row[2] for row in result.rows], dtype=float)
+        values = np.asarray(result.column_array("value"), dtype=float)
         return values.reshape(n_worlds, n_components)
 
     def _land_samples(
@@ -354,18 +373,20 @@ class ProphetEngine:
 
         started = time.perf_counter()
         table = self.catalog.table(table_name)
-        rows = [
-            (world, t, float(matrix[row, t]))
-            for row, world in enumerate(batch.worlds)
-            for t in weeks
-        ]
-        table.load_unchecked(rows)
+        # Column-major bulk load: (world-major, week-minor) row order, same
+        # as the row loop this replaces, but without any Python tuples.
+        worlds = np.asarray(batch.worlds, dtype=np.int64)
+        week_arr = np.asarray(list(weeks), dtype=np.int64)
+        world_col = np.repeat(worlds, len(week_arr))
+        t_col = np.tile(week_arr, len(worlds))
+        value_col = np.ascontiguousarray(
+            matrix[:, week_arr], dtype=np.float64
+        ).reshape(-1)
+        table.load_columnar([world_col, t_col, value_col])
         timings.storage += time.perf_counter() - started
 
     def _collect_derived_params(self) -> tuple[str, ...]:
         """Parameters read by derived expressions (part of the week memo key)."""
-        from repro.sqldb.expressions import collect_variables
-
         names: set[str] = set()
         for output in self.scenario.derived_outputs:
             names.update(collect_variables(output.expression))
@@ -380,8 +401,6 @@ class ProphetEngine:
         matrices: Mapping[str, np.ndarray],
     ) -> bytes:
         """Content key of one week's joint samples + relevant parameters."""
-        import hashlib
-
         digest = hashlib.blake2b(digest_size=16)
         digest.update(repr((week, batch.worlds)).encode())
         digest.update(
@@ -421,12 +440,14 @@ class ProphetEngine:
                     output, batch, matrices[output.alias.lower()], missing, timings
                 )
             started = time.perf_counter()
-            combine = self.querygen.combine_sql(point)
+            # Parameterized combine: the statement text is constant per
+            # scenario (plan-cache friendly); the point binds at execution.
+            combine = self.querygen.combine_sql_template()
             aggregate = self.querygen.aggregate_sql()
             timings.querygen += time.perf_counter() - started
 
             started = time.perf_counter()
-            self.executor.execute(combine)
+            self.executor.execute(combine, point)
             result = self.executor.execute(aggregate)
             timings.sql += time.perf_counter() - started
 
@@ -439,10 +460,6 @@ class ProphetEngine:
 
         started = time.perf_counter()
         rows = [self._week_stats_cache[key] for key in week_keys]
-        from repro.sqldb.schema import Column, TableSchema
-        from repro.sqldb.table import ResultSet
-        from repro.sqldb.types import SqlType
-
         columns = [Column("t", SqlType.INTEGER)]
         for alias in self.scenario.output_aliases:
             columns.append(Column(f"e_{alias}", SqlType.FLOAT))

@@ -132,6 +132,33 @@ class QueryGenerator:
             f"FROM {output.vg_name}{TABLE_FORM_SUFFIX}({rendered_args})"
         )
 
+    def insert_world_template(self, output: VGOutput) -> str:
+        """Parameterized form of :meth:`insert_world_sql`.
+
+        World identity arrives through the reserved ``@_world``/``@_seed``
+        variables and model arguments stay as their ``@parameter``
+        expressions, all bound at execute time — so the statement text is
+        constant per scenario and the executor's plan cache parses it once
+        for the entire sweep instead of once per world.
+        """
+        rendered_args = ", ".join(
+            ["@_seed"] + [arg.render() for arg in output.model_args]
+        )
+        return (
+            f"INSERT INTO {self.samples_table(output.alias)} (world, t, value) "
+            f"SELECT @_world, t, value "
+            f"FROM {output.vg_name}{TABLE_FORM_SUFFIX}({rendered_args})"
+        )
+
+    def world_variables(
+        self, world: int, seed: int, point: Mapping[str, Any]
+    ) -> dict[str, Any]:
+        """Variable bindings for one execution of the insert template."""
+        variables = {str(name).lower(): value for name, value in point.items()}
+        variables["_world"] = world
+        variables["_seed"] = seed
+        return variables
+
     def sampling_script(self, output: VGOutput, batch: InstanceBatch) -> list[str]:
         """The full sampling program for one model over one batch."""
         statements = [
@@ -153,6 +180,20 @@ class QueryGenerator:
         Parameter references inside derived expressions become literals of
         the current point; the axis parameter becomes the ``t`` column.
         """
+        return self._combine_sql(self._point_bindings(point))
+
+    def combine_sql_template(self) -> str:
+        """Parameterized form of :meth:`combine_sql`.
+
+        Only the axis parameter is substituted (it becomes the ``t``
+        column); every other ``@parameter`` stays in the text and is bound
+        from the point at execute time, keeping the statement text constant
+        per scenario for the executor's plan cache.
+        """
+        bindings: dict[str, Expression] = {self.scenario.axis: ColumnRef("t")}
+        return self._combine_sql(bindings)
+
+    def _combine_sql(self, bindings: Mapping[str, Expression]) -> str:
         scenario = self.scenario
         vg_outputs = scenario.vg_outputs
         if not vg_outputs:
@@ -174,7 +215,6 @@ class QueryGenerator:
                 f"ON {first_label}.world = {label}.world AND {first_label}.t = {label}.t"
             )
 
-        bindings = self._point_bindings(point)
         for derived in scenario.derived_outputs:
             rewritten = substitute(derived.expression, bindings)
             select_items.append(f"{rewritten.render()} AS {derived.alias}")

@@ -18,6 +18,7 @@ material for every fingerprint-savings benchmark.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence
 
@@ -50,8 +51,11 @@ def _nearest_candidates(
                 total += 1.0
         return total
 
-    ranked = sorted(candidates, key=distance)
-    return ranked[: max(limit, 1)]
+    # O(n log k) partial ranking: the basis store grows with every sweep,
+    # but only the nearest ``limit`` candidates are ever probed.
+    # heapq.nsmallest is documented to be equivalent to sorted(...)[:k]
+    # (same stable tie order), so results match the full sort exactly.
+    return heapq.nsmallest(max(limit, 1), candidates, key=distance)
 
 
 @dataclass(frozen=True)

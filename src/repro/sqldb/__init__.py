@@ -11,7 +11,9 @@ Public surface:
 
 from repro.sqldb.catalog import Catalog, TableFunction
 from repro.sqldb.executor import ExecutionStats, Executor
+from repro.sqldb.expressions import compile_expression
 from repro.sqldb.parser import parse_expression, parse_script, parse_statement
+from repro.sqldb.plancache import PlanCache
 from repro.sqldb.pdbext import (
     TABLE_FORM_SUFFIX,
     register_library,
@@ -26,6 +28,8 @@ __all__ = [
     "TableFunction",
     "Executor",
     "ExecutionStats",
+    "PlanCache",
+    "compile_expression",
     "parse_statement",
     "parse_script",
     "parse_expression",

@@ -8,10 +8,28 @@ inputs return NULL (except COUNT, which returns 0).
 from __future__ import annotations
 
 import math
-from typing import Any, Callable
+from typing import Any, Callable, Mapping
 
 from repro.errors import ExecutionError, TypeMismatchError
+from repro.sqldb.ast_nodes import (
+    Between,
+    BinaryOp,
+    CaseWhen,
+    Cast,
+    Expression,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    UnaryOp,
+)
 from repro.sqldb.types import is_numeric
+
+#: Fuzzy Prophet aggregate spellings mapped onto engine aggregates.
+#: EXPECT is the Monte Carlo expectation (mean over worlds); EXPECT_STDDEV
+#: the standard deviation over worlds.
+AGGREGATE_ALIASES = {"expect": "avg", "expect_stddev": "stdev"}
 
 
 class Aggregate:
@@ -202,3 +220,111 @@ def make_aggregate(name: str, star: bool = False, distinct: bool = False) -> Agg
     if distinct:
         raise ExecutionError(f"DISTINCT is only supported for COUNT, not {name}")
     return factory()
+
+
+# -- aggregate call discovery & rewriting -----------------------------------
+#
+# Both the row interpreter and the vectorized grouped path need to (a) find
+# every distinct aggregate call in SELECT/HAVING/ORDER BY and (b) replace
+# those calls with their per-group results for finalization. Keyed by the
+# rendered SQL text of the call so ``AVG(v)`` in the projection and in
+# HAVING share one accumulator.
+
+
+def has_aggregate(expression: Expression) -> bool:
+    found: dict[str, FunctionCall] = {}
+    collect_aggregates(expression, found)
+    return bool(found)
+
+
+def collect_aggregates(expression: Expression, found: dict[str, FunctionCall]) -> None:
+    if isinstance(expression, FunctionCall):
+        name = AGGREGATE_ALIASES.get(expression.name.lower(), expression.name)
+        if is_aggregate_name(name):
+            found[expression.render()] = expression
+            return  # nested aggregates are not supported
+        for arg in expression.args:
+            collect_aggregates(arg, found)
+    elif isinstance(expression, UnaryOp):
+        collect_aggregates(expression.operand, found)
+    elif isinstance(expression, BinaryOp):
+        collect_aggregates(expression.left, found)
+        collect_aggregates(expression.right, found)
+    elif isinstance(expression, CaseWhen):
+        for condition, value in expression.branches:
+            collect_aggregates(condition, found)
+            collect_aggregates(value, found)
+        if expression.otherwise is not None:
+            collect_aggregates(expression.otherwise, found)
+    elif isinstance(expression, Cast):
+        collect_aggregates(expression.operand, found)
+    elif isinstance(expression, InList):
+        collect_aggregates(expression.operand, found)
+        for item in expression.items:
+            collect_aggregates(item, found)
+    elif isinstance(expression, Between):
+        collect_aggregates(expression.operand, found)
+        collect_aggregates(expression.low, found)
+        collect_aggregates(expression.high, found)
+    elif isinstance(expression, (IsNull, Like)):
+        collect_aggregates(expression.operand, found)
+        if isinstance(expression, Like):
+            collect_aggregates(expression.pattern, found)
+
+
+def rewrite_aggregates(expression: Expression, results: Mapping[str, Any]) -> Expression:
+    """Replace aggregate calls with their computed per-group results."""
+    rendered = expression.render() if isinstance(expression, FunctionCall) else None
+    if rendered is not None and rendered in results:
+        return Literal(results[rendered])
+    if isinstance(expression, FunctionCall):
+        return FunctionCall(
+            name=expression.name,
+            args=tuple(rewrite_aggregates(arg, results) for arg in expression.args),
+            star=expression.star,
+            distinct=expression.distinct,
+        )
+    if isinstance(expression, UnaryOp):
+        return UnaryOp(expression.operator, rewrite_aggregates(expression.operand, results))
+    if isinstance(expression, BinaryOp):
+        return BinaryOp(
+            expression.operator,
+            rewrite_aggregates(expression.left, results),
+            rewrite_aggregates(expression.right, results),
+        )
+    if isinstance(expression, CaseWhen):
+        return CaseWhen(
+            branches=tuple(
+                (rewrite_aggregates(c, results), rewrite_aggregates(v, results))
+                for c, v in expression.branches
+            ),
+            otherwise=(
+                None
+                if expression.otherwise is None
+                else rewrite_aggregates(expression.otherwise, results)
+            ),
+        )
+    if isinstance(expression, Cast):
+        return Cast(rewrite_aggregates(expression.operand, results), expression.type_name)
+    if isinstance(expression, InList):
+        return InList(
+            operand=rewrite_aggregates(expression.operand, results),
+            items=tuple(rewrite_aggregates(i, results) for i in expression.items),
+            negated=expression.negated,
+        )
+    if isinstance(expression, Between):
+        return Between(
+            operand=rewrite_aggregates(expression.operand, results),
+            low=rewrite_aggregates(expression.low, results),
+            high=rewrite_aggregates(expression.high, results),
+            negated=expression.negated,
+        )
+    if isinstance(expression, IsNull):
+        return IsNull(rewrite_aggregates(expression.operand, results), expression.negated)
+    if isinstance(expression, Like):
+        return Like(
+            operand=rewrite_aggregates(expression.operand, results),
+            pattern=rewrite_aggregates(expression.pattern, results),
+            negated=expression.negated,
+        )
+    return expression

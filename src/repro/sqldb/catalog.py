@@ -7,6 +7,7 @@ scenario SQL can write ``FROM DemandModel(@current, @feature)``.
 
 from __future__ import annotations
 
+from types import MappingProxyType
 from typing import Any, Callable, Iterator, Mapping, Protocol
 
 from repro.errors import CatalogError
@@ -34,6 +35,11 @@ class Catalog:
         self.name = name
         self._tables: dict[str, Table] = {}
         self._scalar_functions: dict[str, Callable[..., Any]] = builtin_scalar_functions()
+        # Live read-only view handed to every EvalContext — the executor
+        # builds contexts in per-statement hot loops, so no copying here.
+        self._scalar_view: Mapping[str, Callable[..., Any]] = MappingProxyType(
+            self._scalar_functions
+        )
         self._table_functions: dict[str, TableFunction] = {}
 
     # -- tables --------------------------------------------------------------
@@ -82,7 +88,7 @@ class Catalog:
         self._scalar_functions[key] = fn
 
     def scalar_functions(self) -> Mapping[str, Callable[..., Any]]:
-        return dict(self._scalar_functions)
+        return self._scalar_view
 
     # -- table functions -------------------------------------------------------
 

@@ -1,24 +1,45 @@
 """Statement execution against a :class:`~repro.sqldb.catalog.Catalog`.
 
-The executor implements a straightforward iterator-free pipeline: resolve
-FROM sources to bound row dictionaries, apply joins, filter, group/aggregate,
-project, sort, and materialize a :class:`ResultSet`. ``SELECT ... INTO``
-creates (or replaces the contents of) a destination table, which is how the
-Fuzzy Prophet Query Generator lands Monte Carlo samples in the database.
+The executor layers three fast paths over a straightforward interpreter:
+
+1. **Plan cache** — ``execute`` keys parsed statement ASTs by SQL text
+   (LRU), so parameterized statements re-executed with fresh ``@variable``
+   bindings parse exactly once.
+2. **Compiled expressions** — filter/projection/aggregation loops run
+   closures produced by :func:`repro.sqldb.expressions.compile_expression`
+   instead of re-walking the AST per row.
+3. **Vectorized columnar execution** — SELECTs whose plans are
+   filter/project/group-by (plus hash equi-joins) over table sources run
+   over NumPy column arrays (:mod:`repro.sqldb.compiled`); anything the
+   columnar path cannot reproduce bit-identically falls back to the
+   row-at-a-time interpreter below.
+
+The interpreter itself resolves FROM sources to bound row dictionaries,
+applies joins, filters, groups/aggregates, projects, sorts, and
+materializes a :class:`ResultSet`. ``SELECT ... INTO`` creates (or replaces
+the contents of) a destination table, which is how the Fuzzy Prophet Query
+Generator lands Monte Carlo samples in the database.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Mapping, Optional
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Optional
+
+import numpy as np
 
 from repro.errors import CatalogError, ExecutionError
-from repro.sqldb.aggregates import Aggregate, is_aggregate_name, make_aggregate
+from repro.sqldb.aggregates import (
+    AGGREGATE_ALIASES,
+    Aggregate,
+    collect_aggregates,
+    has_aggregate,
+    is_aggregate_name,
+    make_aggregate,
+    rewrite_aggregates,
+)
 from repro.sqldb.ast_nodes import (
-    Between,
     BinaryOp,
-    CaseWhen,
-    Cast,
     ColumnRef,
     CreateTable,
     Delete,
@@ -26,34 +47,41 @@ from repro.sqldb.ast_nodes import (
     Expression,
     FromSource,
     FunctionCall,
-    InList,
     InsertSelect,
     InsertValues,
-    IsNull,
     Join,
-    Like,
-    Literal,
     Script,
     Select,
-    SelectItem,
     Statement,
     SubquerySource,
     TableFunctionSource,
     TableSource,
-    UnaryOp,
     Update,
 )
 from repro.sqldb.catalog import Catalog
-from repro.sqldb.expressions import EvalContext, evaluate, is_true
+from repro.sqldb.compiled import (
+    VectorFallback,
+    VectorSelectPlan,
+    aggregate_segments,
+    bind_table,
+    broadcast,
+    equi_join,
+    group_layout,
+    plan_select,
+    sql_type_for,
+)
+from repro.sqldb.expressions import (
+    CompiledExpression,
+    EvalContext,
+    compile_expression,
+    evaluate,
+    is_true,
+)
 from repro.sqldb.parser import parse_script, parse_statement
+from repro.sqldb.plancache import PlanCache
 from repro.sqldb.schema import Column, TableSchema
 from repro.sqldb.table import ResultSet
 from repro.sqldb.types import SqlType, infer_type
-
-#: Fuzzy Prophet aggregate spellings mapped onto engine aggregates.
-#: EXPECT is the Monte Carlo expectation (mean over worlds); EXPECT_STDDEV
-#: the standard deviation over worlds.
-_AGGREGATE_ALIASES = {"expect": "avg", "expect_stddev": "stdev"}
 
 
 @dataclass
@@ -64,31 +92,50 @@ class ExecutionStats:
     rows_scanned: int = 0
     rows_output: int = 0
     table_function_calls: int = 0
+    #: Plan-cache behavior of ``execute``/``execute_script`` (text -> AST).
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    #: SELECT dispatch: how many ran columnar vs through the row interpreter,
+    #: and how many *input* rows each path consumed.
+    vectorized_selects: int = 0
+    fallback_selects: int = 0
+    rows_vectorized: int = 0
+    rows_fallback: int = 0
 
 
 class Executor:
     """Executes parsed statements (or SQL text) against one catalog."""
 
-    def __init__(self, catalog: Catalog) -> None:
+    def __init__(
+        self,
+        catalog: Catalog,
+        *,
+        plan_cache_size: int = 256,
+        enable_vectorized: bool = True,
+        enable_compiled: bool = True,
+    ) -> None:
         self.catalog = catalog
         self.stats = ExecutionStats()
+        self.plan_cache = PlanCache(plan_cache_size)
+        self.enable_vectorized = enable_vectorized
+        self.enable_compiled = enable_compiled
 
     # -- public API ---------------------------------------------------------
 
     def execute(self, sql: str, variables: Optional[Mapping[str, Any]] = None) -> ResultSet:
-        """Parse and execute one statement; returns its result set.
+        """Parse (or reuse a cached plan) and execute one statement.
 
         Non-query statements return an empty result with a ``rowcount``
         column so callers can observe effects uniformly.
         """
-        statement = parse_statement(sql)
+        statement = self._cached_plan("statement", sql, parse_statement)
         return self.execute_statement(statement, variables)
 
     def execute_script(
         self, sql: str, variables: Optional[Mapping[str, Any]] = None
     ) -> list[ResultSet]:
         """Execute a ``;``-separated script; returns one result per statement."""
-        script = parse_script(sql)
+        script = self._cached_plan("script", sql, parse_script)
         return [self.execute_statement(stmt, variables) for stmt in script.statements]
 
     def execute_statement(
@@ -115,21 +162,190 @@ class Executor:
             return results[-1] if results else _rowcount_result(0)
         raise ExecutionError(f"cannot execute statement {type(statement).__name__}")
 
+    # -- plan caching --------------------------------------------------------
+
+    def _cached_plan(self, kind: str, sql: str, parse: Callable[[str], Any]) -> Any:
+        plan = self.plan_cache.get((kind, sql))
+        if plan is not None:
+            self.stats.plan_cache_hits += 1
+            return plan
+        self.stats.plan_cache_misses += 1
+        plan = parse(sql)
+        self.plan_cache.put((kind, sql), plan)
+        return plan
+
+    def _evaluator(self, expression: Expression) -> CompiledExpression:
+        if self.enable_compiled:
+            return compile_expression(expression)
+        return lambda context: evaluate(expression, context)
+
     # -- SELECT ---------------------------------------------------------------
 
     def _execute_select(self, select: Select, variables: Mapping[str, Any]) -> ResultSet:
+        if self.enable_vectorized:
+            plan = plan_select(select)
+            if plan is not None:
+                try:
+                    return self._execute_select_vectorized(select, plan, variables)
+                except VectorFallback:
+                    pass
+        return self._execute_select_interpreted(select, variables)
+
+    # -- SELECT: vectorized columnar path -------------------------------------
+
+    def _execute_select_vectorized(
+        self, select: Select, plan: VectorSelectPlan, variables: Mapping[str, Any]
+    ) -> ResultSet:
+        relation, scanned = self._bind_vector_sources(plan)
+        input_rows = relation.n_rows
+
+        if plan.where is not None and relation.n_rows:
+            mask = plan.where(relation.context(variables))
+            if isinstance(mask, np.ndarray):
+                if mask.dtype.kind != "b":
+                    raise VectorFallback
+                relation = relation.mask(mask)
+            elif isinstance(mask, (bool, np.bool_)):
+                if not bool(mask):
+                    relation = relation.take(np.empty(0, dtype=np.int64))
+            else:
+                raise VectorFallback  # non-boolean WHERE: row semantics decide
+
+        if plan.grouped:
+            rows, schema, order_keys = self._vectorized_groups(select, plan, relation, variables)
+            self.stats.rows_scanned += scanned
+            self.stats.vectorized_selects += 1
+            self.stats.rows_vectorized += input_rows
+            return self._finish_select(select, rows, schema, order_keys)
+
+        result = self._vectorized_projection(select, plan, relation, variables)
+        self.stats.rows_scanned += scanned
+        self.stats.vectorized_selects += 1
+        self.stats.rows_vectorized += input_rows
+        self.stats.rows_output += len(result)
+        if select.into is not None:
+            self._materialize_into(select.into, result)
+        return result
+
+    def _bind_vector_sources(self, plan: VectorSelectPlan):
+        table = self.catalog.table(plan.source_table)
+        relation = bind_table(table, plan.source_label)
+        scanned = relation.n_rows
+        for join_spec in plan.joins:
+            right = bind_table(self.catalog.table(join_spec.table), join_spec.label)
+            scanned += right.n_rows
+            relation = equi_join(relation, right, join_spec.conjuncts)
+        return relation, scanned
+
+    def _vectorized_projection(
+        self, select, plan: VectorSelectPlan, relation, variables: Mapping[str, Any]
+    ) -> ResultSet:
+        names = self._output_names(select, TableSchema(()))
+        n_rows = relation.n_rows
+        if n_rows == 0:
+            arrays = [np.empty(0, dtype=np.float64) for _ in names]
+            schema = TableSchema(
+                tuple(Column(name, SqlType.FLOAT, nullable=True) for name in names)
+            )
+            return ResultSet(schema=schema, column_data=arrays)
+
+        context = relation.context(variables)
+        arrays: list[np.ndarray] = []
+        for fn, alias in plan.items:
+            array = broadcast(fn(context), n_rows)
+            arrays.append(array)
+            if alias:
+                # Aliases defined earlier in the SELECT list are visible to
+                # later items and to ORDER BY, as on the row path.
+                context.columns[alias] = array
+                relation.all_keys.add(alias)
+
+        if plan.order:
+            keys: list[np.ndarray] = []
+            for fn, descending in plan.order:
+                key = broadcast(fn(context), n_rows)
+                if key.dtype.kind == "f" and np.any(np.isnan(key)):
+                    raise VectorFallback  # NaN ordering differs from the row sort
+                if descending:
+                    if key.dtype.kind == "b":
+                        key = np.logical_not(key)
+                    else:
+                        if key.dtype.kind == "i" and key.size and (
+                            int(key.min()) == np.iinfo(np.int64).min
+                        ):
+                            raise VectorFallback
+                        key = -key
+                keys.append(key)
+            permutation = np.lexsort(tuple(reversed(keys)))
+            arrays = [array[permutation] for array in arrays]
+
+        # Schema is inferred from the full projection, before LIMIT/OFFSET
+        # trim it — exactly like the row path.
+        schema = TableSchema(
+            tuple(
+                Column(name, sql_type_for(array), nullable=True)
+                for name, array in zip(names, arrays)
+            )
+        )
+        if select.offset is not None:
+            arrays = [array[select.offset :] for array in arrays]
+        if select.limit is not None:
+            arrays = [array[: select.limit] for array in arrays]
+        return ResultSet(schema=schema, column_data=arrays)
+
+    def _vectorized_groups(
+        self, select, plan: VectorSelectPlan, relation, variables: Mapping[str, Any]
+    ):
+        n_rows = relation.n_rows
+        if n_rows == 0:
+            if select.group_by:
+                return self._finalize_groups(select, [], [], variables)
+            # One synthetic group over zero input rows, like the row path.
+            results = {
+                spec.rendered: make_aggregate(
+                    spec.name, star=spec.star, distinct=spec.distinct
+                ).result()
+                for spec in plan.aggregates
+            }
+            return self._finalize_groups(select, [results], [{}], variables)
+
+        context = relation.context(variables)
+        key_arrays = [broadcast(fn(context), n_rows) for fn in plan.group_by]
+        layout = group_layout(key_arrays, n_rows)
+        n_groups = len(layout.starts)
+        group_results: list[dict[str, Any]] = [{} for _ in range(n_groups)]
+        for spec in plan.aggregates:
+            values = broadcast(spec.arg(context), n_rows) if spec.arg is not None else None
+            for index, value in enumerate(aggregate_segments(spec, values, layout)):
+                group_results[index][spec.rendered] = value
+        representatives = [relation.bound_row(int(row)) for row in layout.rep_rows]
+        return self._finalize_groups(select, group_results, representatives, variables)
+
+    # -- SELECT: interpreted row path ------------------------------------------
+
+    def _execute_select_interpreted(
+        self, select: Select, variables: Mapping[str, Any]
+    ) -> ResultSet:
         rows, source_schema = self._resolve_from(select, variables)
+        self.stats.fallback_selects += 1
+        self.stats.rows_fallback += len(rows)
 
         if select.where is not None:
             context = self._context(variables)
-            rows = [
-                row
-                for row in rows
-                if is_true(evaluate(select.where, self._row_context(context, row)))
-            ]
+            where = self._evaluator(select.where)
+            env: dict[str, Any] = {}
+            row_context = EvalContext(
+                columns=env, variables=context.variables, functions=context.functions
+            )
+            kept = []
+            for row in rows:
+                env.clear()
+                env.update(row)
+                if is_true(where(row_context)):
+                    kept.append(row)
+            rows = kept
 
         needs_grouping = bool(select.group_by) or self._any_aggregates(select)
-        order_keys: Optional[list[tuple]] = None
         if needs_grouping:
             result_rows, schema, order_keys = self._grouped_projection(
                 select, rows, variables
@@ -138,7 +354,16 @@ class Executor:
             result_rows, schema, order_keys = self._plain_projection(
                 select, rows, source_schema, variables
             )
+        return self._finish_select(select, result_rows, schema, order_keys)
 
+    def _finish_select(
+        self,
+        select: Select,
+        result_rows: list[tuple[Any, ...]],
+        schema: TableSchema,
+        order_keys: Optional[list[tuple]],
+    ) -> ResultSet:
+        """Shared DISTINCT / ORDER BY / LIMIT / INTO tail of SELECT."""
         if select.distinct:
             seen: set[tuple[Any, ...]] = set()
             unique: list[tuple[Any, ...]] = []
@@ -230,16 +455,18 @@ class Executor:
         equi = _equi_join_plan(join.condition, left_rows, right_rows)
         if equi is not None:
             left_exprs, right_exprs = equi
+            left_fns = [self._evaluator(expr) for expr in left_exprs]
+            right_fns = [self._evaluator(expr) for expr in right_exprs]
             index: dict[tuple[Any, ...], list[dict[str, Any]]] = {}
             for right in right_rows:
                 right_context = self._row_context(context, right)
-                key = tuple(evaluate(expr, right_context) for expr in right_exprs)
+                key = tuple(fn(right_context) for fn in right_fns)
                 if any(part is None for part in key):
                     continue  # NULL never equi-joins
                 index.setdefault(key, []).append(right)
             for left in left_rows:
                 left_context = self._row_context(context, left)
-                key = tuple(evaluate(expr, left_context) for expr in left_exprs)
+                key = tuple(fn(left_context) for fn in left_fns)
                 matches = [] if any(part is None for part in key) else index.get(key, [])
                 if matches:
                     for right in matches:
@@ -247,11 +474,12 @@ class Executor:
                 elif join.kind == "LEFT":
                     output.append(_merge_rows(left, null_right))
             return output, merged_schema
+        condition = self._evaluator(join.condition)
         for left in left_rows:
             matched = False
             for right in right_rows:
                 candidate = _merge_rows(left, right)
-                if is_true(evaluate(join.condition, self._row_context(context, candidate))):
+                if is_true(condition(self._row_context(context, candidate))):
                     output.append(candidate)
                     matched = True
             if join.kind == "LEFT" and not matched:
@@ -268,6 +496,11 @@ class Executor:
         names = self._output_names(select, source_schema)
         output: list[tuple[Any, ...]] = []
         order_keys: list[tuple] = []
+        item_fns = [
+            None if item.star else self._evaluator(item.expression)
+            for item in select.items
+        ]
+        order_fns = [self._evaluator(order.expression) for order in select.order_by]
         # One mutable binding environment reused across rows (hot path).
         env: dict[str, Any] = {}
         row_context = EvalContext(
@@ -282,13 +515,13 @@ class Executor:
             # Aliases defined earlier in the SELECT list are visible to later
             # items (the paper's Figure 2 relies on this: ``capacity <
             # demand`` references the two preceding aliases).
-            for item in select.items:
+            for item, item_fn in zip(select.items, item_fns):
                 if item.star:
                     for column in source_schema.names:
                         values.append(row.get(column.lower()))
                     continue
-                assert item.expression is not None
-                value = evaluate(item.expression, row_context)
+                assert item_fn is not None
+                value = item_fn(row_context)
                 values.append(value)
                 if item.alias:
                     env[item.alias.lower()] = value
@@ -296,12 +529,7 @@ class Executor:
             if select.order_by:
                 # Order keys see source columns AND select-list aliases,
                 # so ORDER BY works on columns dropped by the projection.
-                order_keys.append(
-                    tuple(
-                        evaluate(order.expression, row_context)
-                        for order in select.order_by
-                    )
-                )
+                order_keys.append(tuple(fn(row_context) for fn in order_fns))
         schema = _infer_schema(names, output)
         return output, schema, (order_keys if select.order_by else None)
 
@@ -310,8 +538,7 @@ class Executor:
         select: Select,
         rows: list[dict[str, Any]],
         variables: Mapping[str, Any],
-    ) -> tuple[list[tuple[Any, ...]], TableSchema]:
-        context = self._context(variables)
+    ) -> tuple[list[tuple[Any, ...]], TableSchema, Optional[list[tuple]]]:
         if any(item.star for item in select.items):
             raise ExecutionError("SELECT * cannot be combined with aggregation")
 
@@ -319,11 +546,29 @@ class Executor:
         aggregate_nodes: dict[str, FunctionCall] = {}
         for item in select.items:
             assert item.expression is not None
-            _collect_aggregates(item.expression, aggregate_nodes)
+            collect_aggregates(item.expression, aggregate_nodes)
         if select.having is not None:
-            _collect_aggregates(select.having, aggregate_nodes)
+            collect_aggregates(select.having, aggregate_nodes)
         for order in select.order_by:
-            _collect_aggregates(order.expression, aggregate_nodes)
+            collect_aggregates(order.expression, aggregate_nodes)
+
+        group_fns = [self._evaluator(expr) for expr in select.group_by]
+        aggregate_fns: dict[str, Optional[CompiledExpression]] = {}
+        for rendered, node in aggregate_nodes.items():
+            if node.star or len(node.args) != 1:
+                aggregate_fns[rendered] = None
+            else:
+                aggregate_fns[rendered] = self._evaluator(node.args[0])
+
+        def fresh_accumulators() -> dict[str, Aggregate]:
+            return {
+                rendered: make_aggregate(
+                    AGGREGATE_ALIASES.get(node.name.lower(), node.name),
+                    star=node.star,
+                    distinct=node.distinct,
+                )
+                for rendered, node in aggregate_nodes.items()
+            }
 
         group_keys: dict[tuple[Any, ...], dict[str, Aggregate]] = {}
         group_order: list[tuple[Any, ...]] = []
@@ -335,60 +580,61 @@ class Executor:
         for row in rows:
             env.clear()
             env.update(row)
-            key = tuple(evaluate(expr, row_context) for expr in select.group_by)
-            if key not in group_keys:
-                group_keys[key] = {
-                    rendered: make_aggregate(
-                        _AGGREGATE_ALIASES.get(node.name.lower(), node.name),
-                        star=node.star,
-                        distinct=node.distinct,
-                    )
-                    for rendered, node in aggregate_nodes.items()
-                }
+            key = tuple(fn(row_context) for fn in group_fns)
+            accumulators = group_keys.get(key)
+            if accumulators is None:
+                accumulators = group_keys[key] = fresh_accumulators()
                 group_order.append(key)
                 group_sample_row[key] = row
-            accumulators = group_keys[key]
             for rendered, node in aggregate_nodes.items():
                 if node.star:
                     accumulators[rendered].add(None)
                 else:
-                    if len(node.args) != 1:
+                    arg_fn = aggregate_fns[rendered]
+                    if arg_fn is None:
                         raise ExecutionError(
                             f"aggregate {node.name} takes exactly one argument"
                         )
-                    accumulators[rendered].add(evaluate(node.args[0], row_context))
+                    accumulators[rendered].add(arg_fn(row_context))
 
         # With no GROUP BY and no input rows there is still one output group.
         if not select.group_by and not group_order:  # pragma: no branch
             empty_key: tuple[Any, ...] = ()
-            group_keys[empty_key] = {
-                rendered: make_aggregate(
-                    _AGGREGATE_ALIASES.get(node.name.lower(), node.name),
-                    star=node.star,
-                    distinct=node.distinct,
-                )
-                for rendered, node in aggregate_nodes.items()
-            }
+            group_keys[empty_key] = fresh_accumulators()
             group_order.append(empty_key)
             group_sample_row[empty_key] = {}
 
+        group_results = [
+            {rendered: agg.result() for rendered, agg in group_keys[key].items()}
+            for key in group_order
+        ]
+        representatives = [group_sample_row[key] for key in group_order]
+        return self._finalize_groups(select, group_results, representatives, variables)
+
+    def _finalize_groups(
+        self,
+        select: Select,
+        group_results: list[dict[str, Any]],
+        representatives: list[dict[str, Any]],
+        variables: Mapping[str, Any],
+    ) -> tuple[list[tuple[Any, ...]], TableSchema, Optional[list[tuple]]]:
+        """Per-group HAVING / projection / order keys (shared by both paths)."""
+        context = self._context(variables)
         names = self._output_names(select, TableSchema(()))
         output: list[tuple[Any, ...]] = []
         order_keys: list[tuple] = []
-        for key in group_order:
-            results = {rendered: agg.result() for rendered, agg in group_keys[key].items()}
-            representative = group_sample_row[key]
+        for results, representative in zip(group_results, representatives):
             group_context = self._row_context(context, representative)
             if select.having is not None:
                 having_value = evaluate(
-                    _rewrite_aggregates(select.having, results), group_context
+                    rewrite_aggregates(select.having, results), group_context
                 )
                 if not is_true(having_value):
                     continue
             values = []
             for item in select.items:
                 assert item.expression is not None
-                rewritten = _rewrite_aggregates(item.expression, results)
+                rewritten = rewrite_aggregates(item.expression, results)
                 values.append(evaluate(rewritten, group_context))
             output.append(tuple(values))
             if select.order_by:
@@ -401,7 +647,7 @@ class Executor:
                 order_context = self._row_context(context, order_env)
                 order_keys.append(
                     tuple(
-                        evaluate(_rewrite_aggregates(order.expression, results), order_context)
+                        evaluate(rewrite_aggregates(order.expression, results), order_context)
                         for order in select.order_by
                     )
                 )
@@ -428,9 +674,9 @@ class Executor:
 
     def _any_aggregates(self, select: Select) -> bool:
         for item in select.items:
-            if item.expression is not None and _has_aggregate(item.expression):
+            if item.expression is not None and has_aggregate(item.expression):
                 return True
-        if select.having is not None and _has_aggregate(select.having):
+        if select.having is not None and has_aggregate(select.having):
             return True
         return False
 
@@ -439,7 +685,10 @@ class Executor:
         if self.catalog.has_table(name):
             self.catalog.drop_table(name)
         table = self.catalog.create_table(name, result.schema)
-        table.load_unchecked(result.rows)
+        if result.column_data is not None:
+            table.load_columnar(result.column_data)
+        else:
+            table.load_unchecked(result.rows)
 
     # -- DML / DDL -------------------------------------------------------------
 
@@ -504,12 +753,13 @@ class Executor:
             table.truncate()
             return _rowcount_result(removed)
         context = self._context(variables)
+        where = self._evaluator(statement.where)
         names = table.schema.names
         kept: list[tuple[Any, ...]] = []
         removed = 0
         for row in table:
             bound = dict(zip((n.lower() for n in names), row))
-            if is_true(evaluate(statement.where, self._row_context(context, bound))):
+            if is_true(where(self._row_context(context, bound))):
                 removed += 1
             else:
                 kept.append(row)
@@ -519,13 +769,14 @@ class Executor:
     def _execute_update(self, statement: Update, variables: Mapping[str, Any]) -> ResultSet:
         table = self.catalog.table(statement.table)
         context = self._context(variables)
+        where = None if statement.where is None else self._evaluator(statement.where)
         names = [n.lower() for n in table.schema.names]
         updated_rows: list[tuple[Any, ...]] = []
         changed = 0
         for row in table:
             bound = dict(zip(names, row))
             row_context = self._row_context(context, bound)
-            hit = statement.where is None or is_true(evaluate(statement.where, row_context))
+            hit = where is None or is_true(where(row_context))
             if not hit:
                 updated_rows.append(row)
                 continue
@@ -693,105 +944,6 @@ def _null_safe_key(ranked: tuple[bool, Any]) -> tuple[int, Any]:
     if null_rank:
         return (0, 0)
     return (1, value)
-
-
-def _has_aggregate(expression: Expression) -> bool:
-    found: dict[str, FunctionCall] = {}
-    _collect_aggregates(expression, found)
-    return bool(found)
-
-
-def _collect_aggregates(expression: Expression, found: dict[str, FunctionCall]) -> None:
-    if isinstance(expression, FunctionCall):
-        name = _AGGREGATE_ALIASES.get(expression.name.lower(), expression.name)
-        if is_aggregate_name(name):
-            found[expression.render()] = expression
-            return  # nested aggregates are not supported
-        for arg in expression.args:
-            _collect_aggregates(arg, found)
-    elif isinstance(expression, UnaryOp):
-        _collect_aggregates(expression.operand, found)
-    elif isinstance(expression, BinaryOp):
-        _collect_aggregates(expression.left, found)
-        _collect_aggregates(expression.right, found)
-    elif isinstance(expression, CaseWhen):
-        for condition, value in expression.branches:
-            _collect_aggregates(condition, found)
-            _collect_aggregates(value, found)
-        if expression.otherwise is not None:
-            _collect_aggregates(expression.otherwise, found)
-    elif isinstance(expression, Cast):
-        _collect_aggregates(expression.operand, found)
-    elif isinstance(expression, InList):
-        _collect_aggregates(expression.operand, found)
-        for item in expression.items:
-            _collect_aggregates(item, found)
-    elif isinstance(expression, Between):
-        _collect_aggregates(expression.operand, found)
-        _collect_aggregates(expression.low, found)
-        _collect_aggregates(expression.high, found)
-    elif isinstance(expression, (IsNull, Like)):
-        _collect_aggregates(expression.operand, found)
-        if isinstance(expression, Like):
-            _collect_aggregates(expression.pattern, found)
-
-
-def _rewrite_aggregates(expression: Expression, results: Mapping[str, Any]) -> Expression:
-    """Replace aggregate calls with their computed per-group results."""
-    rendered = expression.render() if isinstance(expression, FunctionCall) else None
-    if rendered is not None and rendered in results:
-        return Literal(results[rendered])
-    if isinstance(expression, FunctionCall):
-        return FunctionCall(
-            name=expression.name,
-            args=tuple(_rewrite_aggregates(arg, results) for arg in expression.args),
-            star=expression.star,
-            distinct=expression.distinct,
-        )
-    if isinstance(expression, UnaryOp):
-        return UnaryOp(expression.operator, _rewrite_aggregates(expression.operand, results))
-    if isinstance(expression, BinaryOp):
-        return BinaryOp(
-            expression.operator,
-            _rewrite_aggregates(expression.left, results),
-            _rewrite_aggregates(expression.right, results),
-        )
-    if isinstance(expression, CaseWhen):
-        return CaseWhen(
-            branches=tuple(
-                (_rewrite_aggregates(c, results), _rewrite_aggregates(v, results))
-                for c, v in expression.branches
-            ),
-            otherwise=(
-                None
-                if expression.otherwise is None
-                else _rewrite_aggregates(expression.otherwise, results)
-            ),
-        )
-    if isinstance(expression, Cast):
-        return Cast(_rewrite_aggregates(expression.operand, results), expression.type_name)
-    if isinstance(expression, InList):
-        return InList(
-            operand=_rewrite_aggregates(expression.operand, results),
-            items=tuple(_rewrite_aggregates(i, results) for i in expression.items),
-            negated=expression.negated,
-        )
-    if isinstance(expression, Between):
-        return Between(
-            operand=_rewrite_aggregates(expression.operand, results),
-            low=_rewrite_aggregates(expression.low, results),
-            high=_rewrite_aggregates(expression.high, results),
-            negated=expression.negated,
-        )
-    if isinstance(expression, IsNull):
-        return IsNull(_rewrite_aggregates(expression.operand, results), expression.negated)
-    if isinstance(expression, Like):
-        return Like(
-            operand=_rewrite_aggregates(expression.operand, results),
-            pattern=_rewrite_aggregates(expression.pattern, results),
-            negated=expression.negated,
-        )
-    return expression
 
 
 def _rowcount_result(count: int) -> ResultSet:

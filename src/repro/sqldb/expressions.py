@@ -9,6 +9,7 @@ comparisons; AND/OR/NOT follow Kleene logic (``NULL AND FALSE = FALSE``,
 from __future__ import annotations
 
 import re
+import weakref
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Optional
 
@@ -307,6 +308,271 @@ def _like_to_regex(pattern: str) -> re.Pattern[str]:
         else:
             pieces.append(re.escape(ch))
     return re.compile("".join(pieces), re.DOTALL)
+
+
+# -- compiled expressions ---------------------------------------------------
+#
+# ``compile_expression`` lowers an Expression tree into a chain of Python
+# closures, removing the per-row isinstance dispatch and attribute traffic of
+# ``evaluate``. Semantics are identical by construction: every operator
+# closure delegates to the same helpers (``_compare``, ``_arithmetic``, the
+# Kleene connectives) that the tree-walking interpreter uses, so NULL
+# propagation, type errors, and error messages cannot drift. The executor
+# calls this once per (cached) statement and then runs the closure in its
+# filter/projection/aggregation loops.
+
+#: Compiled closures, keyed weakly by the (frozen, hashable) AST node. Plan
+#: caching keeps hot statements alive, so their closures persist across
+#: executions; equal-by-value expressions share one compilation.
+_COMPILED_CACHE: "weakref.WeakKeyDictionary[Expression, Callable[[EvalContext], Any]]"
+_COMPILED_CACHE = weakref.WeakKeyDictionary()
+
+CompiledExpression = Callable[[EvalContext], Any]
+
+
+def compile_expression(expression: Expression) -> CompiledExpression:
+    """Compile ``expression`` to a closure ``fn(context) -> value``.
+
+    Drop-in replacement for ``evaluate(expression, context)`` with identical
+    semantics (including raised error types and messages).
+    """
+    try:
+        cached = _COMPILED_CACHE.get(expression)
+    except TypeError:  # unhashable literal payload: compile uncached
+        return _compile(expression)
+    if cached is None:
+        cached = _compile(expression)
+        _COMPILED_CACHE[expression] = cached
+    return cached
+
+
+def _compile(node: Expression) -> CompiledExpression:
+    if isinstance(node, Literal):
+        value = node.value
+        return lambda context: value
+    if isinstance(node, ColumnRef):
+        name, qualifier = node.name, node.qualifier
+        key = f"{qualifier}.{name}".lower() if qualifier else name.lower()
+
+        def column_ref(context: EvalContext) -> Any:
+            columns = context.columns
+            if key in columns:
+                return columns[key]
+            return context.lookup_column(name, qualifier)
+
+        return column_ref
+    if isinstance(node, Variable):
+        name = node.name
+        return lambda context: context.lookup_variable(name)
+    if isinstance(node, UnaryOp):
+        return _compile_unary(node)
+    if isinstance(node, BinaryOp):
+        return _compile_binary(node)
+    if isinstance(node, FunctionCall):
+        return _compile_call(node)
+    if isinstance(node, CaseWhen):
+        branches = tuple(
+            (_compile(condition), _compile(value)) for condition, value in node.branches
+        )
+        otherwise = None if node.otherwise is None else _compile(node.otherwise)
+
+        def case_when(context: EvalContext) -> Any:
+            for condition, value in branches:
+                if condition(context) is True:
+                    return value(context)
+            if otherwise is not None:
+                return otherwise(context)
+            return None
+
+        return case_when
+    if isinstance(node, Cast):
+        operand = _compile(node.operand)
+        type_name = node.type_name
+        try:
+            resolved: Optional[SqlType] = SqlType.from_declaration(type_name)
+        except TypeMismatchError:
+            resolved = None  # defer the error to evaluation, like evaluate()
+
+        def cast(context: EvalContext) -> Any:
+            # Operand first, then the type lookup — the interpreter's order,
+            # so a bad column and a bad type name raise the same error.
+            value = operand(context)
+            target = resolved if resolved is not None else SqlType.from_declaration(type_name)
+            return coerce(value, target)
+
+        return cast
+    if isinstance(node, InList):
+        operand = _compile(node.operand)
+        items = tuple(_compile(item) for item in node.items)
+        negated = node.negated
+
+        def in_list(context: EvalContext) -> Any:
+            value = operand(context)
+            if value is None:
+                return None
+            saw_null = False
+            for item in items:
+                candidate = item(context)
+                if candidate is None:
+                    saw_null = True
+                    continue
+                if _compare("=", value, candidate) is True:
+                    return False if negated else True
+            if saw_null:
+                return None
+            return True if negated else False
+
+        return in_list
+    if isinstance(node, Between):
+        operand = _compile(node.operand)
+        low = _compile(node.low)
+        high = _compile(node.high)
+        negated = node.negated
+
+        def between(context: EvalContext) -> Any:
+            value = operand(context)
+            low_value = low(context)
+            high_value = high(context)
+            if value is None or low_value is None or high_value is None:
+                return None
+            result = (
+                _compare(">=", value, low_value) is True
+                and _compare("<=", value, high_value) is True
+            )
+            return (not result) if negated else result
+
+        return between
+    if isinstance(node, IsNull):
+        operand = _compile(node.operand)
+        negated = node.negated
+
+        def is_null(context: EvalContext) -> Any:
+            result = operand(context) is None
+            return (not result) if negated else result
+
+        return is_null
+    if isinstance(node, Like):
+        operand = _compile(node.operand)
+        pattern = _compile(node.pattern)
+        negated = node.negated
+        static_regex = (
+            _like_to_regex(node.pattern.value)
+            if isinstance(node.pattern, Literal) and isinstance(node.pattern.value, str)
+            else None
+        )
+
+        def like(context: EvalContext) -> Any:
+            value = operand(context)
+            pattern_value = pattern(context)
+            if value is None or pattern_value is None:
+                return None
+            if not isinstance(value, str) or not isinstance(pattern_value, str):
+                raise TypeMismatchError("LIKE requires text operands")
+            regex = static_regex if static_regex is not None else _like_to_regex(pattern_value)
+            matched = regex.fullmatch(value) is not None
+            return (not matched) if negated else matched
+
+        return like
+    frozen = node
+    return lambda context: evaluate(frozen, context)  # unknown node: same error path
+
+
+def _compile_unary(node: UnaryOp) -> CompiledExpression:
+    operand = _compile(node.operand)
+    operator = node.operator
+    if operator.upper() == "NOT":
+
+        def negate(context: EvalContext) -> Any:
+            value = operand(context)
+            if value is None:
+                return None
+            if isinstance(value, bool):
+                return not value
+            raise TypeMismatchError(f"NOT requires a boolean, got {value!r}")
+
+        return negate
+    negative = operator == "-"
+
+    def sign(context: EvalContext) -> Any:
+        value = operand(context)
+        if value is None:
+            return None
+        if not is_numeric(value):
+            raise TypeMismatchError(f"unary {operator} requires a number, got {value!r}")
+        return -value if negative else +value
+
+    return sign
+
+
+def _compile_binary(node: BinaryOp) -> CompiledExpression:
+    operator = node.operator.upper()
+    left = _compile(node.left)
+    right = _compile(node.right)
+    if operator == "AND":
+
+        def kleene_and(context: EvalContext) -> Any:
+            left_value = left(context)
+            if left_value is False:
+                return False
+            right_value = right(context)
+            if right_value is False:
+                return False
+            if left_value is None or right_value is None:
+                return None
+            _require_bool("AND", left_value)
+            _require_bool("AND", right_value)
+            return True
+
+        return kleene_and
+    if operator == "OR":
+
+        def kleene_or(context: EvalContext) -> Any:
+            left_value = left(context)
+            if left_value is True:
+                return True
+            right_value = right(context)
+            if right_value is True:
+                return True
+            if left_value is None or right_value is None:
+                return None
+            _require_bool("OR", left_value)
+            _require_bool("OR", right_value)
+            return False
+
+        return kleene_or
+    if operator in ("=", "<>", "<", "<=", ">", ">="):
+        return lambda context: _compare(operator, left(context), right(context))
+    if operator == "||":
+
+        def concat(context: EvalContext) -> Any:
+            left_value = left(context)
+            right_value = right(context)
+            if left_value is None or right_value is None:
+                return None
+            if not isinstance(left_value, str) or not isinstance(right_value, str):
+                raise TypeMismatchError("|| requires text operands")
+            return left_value + right_value
+
+        return concat
+    source_operator = node.operator
+    return lambda context: _arithmetic(source_operator, left(context), right(context))
+
+
+def _compile_call(node: FunctionCall) -> CompiledExpression:
+    name = node.name
+    if node.star:
+
+        def star_call(context: EvalContext) -> Any:
+            raise ExecutionError(f"{name}(*) is only valid as an aggregate")
+
+        return star_call
+    args = tuple(_compile(arg) for arg in node.args)
+
+    def call(context: EvalContext) -> Any:
+        function = context.lookup_function(name)
+        return function(*(arg(context) for arg in args))
+
+    return call
 
 
 def collect_columns(expression: Expression) -> set[str]:

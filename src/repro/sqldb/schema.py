@@ -3,10 +3,26 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator
+from typing import Any, Iterable, Iterator, Optional
+
+import numpy as np
 
 from repro.errors import CatalogError, TypeMismatchError
 from repro.sqldb.types import SqlType, coerce
+
+#: NumPy dtype backing each SQL type in the columnar fast path. TEXT columns
+#: have no packed representation and stay row-backed (object) — the
+#: vectorized executor falls back to the row interpreter when they matter.
+COLUMNAR_DTYPES: dict[SqlType, np.dtype] = {
+    SqlType.INTEGER: np.dtype(np.int64),
+    SqlType.FLOAT: np.dtype(np.float64),
+    SqlType.BOOLEAN: np.dtype(np.bool_),
+}
+
+
+def columnar_dtype(sql_type: SqlType) -> Optional[np.dtype]:
+    """The packed NumPy dtype for ``sql_type``, or None for TEXT."""
+    return COLUMNAR_DTYPES.get(sql_type)
 
 
 @dataclass(frozen=True)
@@ -31,6 +47,10 @@ class Column:
                 raise TypeMismatchError(f"column {self.name!r} is NOT NULL")
             return None
         return coerce(value, self.sql_type)
+
+    def columnar_dtype(self) -> Optional[np.dtype]:
+        """The packed NumPy dtype of this column (None for TEXT)."""
+        return columnar_dtype(self.sql_type)
 
 
 @dataclass(frozen=True)

@@ -1,18 +1,78 @@
 """In-memory table storage for the mini SQL engine.
 
-Rows are stored as tuples in insertion order. The table offers just enough
-surface for the executor: append, scan, truncate, and bulk load. A small
-``ResultSet`` wrapper carries query output with its schema.
+Tables hold one relation in either (or both) of two physical layouts:
+
+* **row-major** — a list of tuples in insertion order (the original layout;
+  canonical for the row-at-a-time interpreter and for DML);
+* **column-major** — one NumPy array per column (the vectorized executor's
+  layout; the Storage Manager bulk-loads Monte Carlo samples this way).
+
+Either layout is materialized from the other on demand and cached until the
+next mutation. A small ``ResultSet`` wrapper carries query output with its
+schema and supports the same dual representation, so ``SELECT ... INTO``
+can move columnar data between tables without ever building row tuples.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Iterable, Iterator
+from typing import Any, Iterable, Iterator, Mapping, Optional, Sequence
+
+import numpy as np
 
 from repro.errors import CatalogError
-from repro.sqldb.schema import TableSchema
+from repro.sqldb.schema import TableSchema, columnar_dtype
 from repro.sqldb.types import format_value
+
+
+class ColumnarView:
+    """Read-only column-major view of a relation.
+
+    ``arrays`` maps lowercase column names to packed NumPy arrays
+    (int64/float64/bool). ``objects`` maps the remaining columns (TEXT,
+    NULL-bearing, or mixed-type) to object arrays of the original Python
+    values — usable for gather/representative-row purposes but not for
+    vectorized arithmetic. ``n_rows`` is the relation's cardinality.
+    """
+
+    __slots__ = ("arrays", "objects", "n_rows")
+
+    def __init__(
+        self,
+        arrays: dict[str, np.ndarray],
+        objects: dict[str, np.ndarray],
+        n_rows: int,
+    ) -> None:
+        self.arrays = arrays
+        self.objects = objects
+        self.n_rows = n_rows
+
+
+def _pack_column(values: list[Any], declared) -> tuple[bool, np.ndarray]:
+    """Pack one column's values; returns ``(packed, array)``.
+
+    ``packed`` is True when every value is a homogeneous int/float/bool
+    (no NULLs), in which case ``array`` is a typed NumPy array whose
+    round-trip (``.tolist()`` / ``.item()``) reproduces the original Python
+    values exactly. Otherwise ``array`` is an object array of the values.
+    """
+    if not values:
+        dtype = columnar_dtype(declared) if declared is not None else None
+        if dtype is not None:
+            return True, np.empty(0, dtype=dtype)
+        return False, np.empty(0, dtype=object)
+    kinds = {type(v) for v in values}
+    try:
+        if kinds == {int}:
+            return True, np.asarray(values, dtype=np.int64)
+        if kinds == {float}:
+            return True, np.asarray(values, dtype=np.float64)
+        if kinds == {bool}:
+            return True, np.asarray(values, dtype=np.bool_)
+    except OverflowError:
+        pass  # e.g. a Python int outside int64 range: keep it object-backed
+    array = np.empty(len(values), dtype=object)
+    array[:] = values
+    return False, array
 
 
 class Table:
@@ -23,25 +83,43 @@ class Table:
             raise CatalogError("table name must be non-empty")
         self.name = name
         self.schema = schema
-        self._rows: list[tuple[Any, ...]] = []
+        self._rows: Optional[list[tuple[Any, ...]]] = []
+        self._columns: Optional[list[np.ndarray]] = None
+        self._version = 0
+        self._view: Optional[ColumnarView] = None
+        self._view_version = -1
 
     def __len__(self) -> int:
-        return len(self._rows)
+        if self._rows is not None:
+            return len(self._rows)
+        assert self._columns is not None
+        return len(self._columns[0]) if self._columns else 0
 
     def __iter__(self) -> Iterator[tuple[Any, ...]]:
-        return iter(self._rows)
+        return iter(self._materialized_rows())
 
     def __repr__(self) -> str:
         return f"Table({self.name!r}, columns={self.schema.names}, rows={len(self)})"
 
+    # -- row-major access ----------------------------------------------------
+
+    def _materialized_rows(self) -> list[tuple[Any, ...]]:
+        if self._rows is None:
+            assert self._columns is not None
+            self._rows = list(zip(*(column.tolist() for column in self._columns)))
+        return self._rows
+
     @property
     def rows(self) -> list[tuple[Any, ...]]:
         """A copy of the stored rows (mutating it does not affect the table)."""
-        return list(self._rows)
+        return list(self._materialized_rows())
 
     def insert(self, row: Iterable[Any]) -> None:
         """Validate and append one row."""
-        self._rows.append(self.schema.check_row(row))
+        checked = self.schema.check_row(row)
+        self._materialized_rows().append(checked)
+        self._columns = None  # row storage is canonical again
+        self._invalidate()
 
     def insert_many(self, rows: Iterable[Iterable[Any]]) -> int:
         """Validate and append many rows; returns the number inserted."""
@@ -58,38 +136,127 @@ class Table:
         materialization and the Storage Manager's bulk sample loads) — the
         values there were already produced by the type-checked pipeline.
         """
-        before = len(self._rows)
-        self._rows.extend(tuple(row) for row in rows)
-        return len(self._rows) - before
+        stored = self._materialized_rows()
+        before = len(stored)
+        stored.extend(tuple(row) for row in rows)
+        self._columns = None  # row storage is canonical again
+        self._invalidate()
+        return len(stored) - before
 
     def truncate(self) -> None:
         """Remove all rows, keeping the schema."""
-        self._rows.clear()
+        self._rows = []
+        self._columns = None
+        self._invalidate()
 
     def replace_rows(self, rows: Iterable[Iterable[Any]]) -> None:
         """Atomically replace the table contents (used by UPDATE/DELETE)."""
         checked = [self.schema.check_row(row) for row in rows]
         self._rows = checked
+        self._columns = None
+        self._invalidate()
 
     def column_values(self, name: str) -> list[Any]:
         """All values of one column, in row order."""
         position = self.schema.position_of(name)
-        return [row[position] for row in self._rows]
+        if self._rows is None and self._columns is not None:
+            return self._columns[position].tolist()
+        return [row[position] for row in self._materialized_rows()]
+
+    # -- column-major access -------------------------------------------------
+
+    def load_columnar(self, columns: Sequence[np.ndarray]) -> int:
+        """Replace the table contents with column arrays (trusted producers).
+
+        The analogue of :meth:`load_unchecked` for the columnar layout: the
+        Storage Manager and ``SELECT INTO`` land whole relations this way
+        without ever materializing Python row tuples. Arrays must match the
+        schema's arity, share one length, and carry packed dtypes.
+        """
+        if len(columns) != len(self.schema):
+            raise CatalogError(
+                f"columnar load has {len(columns)} columns, "
+                f"schema has {len(self.schema)}"
+            )
+        lengths = {len(column) for column in columns}
+        if len(lengths) > 1:
+            raise CatalogError(f"columnar load with ragged lengths {sorted(lengths)}")
+        self._columns = [np.asarray(column) for column in columns]
+        self._rows = None
+        self._invalidate()
+        return len(self._columns[0]) if self._columns else 0
+
+    def columnar_view(self) -> ColumnarView:
+        """The cached column-major view of this table (built on demand)."""
+        if self._view is not None and self._view_version == self._version:
+            return self._view
+        arrays: dict[str, np.ndarray] = {}
+        objects: dict[str, np.ndarray] = {}
+        n_rows = len(self)
+        if self._columns is not None and self._rows is None:
+            for column_def, array in zip(self.schema.columns, self._columns):
+                key = column_def.name.lower()
+                if array.dtype.kind in "ifb":
+                    arrays[key] = array
+                else:
+                    objects[key] = array
+        else:
+            rows = self._materialized_rows()
+            for position, column_def in enumerate(self.schema.columns):
+                values = [row[position] for row in rows]
+                packed, array = _pack_column(values, column_def.sql_type)
+                if packed:
+                    arrays[column_def.name.lower()] = array
+                else:
+                    objects[column_def.name.lower()] = array
+        self._view = ColumnarView(arrays, objects, n_rows)
+        self._view_version = self._version
+        return self._view
+
+    def _invalidate(self) -> None:
+        self._version += 1
 
 
-@dataclass
 class ResultSet:
     """Schema-tagged query output.
 
-    ``rows`` is a plain list of tuples so results stay valid after subsequent
-    statements mutate the source tables.
+    Row-major output is a plain list of tuples (valid after subsequent
+    statements mutate the source tables). The vectorized executor instead
+    attaches ``column_data`` — one NumPy array per output column — and row
+    tuples are materialized lazily only if someone asks for them.
     """
 
-    schema: TableSchema
-    rows: list[tuple[Any, ...]]
+    def __init__(
+        self,
+        schema: TableSchema,
+        rows: Optional[list[tuple[Any, ...]]] = None,
+        column_data: Optional[list[np.ndarray]] = None,
+    ) -> None:
+        if rows is None and column_data is None:
+            raise CatalogError("ResultSet needs rows or column_data")
+        self.schema = schema
+        self._rows = rows
+        self.column_data = column_data
+
+    @property
+    def rows(self) -> list[tuple[Any, ...]]:
+        if self._rows is None:
+            assert self.column_data is not None
+            self._rows = list(
+                zip(*(column.tolist() for column in self.column_data))
+            )
+        return self._rows
+
+    @rows.setter
+    def rows(self, rows: list[tuple[Any, ...]]) -> None:
+        self._rows = rows
+        self.column_data = None
 
     def __len__(self) -> int:
-        return len(self.rows)
+        if self._rows is not None:
+            return len(self._rows)
+        assert self.column_data is not None
+        return len(self.column_data[0]) if self.column_data else 0
 
     def __iter__(self) -> Iterator[tuple[Any, ...]]:
         return iter(self.rows)
@@ -101,13 +268,22 @@ class ResultSet:
     def column(self, name: str) -> list[Any]:
         """All values of one output column, in row order."""
         position = self.schema.position_of(name)
+        if self._rows is None and self.column_data is not None:
+            return self.column_data[position].tolist()
         return [row[position] for row in self.rows]
+
+    def column_array(self, name: str) -> np.ndarray:
+        """One output column as a NumPy array (zero-copy when columnar)."""
+        position = self.schema.position_of(name)
+        if self.column_data is not None:
+            return self.column_data[position]
+        return np.asarray([row[position] for row in self.rows])
 
     def scalar(self) -> Any:
         """Return the single value of a 1x1 result (e.g. ``SELECT COUNT(*)``)."""
-        if len(self.rows) != 1 or len(self.schema) != 1:
+        if len(self) != 1 or len(self.schema) != 1:
             raise CatalogError(
-                f"scalar() requires a 1x1 result, got {len(self.rows)}x{len(self.schema)}"
+                f"scalar() requires a 1x1 result, got {len(self)}x{len(self.schema)}"
             )
         return self.rows[0][0]
 

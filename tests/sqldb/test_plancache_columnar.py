@@ -1,0 +1,145 @@
+"""Unit tests for the plan cache and the columnar table layout."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CatalogError
+from repro.sqldb import Catalog, Executor, PlanCache
+from repro.sqldb.parser import parse_statement
+from repro.sqldb.schema import Column, TableSchema
+from repro.sqldb.table import Table
+from repro.sqldb.types import SqlType
+
+
+def _samples_schema() -> TableSchema:
+    return TableSchema(
+        (
+            Column("world", SqlType.INTEGER, nullable=False),
+            Column("t", SqlType.INTEGER, nullable=False),
+            Column("value", SqlType.FLOAT, nullable=False),
+        )
+    )
+
+
+class TestPlanCache:
+    def test_caches_parsed_statements(self):
+        cache = PlanCache(capacity=4)
+        first = cache.get_or_parse("k", lambda: parse_statement("SELECT 1"))
+        second = cache.get_or_parse("k", lambda: parse_statement("SELECT 1"))
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate() == 0.5
+
+    def test_lru_eviction(self):
+        cache = PlanCache(capacity=2)
+        cache.get_or_parse("a", lambda: "A")
+        cache.get_or_parse("b", lambda: "B")
+        cache.get_or_parse("a", lambda: "A2")  # refresh a
+        cache.get_or_parse("c", lambda: "C")  # evicts b
+        assert cache.get_or_parse("a", lambda: "A3") == "A"
+        assert cache.get_or_parse("b", lambda: "B2") == "B2"  # was evicted
+
+    def test_zero_capacity_disables_caching(self):
+        cache = PlanCache(capacity=0)
+        assert cache.get_or_parse("k", lambda: 1) == 1
+        assert cache.get_or_parse("k", lambda: 2) == 2
+        assert cache.hits == 0 and len(cache) == 0
+
+    def test_executor_reuses_plans_for_parameterized_sql(self):
+        executor = Executor(Catalog())
+        executor.execute("CREATE TABLE t (v INT)")
+        for value in range(10):
+            executor.execute("INSERT INTO t (v) VALUES (@v)", {"v": value})
+        assert executor.execute("SELECT COUNT(*) FROM t").scalar() == 10
+        assert executor.execute("SELECT SUM(v) FROM t").scalar() == 45
+        assert executor.stats.plan_cache_hits >= 9
+        # Distinct variable bindings, one parse.
+        assert executor.plan_cache.hits >= 9
+
+    def test_executor_plan_cache_can_be_disabled(self):
+        executor = Executor(Catalog(), plan_cache_size=0)
+        executor.execute("CREATE TABLE t (v INT)")
+        executor.execute("INSERT INTO t (v) VALUES (1)")
+        executor.execute("INSERT INTO t (v) VALUES (1)")
+        assert executor.stats.plan_cache_hits == 0
+        assert executor.stats.plan_cache_misses == 3
+
+
+class TestColumnarTable:
+    def test_load_columnar_round_trips_rows(self):
+        table = Table("s", _samples_schema())
+        table.load_columnar(
+            [
+                np.array([0, 0, 1, 1], dtype=np.int64),
+                np.array([0, 1, 0, 1], dtype=np.int64),
+                np.array([1.5, 2.5, 3.5, 4.5]),
+            ]
+        )
+        assert len(table) == 4
+        assert table.rows == [(0, 0, 1.5), (0, 1, 2.5), (1, 0, 3.5), (1, 1, 4.5)]
+        assert all(type(row[0]) is int and type(row[2]) is float for row in table)
+        assert table.column_values("value") == [1.5, 2.5, 3.5, 4.5]
+
+    def test_columnar_view_from_rows(self):
+        table = Table("s", _samples_schema())
+        table.insert_many([(0, 0, 1.0), (0, 1, 2.0)])
+        view = table.columnar_view()
+        assert view.n_rows == 2
+        assert view.arrays["world"].dtype == np.int64
+        assert view.arrays["value"].tolist() == [1.0, 2.0]
+        assert view.objects == {}
+
+    def test_columnar_view_invalidated_by_mutation(self):
+        table = Table("s", _samples_schema())
+        table.insert((0, 0, 1.0))
+        assert table.columnar_view().n_rows == 1
+        table.insert((1, 0, 2.0))
+        view = table.columnar_view()
+        assert view.n_rows == 2
+        assert view.arrays["value"].tolist() == [1.0, 2.0]
+
+    def test_null_and_text_columns_stay_object_backed(self):
+        schema = TableSchema(
+            (Column("name", SqlType.TEXT), Column("v", SqlType.INTEGER))
+        )
+        table = Table("s", schema)
+        table.insert_many([("a", 1), ("b", None)])
+        view = table.columnar_view()
+        assert "name" in view.objects and "v" in view.objects
+        assert view.arrays == {}
+        assert view.objects["v"].tolist() == [1, None]
+
+    def test_load_columnar_validates_shape(self):
+        table = Table("s", _samples_schema())
+        with pytest.raises(CatalogError):
+            table.load_columnar([np.zeros(2, dtype=np.int64)])
+        with pytest.raises(CatalogError):
+            table.load_columnar(
+                [
+                    np.zeros(2, dtype=np.int64),
+                    np.zeros(3, dtype=np.int64),
+                    np.zeros(2),
+                ]
+            )
+
+    def test_select_into_preserves_columnar_layout(self):
+        executor = Executor(Catalog())
+        executor.execute(
+            "CREATE TABLE s (world INT NOT NULL, t INT NOT NULL, value FLOAT NOT NULL)"
+        )
+        executor.catalog.table("s").load_columnar(
+            [
+                np.arange(6, dtype=np.int64) // 3,
+                np.arange(6, dtype=np.int64) % 3,
+                np.linspace(0.0, 1.0, 6),
+            ]
+        )
+        result = executor.execute("SELECT world, t, value INTO s2 FROM s")
+        assert result.column_data is not None  # stayed columnar end-to-end
+        copied = executor.catalog.table("s2")
+        assert copied.columnar_view().arrays["value"].tolist() == list(
+            np.linspace(0.0, 1.0, 6)
+        )
+        assert copied.rows == executor.catalog.table("s").rows
