@@ -10,7 +10,8 @@ Three studies beyond the headline scenario:
 3. **Markov shortcut estimators** — the maintenance-window capacity chain is
    deterministic outside scheduled windows; estimators skip those regions.
 
-    python examples/offline_optimization.py
+    python examples/offline_optimization.py          # after: pip install -e .
+    PYTHONPATH=src python examples/offline_optimization.py   # without installing
 """
 
 from repro import (

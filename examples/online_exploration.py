@@ -6,7 +6,8 @@ Replays the demo script: a first render pays full Monte Carlo cost; every
 later slider adjustment is served mostly from fingerprint-mapped bases, and
 the session reports exactly which weeks of the graph were re-rendered.
 
-    python examples/online_exploration.py
+    python examples/online_exploration.py          # after: pip install -e .
+    PYTHONPATH=src python examples/online_exploration.py   # without installing
 """
 
 from repro import OnlineSession, ProphetConfig

@@ -7,7 +7,8 @@ Monte Carlo worlds through the VG table functions, the Storage Manager
 records basis distributions, and the Result Aggregator produces the
 per-week statistics that the online graph renders.
 
-    python examples/quickstart.py
+    python examples/quickstart.py          # after: pip install -e .
+    PYTHONPATH=src python examples/quickstart.py   # without installing
 """
 
 from repro import OnlineSession, ProphetConfig, parse_scenario

@@ -8,7 +8,8 @@ threshold — exactly the question the demo answers. A live progress line
 mirrors the demo's "live-updated view of the simulation's progress", and the
 final mapping grid is the paper's Figure 4.
 
-    python examples/risk_vs_cost.py
+    python examples/risk_vs_cost.py          # after: pip install -e .
+    PYTHONPATH=src python examples/risk_vs_cost.py   # without installing
 """
 
 import sys

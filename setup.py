@@ -1,3 +1,19 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-fuzzy-prophet",
+    version="1.0.0",
+    description=(
+        "Fuzzy Prophet reproduction: probabilistic what-if exploration "
+        "with fingerprint reuse and a sharded evaluation service"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+        ],
+    },
+)

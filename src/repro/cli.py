@@ -1,35 +1,43 @@
 """Command-line interface.
 
-Three subcommands mirroring the paper's workflow::
+Four subcommands mirroring the paper's workflow (installed as the ``repro``
+console script; ``python -m repro`` works identically)::
 
-    python -m repro info scenario.sql          # parse & describe a scenario
-    python -m repro run scenario.sql \\
+    repro info scenario.sql          # parse & describe a scenario
+    repro run scenario.sql \\
         --set purchase1=8 --set purchase2=24 --set feature=12
-    python -m repro optimize scenario.sql --worlds 60 [--no-reuse]
+    repro optimize scenario.sql --worlds 60 [--no-reuse] [--workers 4]
+    repro batch scenario.sql --workers 4 --cache-dir .repro-cache
 
 The scenario file is a Fuzzy Prophet DSL program (Figure 2 syntax). Models
 are resolved from a named library (``--library demo`` is the paper's demo
 model set). Passing ``-`` as the file reads the built-in Figure 2 program.
+
+``batch`` (and ``optimize`` with ``--workers``/``--cache-dir``) runs through
+the ``repro.serve`` sharded evaluation service: fresh Monte Carlo sampling
+fans out across a process pool and finished statistics persist in the
+cross-run result cache, so a repeated run answers from disk.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Any, Sequence
+from typing import Any, Optional, Sequence
 
-from repro.core.engine import ProphetConfig
+from repro.core.engine import ProphetConfig, ProphetEngine
 from repro.core.offline import OfflineOptimizer
 from repro.core.online import OnlineSession
 from repro.dsl import parse_scenario
 from repro.errors import ReproError
-from repro.models import FIGURE2_DSL, build_demo_library
+from repro.models import FIGURE2_DSL
+from repro.serve.scheduler import Scheduler
+from repro.serve.service import EvaluationService
+from repro.serve.worker import LIBRARY_BUILDERS, EngineSpec
 from repro.viz import mapping_grid, render_chart, render_grid
 
-#: Named model libraries available to the CLI.
-LIBRARIES = {
-    "demo": build_demo_library,
-}
+#: Named model libraries available to the CLI (shared with serve workers).
+LIBRARIES = LIBRARY_BUILDERS
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -73,6 +81,38 @@ def build_parser() -> argparse.ArgumentParser:
         "first domain value",
     )
     run.add_argument("--no-chart", action="store_true", help="skip the ASCII chart")
+    run.add_argument(
+        "--stats",
+        action="store_true",
+        help="print execution statistics (plan cache, vectorization, reuse)",
+    )
+
+    def add_serve(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="evaluate world shards in a pool of this many worker "
+            "processes (default: sequential)",
+        )
+        sub.add_argument(
+            "--shards",
+            type=int,
+            default=None,
+            help="world shards per sampling request (default: one per worker)",
+        )
+        sub.add_argument(
+            "--cache-dir",
+            default=None,
+            help="persist finished point statistics here; later runs with "
+            "the same scenario/point/worlds/seed answer from disk",
+        )
+        sub.add_argument(
+            "--executor",
+            default="auto",
+            choices=("auto", "process", "inline"),
+            help="shard executor backend (auto: process pool when workers > 1)",
+        )
 
     optimize = subparsers.add_parser(
         "optimize", help="run the scenario's OPTIMIZE block over the full grid"
@@ -87,6 +127,32 @@ def build_parser() -> argparse.ArgumentParser:
         metavar=("XPARAM", "YPARAM"),
         help="render the Figure-4 exploration grid over two parameters",
     )
+    optimize.add_argument(
+        "--stats",
+        action="store_true",
+        help="print execution statistics (plan cache, vectorization, reuse)",
+    )
+    add_serve(optimize)
+
+    batch = subparsers.add_parser(
+        "batch",
+        help="evaluate many points through the sharded evaluation service",
+    )
+    add_common(batch)
+    batch.add_argument(
+        "--point",
+        dest="points",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE,NAME=VALUE,...",
+        help="evaluate this point (repeatable); omit to sweep the full grid",
+    )
+    batch.add_argument(
+        "--stats",
+        action="store_true",
+        help="print execution statistics (plan cache, vectorization, reuse)",
+    )
+    add_serve(batch)
     return parser
 
 
@@ -118,11 +184,89 @@ def _setup(args: argparse.Namespace):
     library = LIBRARIES[args.library]()
     scenario.check_against_library(library)
     config = ProphetConfig(n_worlds=args.worlds, base_seed=args.seed)
-    return scenario, library, config
+    return scenario, library, config, text
+
+
+def _wants_service(args: argparse.Namespace) -> bool:
+    return (
+        getattr(args, "workers", None) is not None
+        or getattr(args, "cache_dir", None) is not None
+        or getattr(args, "shards", None) is not None
+        or getattr(args, "executor", "auto") != "auto"
+    )
+
+
+def _build_scheduler(
+    args: argparse.Namespace, config: ProphetConfig, text: str
+) -> Scheduler:
+    """A scheduler over a sharded evaluation service for this CLI run."""
+    from repro.serve.executors import create_executor
+
+    spec = EngineSpec.from_dsl(
+        text,
+        library=args.library,
+        config=config,
+        scenario_name="cli_scenario",
+    )
+    # --workers opts into the process pool; --cache-dir/--shards alone stay
+    # in-process (the --workers help promises "default: sequential").
+    kind = args.executor
+    if kind == "auto" and args.workers is None:
+        kind = "inline"
+    executor = create_executor(kind, args.workers)
+    service = EvaluationService(
+        spec,
+        executor=executor,
+        shards=args.shards,
+        cache_dir=args.cache_dir,
+    )
+    return Scheduler(service)
+
+
+def _print_engine_stats(engine: ProphetEngine) -> None:
+    """The --stats block: execution pipeline and reuse-layer counters."""
+    stats = engine.executor.stats
+    plan_total = stats.plan_cache_hits + stats.plan_cache_misses
+    plan_rate = stats.plan_cache_hits / plan_total if plan_total else 0.0
+    print("execution stats:")
+    print(
+        f"  plan cache: {stats.plan_cache_hits} hits / "
+        f"{stats.plan_cache_misses} misses ({plan_rate:.1%})"
+    )
+    print(
+        f"  selects: {stats.vectorized_selects} vectorized "
+        f"({stats.rows_vectorized} rows) / {stats.fallback_selects} "
+        f"fallback ({stats.rows_fallback} rows)"
+    )
+    print(
+        f"  basis reuse: {engine.storage.exact_hits} exact / "
+        f"{engine.storage.mapped_hits} mapped / {engine.storage.misses} fresh"
+    )
+    print(
+        f"  week memo: {engine.week_stats_hits} hits / "
+        f"{engine.week_stats_misses} misses"
+    )
+
+
+def _print_service_stats(scheduler: Scheduler) -> None:
+    service = scheduler.service
+    print("service stats:")
+    print(
+        f"  result cache: {service.stats.cache_hits} hits / "
+        f"{service.stats.cache_misses} misses "
+        f"({service.stats.cache_hit_rate():.1%})"
+    )
+    print(
+        f"  shards: {service.stats.shard_tasks} tasks over "
+        f"{service.stats.sampled_worlds} sampled worlds "
+        f"({service.executor.kind} x{service.executor.workers})"
+    )
+    print(f"  scheduler: {scheduler.jobs_completed} jobs, "
+          f"{scheduler.dedup_hits} deduplicated")
 
 
 def command_info(args: argparse.Namespace) -> int:
-    scenario, library, _ = _setup(args)
+    scenario, library, _, _ = _setup(args)
     print(f"scenario: {scenario.name}")
     print(f"axis: @{scenario.axis} ({len(scenario.axis_values())} values)")
     print("parameters:")
@@ -155,7 +299,7 @@ def command_info(args: argparse.Namespace) -> int:
 
 
 def command_run(args: argparse.Namespace) -> int:
-    scenario, library, config = _setup(args)
+    scenario, library, config, _ = _setup(args)
     session = OnlineSession(scenario, library, config)
     for assignment in args.assignments:
         name, value = _parse_assignment(assignment)
@@ -176,38 +320,119 @@ def command_run(args: argparse.Namespace) -> int:
             f"E[{alias}]: min={series.min():.4g} max={series.max():.4g} "
             f"mean={series.mean():.4g}"
         )
+    if args.stats:
+        print()
+        _print_engine_stats(session.engine)
     return 0
 
 
 def command_optimize(args: argparse.Namespace) -> int:
-    scenario, library, config = _setup(args)
-    optimizer = OfflineOptimizer(scenario, library, config)
-    total = scenario.space.grid_size(exclude=[scenario.axis])
-    print(f"sweeping {total} points x {config.n_worlds} worlds "
-          f"(reuse {'off' if args.no_reuse else 'on'})")
-    result = optimizer.run(reuse=not args.no_reuse)
-    print(
-        f"done in {result.elapsed_seconds:.1f}s; sources {result.source_counts()}; "
-        f"{result.component_samples} component-samples"
-    )
-    if result.best is None:
-        print("no feasible point satisfies the constraint")
-        return 1
-    print(f"best point: {result.best.point}")
-    if result.best.constraint_value is not None:
-        print(f"constraint value at best: {result.best.constraint_value:.4f}")
-    if args.grid:
-        x_name, y_name = args.grid
-        grid = mapping_grid(result.records, scenario.space, x_name, y_name)
-        print()
-        print(render_grid(grid, title=f"exploration grid ({x_name} x {y_name})"))
-    return 0
+    scenario, library, config, text = _setup(args)
+    scheduler: Optional[Scheduler] = None
+    if _wants_service(args):
+        scheduler = _build_scheduler(args, config, text)
+    try:
+        optimizer = OfflineOptimizer(scenario, library, config, scheduler=scheduler)
+        total = scenario.space.grid_size(exclude=[scenario.axis])
+        backend = (
+            f"{scheduler.service.executor.kind} x{scheduler.service.executor.workers}"
+            if scheduler is not None
+            else "sequential"
+        )
+        print(f"sweeping {total} points x {config.n_worlds} worlds "
+              f"(reuse {'off' if args.no_reuse else 'on'}; {backend})")
+        result = optimizer.run(reuse=not args.no_reuse)
+        print(
+            f"done in {result.elapsed_seconds:.1f}s; sources {result.source_counts()}; "
+            f"{result.component_samples} component-samples"
+        )
+        if args.stats:
+            print()
+            _print_engine_stats(optimizer.engine)
+            if scheduler is not None:
+                _print_service_stats(scheduler)
+        if result.best is None:
+            print("no feasible point satisfies the constraint")
+            return 1
+        print(f"best point: {result.best.point}")
+        if result.best.constraint_value is not None:
+            print(f"constraint value at best: {result.best.constraint_value:.4f}")
+        if args.grid:
+            x_name, y_name = args.grid
+            grid = mapping_grid(result.records, scenario.space, x_name, y_name)
+            print()
+            print(render_grid(grid, title=f"exploration grid ({x_name} x {y_name})"))
+        return 0
+    finally:
+        if scheduler is not None:
+            scheduler.service.close()
+
+
+def command_batch(args: argparse.Namespace) -> int:
+    scenario, library, config, text = _setup(args)
+    scheduler = _build_scheduler(args, config, text)
+    try:
+        if args.points:
+            for text in args.points:
+                point = dict(
+                    _parse_assignment(part)
+                    for part in text.split(",")
+                    if part.strip()
+                )
+                scheduler.submit(point, session="cli")
+            label = f"{len(args.points)} points"
+        else:
+            sweep = scheduler.submit_sweep(session="cli")
+            label = f"full grid ({len(sweep.jobs)} points)"
+        service = scheduler.service
+        print(
+            f"batch: {label} x {config.n_worlds} worlds via "
+            f"{service.executor.kind} x{service.executor.workers}"
+            + (f"; cache {args.cache_dir}" if args.cache_dir else "")
+        )
+        import time as _time
+
+        started = _time.perf_counter()
+        jobs = scheduler.run_pending()
+        elapsed = _time.perf_counter() - started
+        failed = [job for job in jobs if job.error]
+        print(
+            f"done in {elapsed:.1f}s: {len(jobs)} evaluations, "
+            f"{scheduler.dedup_hits} deduplicated, "
+            f"{service.stats.cache_hits} cache hits "
+            f"({service.stats.cache_hit_rate():.0%} hit rate), "
+            f"{len(failed)} failed"
+        )
+        # Failed jobs are always listed in full; successes truncate.
+        succeeded = [job for job in jobs if not job.error]
+        shown = succeeded[: 5 if len(jobs) > 10 else len(succeeded)]
+        for job in failed + shown:
+            marker = "!" if job.error else " "
+            summary = (
+                job.error
+                if job.error
+                else " ".join(
+                    f"E[{alias}]={job.result.statistics.expectation(alias).mean():.4g}"
+                    for alias in job.result.statistics.aliases()
+                )
+            )
+            print(f" {marker} {job.point}: {summary}")
+        if len(shown) < len(succeeded):
+            print(f"   ... {len(succeeded) - len(shown)} more")
+        if args.stats:
+            print()
+            _print_engine_stats(service.engine)
+            _print_service_stats(scheduler)
+        return 1 if failed else 0
+    finally:
+        scheduler.service.close()
 
 
 COMMANDS = {
     "info": command_info,
     "run": command_run,
     "optimize": command_optimize,
+    "batch": command_batch,
 }
 
 

@@ -4,8 +4,12 @@ fingerprinting, and the online/offline exploration modes."""
 from repro.core.aggregator import (
     AxisStatistics,
     ConvergenceTracker,
+    ExactSum,
+    MergeableAxisStats,
+    MergeableMoments,
     ResultAggregator,
     SeriesStats,
+    WelfordAccumulator,
     error_against_reference,
 )
 from repro.core.engine import (
@@ -70,6 +74,10 @@ __all__ = [
     "AxisStatistics",
     "SeriesStats",
     "ConvergenceTracker",
+    "ExactSum",
+    "MergeableMoments",
+    "MergeableAxisStats",
+    "WelfordAccumulator",
     "error_against_reference",
     "ProphetEngine",
     "ProphetConfig",

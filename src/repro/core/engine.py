@@ -25,7 +25,7 @@ from __future__ import annotations
 import hashlib
 import time
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Optional, Sequence
+from typing import Any, Callable, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -77,6 +77,13 @@ class ProphetConfig:
 
     def correlation_policy(self) -> CorrelationPolicy:
         return CorrelationPolicy(tolerance=self.correlation_tolerance)
+
+
+#: Replacement for the fresh-sampling stage: called with the VG output and
+#: the instance batch (one parameter point, a world slice) that no reuse
+#: layer could serve; must return the ``(len(batch), n_components)`` sample
+#: matrix that :meth:`ProphetEngine._sql_sample` would have produced.
+FreshSampler = Callable[[VGOutput, InstanceBatch], np.ndarray]
 
 
 @dataclass
@@ -163,11 +170,24 @@ class ProphetEngine:
         *,
         worlds: Optional[Sequence[int]] = None,
         reuse: bool = True,
+        sampler: Optional["FreshSampler"] = None,
     ) -> PointEvaluation:
         """Evaluate the scenario at one sweep point (axis excluded).
 
         ``worlds`` defaults to all configured Monte Carlo worlds; the online
         mode passes growing prefixes for progressive refinement.
+
+        ``sampler`` replaces the generated-SQL fresh-sampling stage (and
+        nothing else): it is called exactly where :meth:`_sql_sample` would
+        be, for precisely the (output, world-slice) pairs that no reuse
+        layer could serve. ``repro.serve`` passes a sampler that shards the
+        world slice across a process pool; because each world's seed is a
+        pure function of ``(base_seed, world)`` (see
+        :func:`repro.vg.seeds.world_seed`), a shard evaluated elsewhere
+        produces the same rows this engine would, and every downstream
+        stage — storage, fingerprint mapping, combine/aggregate, the week
+        memo — runs unchanged on the merged samples. Sharded evaluation is
+        therefore bit-identical to sequential by construction.
         """
         sweep_space = self.scenario.sweep_space
         validated = sweep_space.validate_point(
@@ -210,7 +230,9 @@ class ProphetEngine:
         reports: list[ReuseReport] = []
         matrices: dict[str, np.ndarray] = {}
         for output in self.scenario.vg_outputs:
-            matrix, report = self._samples_for_output(output, batch, reuse, timings)
+            matrix, report = self._samples_for_output(
+                output, batch, reuse, timings, sampler
+            )
             matrices[output.alias.lower()] = matrix
             reports.append(report)
 
@@ -231,6 +253,36 @@ class ProphetEngine:
             self._stats_cache[cache_key] = evaluation
         return evaluation
 
+    def sample_fresh(
+        self, alias: str, point: Mapping[str, Any], worlds: Sequence[int]
+    ) -> np.ndarray:
+        """Fresh-sample one VG output over a world slice (shard worker entry).
+
+        Runs only the generated-SQL sampling stage — no storage, no reuse,
+        no aggregation. Because each world's seed derives purely from
+        ``(base_seed, world)``, the returned ``(len(worlds), n_components)``
+        matrix rows are identical to what any other engine with the same
+        scenario and config would produce for those worlds, which is what
+        makes sharded sampling safe to merge.
+        """
+        target = alias.lower()
+        for output in self.scenario.vg_outputs:
+            if output.alias.lower() == target:
+                break
+        else:
+            raise ScenarioError(f"no VG output named {alias!r}")
+        validated = self.scenario.sweep_space.validate_point(
+            {
+                k: v
+                for k, v in point.items()
+                if str(k).lstrip("@").lower() != self.scenario.axis
+            }
+        )
+        if not worlds:
+            raise ScenarioError("sample_fresh needs at least one world")
+        batch = InstanceBatch.at_point(validated, tuple(worlds), self.config.base_seed)
+        return self._sql_sample(output, batch, StageTimings())
+
     def invocation_count(self) -> int:
         """Total real VG invocations so far (probes included)."""
         return self.library.total_invocations()
@@ -249,6 +301,7 @@ class ProphetEngine:
         batch: InstanceBatch,
         reuse: bool,
         timings: StageTimings,
+        sampler: Optional["FreshSampler"] = None,
     ) -> tuple[np.ndarray, ReuseReport]:
         function = self.library.get(output.vg_name)
         args = output.model_arg_values(batch.point_dict)
@@ -280,7 +333,7 @@ class ProphetEngine:
                     )
                     timings.storage += time.perf_counter() - started
                 if fresh is None:
-                    fresh = self._sql_sample(output, missing_batch, timings)
+                    fresh = self._fresh_samples(output, missing_batch, timings, sampler)
                 merged_worlds = existing.worlds + tuple(missing)
                 merged_seeds = existing.seeds + missing_batch.seeds
                 merged = np.vstack([existing.samples, fresh])
@@ -301,11 +354,32 @@ class ProphetEngine:
         if samples is not None:
             return samples, report
 
-        samples = self._sql_sample(output, batch, timings)
+        samples = self._fresh_samples(output, batch, timings, sampler)
         started = time.perf_counter()
         self.storage.store(function, args, samples, worlds, seeds)
         timings.storage += time.perf_counter() - started
         return samples, report
+
+    def _fresh_samples(
+        self,
+        output: VGOutput,
+        batch: InstanceBatch,
+        timings: StageTimings,
+        sampler: Optional["FreshSampler"],
+    ) -> np.ndarray:
+        """Fresh samples via the generated-SQL path or a caller's sampler."""
+        if sampler is None:
+            return self._sql_sample(output, batch, timings)
+        started = time.perf_counter()
+        samples = np.asarray(sampler(output, batch), dtype=float)
+        timings.sql += time.perf_counter() - started
+        expected = (len(batch), self.library.get(output.vg_name).n_components)
+        if samples.shape != expected:
+            raise ScenarioError(
+                f"sampler returned shape {samples.shape} for {output.alias!r}, "
+                f"expected {expected}"
+            )
+        return samples
 
     def _sql_sample(
         self, output: VGOutput, batch: InstanceBatch, timings: StageTimings

@@ -209,6 +209,7 @@ class OfflineOptimizer:
         library: VGLibrary,
         config: ProphetConfig | None = None,
         engine: ProphetEngine | None = None,
+        scheduler: Optional[Any] = None,
     ) -> None:
         if scenario.optimize is None:
             raise OptimizationError(
@@ -216,7 +217,33 @@ class OfflineOptimizer:
             )
         self.scenario = scenario
         self.spec: OptimizeSpec = scenario.optimize
-        self.engine = engine or ProphetEngine(scenario, library, config)
+        self.scheduler = scheduler
+        if scheduler is not None:
+            # Sweep through the shared sharded service: every grid point's
+            # fresh sampling fans out across the worker pool and lands in
+            # the cross-run result cache.
+            from repro.serve.cache import scenario_fingerprint
+
+            service = scheduler.service
+            if scenario_fingerprint(scenario, library) != scenario_fingerprint(
+                service.scenario, service.engine.library
+            ):
+                raise OptimizationError(
+                    "scheduler serves a different scenario/library than "
+                    "this optimizer's"
+                )
+            if engine is not None:
+                raise OptimizationError(
+                    "pass either engine= or scheduler=, not both"
+                )
+            if config is not None and config != service.engine.config:
+                raise OptimizationError(
+                    "config= conflicts with the scheduler's engine config; "
+                    "omit it or build the service with this config"
+                )
+            self.engine = service.engine
+        else:
+            self.engine = engine or ProphetEngine(scenario, library, config)
 
     def run(
         self,
@@ -243,9 +270,17 @@ class OfflineOptimizer:
         sweep_started = time.perf_counter()
         for batch in guide.batches():
             started = time.perf_counter()
-            evaluation = self.engine.evaluate_point(
-                batch.point_dict, worlds=batch.worlds, reuse=reuse
-            )
+            if self.scheduler is not None:
+                evaluation = self.scheduler.evaluate(
+                    batch.point_dict,
+                    worlds=batch.worlds,
+                    session="optimizer",
+                    reuse=reuse,
+                )
+            else:
+                evaluation = self.engine.evaluate_point(
+                    batch.point_dict, worlds=batch.worlds, reuse=reuse
+                )
             record = self._record_for(evaluation, time.perf_counter() - started)
             result.records.append(record)
             if progress is not None:

@@ -10,6 +10,12 @@ Proactive exploration: between user interactions the session can evaluate
 neighboring slider positions speculatively (the demo GUI's parameter-space
 grid showing "values proactively being explored anticipating their future
 usage"); a subsequent move to one of those values is then an instant hit.
+
+Scheduler backend: passing a :class:`repro.serve.Scheduler` routes every
+evaluation through the shared sharded evaluation service — slider refreshes
+run their fresh sampling across the worker pool, proactive exploration is
+submitted as deduplicated jobs, and results land in the cross-run cache for
+other sessions.
 """
 
 from __future__ import annotations
@@ -75,8 +81,35 @@ class OnlineSession:
         library: VGLibrary,
         config: ProphetConfig | None = None,
         neighbor_depth: int = 1,
+        scheduler: Optional[Any] = None,
+        session_name: str = "online",
     ) -> None:
-        self.engine = ProphetEngine(scenario, library, config)
+        self.scheduler = scheduler
+        self.session_name = session_name
+        if scheduler is not None:
+            # Share the scheduler's coordinator engine so this session sees
+            # (and contributes to) the same bases, caches, and counters as
+            # every other session on the service. VG work done by shard
+            # workers happens in their processes and is not reflected in
+            # this engine's invocation counters.
+            from repro.serve.cache import scenario_fingerprint
+
+            service = scheduler.service
+            if scenario_fingerprint(scenario, library) != scenario_fingerprint(
+                service.scenario, service.engine.library
+            ):
+                raise OnlineSessionError(
+                    "scheduler serves a different scenario/library than "
+                    "this session's"
+                )
+            if config is not None and config != service.engine.config:
+                raise OnlineSessionError(
+                    "config= conflicts with the scheduler's engine config; "
+                    "omit it or build the service with this config"
+                )
+            self.engine = service.engine
+        else:
+            self.engine = ProphetEngine(scenario, library, config)
         self.scenario = scenario
         self.guide = PriorityGuide(
             scenario.space,
@@ -117,12 +150,20 @@ class OnlineSession:
 
     # -- evaluation ------------------------------------------------------------
 
+    def _evaluate(self, *, worlds=None, reuse: bool = True) -> PointEvaluation:
+        """One point evaluation, via the scheduler backend when present."""
+        if self.scheduler is not None:
+            return self.scheduler.evaluate(
+                self._sliders, worlds=worlds, session=self.session_name, reuse=reuse
+            )
+        return self.engine.evaluate_point(self._sliders, worlds=worlds, reuse=reuse)
+
     def refresh(self, *, reuse: bool = True) -> GraphView:
         """Evaluate the scenario at the current slider point; full worlds."""
         started = time.perf_counter()
         invocations_before = self.engine.invocation_count()
         samples_before = self.engine.component_sample_count()
-        evaluation = self.engine.evaluate_point(self._sliders, reuse=reuse)
+        evaluation = self._evaluate(reuse=reuse)
         view = self._view_from(
             evaluation,
             time.perf_counter() - started,
@@ -146,9 +187,7 @@ class OnlineSession:
             started = time.perf_counter()
             invocations_before = self.engine.invocation_count()
             samples_before = self.engine.component_sample_count()
-            evaluation = self.engine.evaluate_point(
-                self._sliders, worlds=range(world_range.stop), reuse=reuse
-            )
+            evaluation = self._evaluate(worlds=range(world_range.stop), reuse=reuse)
             view = self._view_from(
                 evaluation,
                 time.perf_counter() - started,
@@ -167,8 +206,35 @@ class OnlineSession:
 
         Returns the number of points explored. Call while the user is idle;
         their next slider move then lands on a stored basis.
+
+        With a scheduler backend the neighbor points are submitted as jobs
+        first (coalescing with any identical in-flight requests from other
+        sessions) and then drained through the shared shard pool.
         """
         explored = 0
+        if self.scheduler is not None:
+            jobs = []
+            for batch in self.guide.proactive_batches(self._sliders):
+                if max_points is not None and explored >= max_points:
+                    break
+                jobs.append(
+                    self.scheduler.submit(
+                        batch.point_dict,
+                        worlds=batch.worlds,
+                        session=self.session_name,
+                    )
+                )
+                explored += 1
+            self.scheduler.run_pending()
+            failed = [job for job in jobs if job.error is not None]
+            if failed:
+                # The sequential path propagates evaluation errors; the
+                # scheduler path must not hide them in job records.
+                raise OnlineSessionError(
+                    f"{len(failed)} proactive evaluation(s) failed; "
+                    f"first: {failed[0].error}"
+                )
+            return explored
         for batch in self.guide.proactive_batches(self._sliders):
             if max_points is not None and explored >= max_points:
                 break

@@ -81,6 +81,12 @@ class RiskAnalyzer:
         self._functions = builtin_scalar_functions()
 
     def samples_for(self, evaluation: PointEvaluation, alias: str) -> np.ndarray:
+        if not evaluation.samples:
+            raise ScenarioError(
+                "evaluation carries no sample matrices (it was served from "
+                "the repro.serve result cache, which stores only statistics);"
+                " re-evaluate with the cache disabled to analyze risk"
+            )
         key = alias.lower()
         if key in evaluation.samples:
             return evaluation.samples[key]

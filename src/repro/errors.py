@@ -72,3 +72,7 @@ class OptimizationError(ReproError):
 
 class OnlineSessionError(ReproError):
     """Raised for misuse of the online exploration session API."""
+
+
+class ServeError(ReproError):
+    """Raised by the ``repro.serve`` evaluation service and scheduler."""

@@ -1,0 +1,52 @@
+"""``repro.serve`` — sharded parallel evaluation service.
+
+Turns the single-process :class:`~repro.core.engine.ProphetEngine` into a
+concurrent evaluation service: the fixed world-seed sequence is partitioned
+into contiguous shards evaluated in a process pool (with an in-process
+fallback executor), a job scheduler lets many logical sessions share one
+pool with in-flight deduplication, and a persistent cross-run result cache
+serves repeated questions instantly.
+
+Reuse layers, in the order they fire for one evaluation request:
+
+1. **result cache** (:class:`ResultCache`) — the exact (scenario, point,
+   worlds, seeds) was answered before, possibly by another run;
+2. **exact basis hit / stats cache** — the coordinator engine already holds
+   these samples or statistics in memory;
+3. **fingerprint map** — a correlated parameterization's samples are
+   remapped, only unmapped components are simulated;
+4. **sharded fresh sampling** — whatever survives all reuse is sharded
+   across workers, deterministically, and merged bit-identically.
+"""
+
+from repro.serve.cache import CachedResult, ResultCache, result_key, scenario_fingerprint
+from repro.serve.executors import (
+    InlineExecutor,
+    ProcessExecutor,
+    create_executor,
+)
+from repro.serve.scheduler import Job, JobQueue, Scheduler, SweepJob
+from repro.serve.service import EvaluationService, ServiceStats
+from repro.serve.sharding import WorldShard, plan_shards
+from repro.serve.worker import EngineSpec, LIBRARY_BUILDERS, SCENARIO_BUILDERS
+
+__all__ = [
+    "CachedResult",
+    "EngineSpec",
+    "EvaluationService",
+    "InlineExecutor",
+    "Job",
+    "JobQueue",
+    "LIBRARY_BUILDERS",
+    "ProcessExecutor",
+    "ResultCache",
+    "SCENARIO_BUILDERS",
+    "Scheduler",
+    "ServiceStats",
+    "SweepJob",
+    "WorldShard",
+    "create_executor",
+    "plan_shards",
+    "result_key",
+    "scenario_fingerprint",
+]

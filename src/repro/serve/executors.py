@@ -1,0 +1,114 @@
+"""Shard executors: where shard sampling tasks actually run.
+
+Two interchangeable backends behind one ``submit`` interface:
+
+* :class:`ProcessExecutor` — a ``concurrent.futures.ProcessPoolExecutor``.
+  Workers are long-lived, so each worker process builds its engine once
+  (from an :class:`~repro.serve.worker.EngineSpec`) and amortizes it over
+  every shard task it receives.
+* :class:`InlineExecutor` — runs tasks synchronously in the calling
+  process. The fallback for tests, debugging, single-core machines, and
+  engines that cannot be described by a spec (closures are fine here
+  because nothing is pickled).
+
+Both return future-like objects exposing ``result()``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Any, Callable, Optional
+
+from repro.errors import ServeError
+
+
+class InlineFuture:
+    """Already-resolved future: the task ran synchronously at submit."""
+
+    __slots__ = ("_value", "_error")
+
+    def __init__(self, value: Any = None, error: Optional[BaseException] = None) -> None:
+        self._value = value
+        self._error = error
+
+    def result(self) -> Any:
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+class InlineExecutor:
+    """Synchronous in-process executor (tests, debug, 1-core fallback)."""
+
+    kind = "inline"
+
+    def __init__(self) -> None:
+        self.workers = 1
+        self.tasks_run = 0
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> InlineFuture:
+        self.tasks_run += 1
+        try:
+            return InlineFuture(fn(*args))
+        except Exception as error:  # surfaced on .result(), like a real future
+            return InlineFuture(error=error)
+
+    def shutdown(self) -> None:  # interface symmetry
+        pass
+
+
+class ProcessExecutor:
+    """Process-pool executor with long-lived workers.
+
+    ``start_method`` defaults to ``fork`` where available (workers inherit
+    the imported package instantly) and ``spawn`` elsewhere; either way the
+    submitted task must be a module-level function with picklable arguments
+    — see :mod:`repro.serve.worker`.
+    """
+
+    kind = "process"
+
+    def __init__(self, workers: Optional[int] = None, start_method: Optional[str] = None) -> None:
+        cpus = os.cpu_count() or 1
+        self.workers = max(1, workers if workers is not None else cpus)
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=multiprocessing.get_context(start_method),
+        )
+        self.tasks_run = 0
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> Future:
+        self.tasks_run += 1
+        return self._pool.submit(fn, *args)
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ProcessExecutor":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.shutdown()
+
+
+def create_executor(kind: str = "auto", workers: Optional[int] = None):
+    """Build an executor: ``"process"``, ``"inline"``, or ``"auto"``.
+
+    ``auto`` picks a process pool when more than one worker is requested
+    (or available) and the inline executor otherwise.
+    """
+    if kind == "inline":
+        return InlineExecutor()
+    if kind == "process":
+        return ProcessExecutor(workers)
+    if kind == "auto":
+        effective = workers if workers is not None else (os.cpu_count() or 1)
+        if effective <= 1:
+            return InlineExecutor()
+        return ProcessExecutor(effective)
+    raise ServeError(f"unknown executor kind {kind!r} (use process/inline/auto)")

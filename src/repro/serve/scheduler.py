@@ -1,0 +1,284 @@
+"""Job scheduler: many logical sessions sharing one evaluation service.
+
+Sessions — interactive :class:`~repro.core.online.OnlineSession` users,
+:class:`~repro.core.offline.OfflineOptimizer` sweeps, CLI batch runs —
+submit point-evaluation and sweep jobs to one :class:`Scheduler`. The
+scheduler:
+
+* **deduplicates identical in-flight points**: a job whose canonical
+  (point, worlds, reuse) key matches a queued or running job coalesces
+  onto it and receives the same result when it completes;
+* drives every evaluation through the shared
+  :class:`~repro.serve.service.EvaluationService`, so all sessions benefit
+  from the same coordinator reuse layers, shard pool, and result cache;
+* rolls sweep results up into mergeable week-axis aggregates
+  (:class:`~repro.core.aggregator.MergeableAxisStats`), merged point by
+  point exactly as shard statistics merge.
+
+Execution is synchronous and deterministic: ``run_pending`` drains the
+queue in FIFO order (the parallelism lives below, in the service's shard
+pool). That keeps scheduling decisions reproducible — the same submissions
+always produce the same evaluations in the same order.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+from repro.core.aggregator import MergeableAxisStats
+from repro.core.engine import PointEvaluation
+from repro.errors import ServeError
+from repro.serve.service import EvaluationService
+
+#: Job lifecycle states.
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+
+@dataclass
+class Job:
+    """One point-evaluation request from one logical session."""
+
+    id: int
+    session: str
+    point: dict[str, Any]
+    worlds: tuple[int, ...]
+    reuse: bool
+    key: tuple
+    status: str = PENDING
+    result: Optional[PointEvaluation] = None
+    error: Optional[str] = None
+    #: The original exception of a failed job (``error`` is its rendering).
+    exception: Optional[BaseException] = field(default=None, repr=False)
+    #: id of the identical in-flight job this one coalesced onto, if any.
+    coalesced_with: Optional[int] = None
+    elapsed_seconds: float = 0.0
+
+    @property
+    def done(self) -> bool:
+        return self.status == DONE
+
+    def evaluation(self) -> PointEvaluation:
+        if self.result is None:
+            raise ServeError(
+                f"job {self.id} has no result (status: {self.status})"
+            )
+        return self.result
+
+
+@dataclass
+class SweepJob:
+    """A grid sweep: one member job per point, plus merged aggregates."""
+
+    id: int
+    session: str
+    jobs: list[Job] = field(default_factory=list)
+    _aggregate: Optional[MergeableAxisStats] = field(default=None, repr=False)
+    _aggregated_points: int = field(default=0, repr=False)
+
+    @property
+    def done(self) -> bool:
+        return all(job.status in (DONE, FAILED) for job in self.jobs)
+
+    def evaluations(self) -> list[PointEvaluation]:
+        return [job.result for job in self.jobs if job.result is not None]
+
+    @property
+    def aggregate(self) -> Optional[MergeableAxisStats]:
+        """Week-axis moments merged over the finished member evaluations.
+
+        Computed lazily on first access (exact summation is pure Python —
+        sweeps that never read the aggregate pay nothing) over every
+        evaluation that carried sample matrices; result-cache hits ship no
+        samples and are skipped, :attr:`aggregated_points` says how many
+        contributed.
+        """
+        if self._aggregate is None and self.done:
+            merged: Optional[MergeableAxisStats] = None
+            contributed = 0
+            for job in self.jobs:
+                if job.result is None or not job.result.samples:
+                    continue
+                stats = MergeableAxisStats.from_matrices(job.result.samples)
+                if merged is None:
+                    merged = stats
+                else:
+                    merged.merge(stats)
+                contributed += 1
+            self._aggregate = merged
+            self._aggregated_points = contributed
+        return self._aggregate
+
+    @property
+    def aggregated_points(self) -> int:
+        self.aggregate  # noqa: B018 — force the lazy computation
+        return self._aggregated_points
+
+
+class JobQueue:
+    """FIFO queue with an index of in-flight jobs by canonical key."""
+
+    def __init__(self) -> None:
+        self._pending: list[Job] = []
+        self._inflight: dict[tuple, Job] = {}
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def find_inflight(self, key: tuple) -> Optional[Job]:
+        return self._inflight.get(key)
+
+    def push(self, job: Job) -> None:
+        self._pending.append(job)
+        self._inflight[job.key] = job
+
+    def pop(self) -> Optional[Job]:
+        if not self._pending:
+            return None
+        job = self._pending.pop(0)
+        job.status = RUNNING
+        return job
+
+    def finish(self, job: Job) -> None:
+        if self._inflight.get(job.key) is job:
+            del self._inflight[job.key]
+
+
+class Scheduler:
+    """Accepts jobs from many sessions; drives them through one service.
+
+    ``history_limit`` bounds :attr:`completed`: finished jobs (whose
+    results hold full sample matrices) are archived in a ring so a
+    long-lived scheduler serving interactive sessions does not grow
+    without bound. ``jobs_completed`` counts them all.
+    """
+
+    def __init__(self, service: EvaluationService, history_limit: int = 256) -> None:
+        self.service = service
+        self.queue = JobQueue()
+        self._ids = itertools.count(1)
+        self._followers: dict[int, list[Job]] = {}
+        self.completed: deque[Job] = deque(maxlen=history_limit)
+        self.jobs_completed = 0
+        self.dedup_hits = 0
+
+    # -- submission --------------------------------------------------------
+
+    def submit(
+        self,
+        point: Mapping[str, Any],
+        *,
+        worlds: Optional[Sequence[int]] = None,
+        session: str = "default",
+        reuse: bool = True,
+    ) -> Job:
+        """Queue one point evaluation; identical in-flight points coalesce."""
+        scenario = self.service.scenario
+        validated = scenario.sweep_space.validate_point(
+            {
+                k: v
+                for k, v in point.items()
+                if str(k).lstrip("@").lower() != scenario.axis
+            }
+        )
+        chosen = (
+            tuple(worlds)
+            if worlds is not None
+            else tuple(range(self.service.engine.config.n_worlds))
+        )
+        key = (scenario.sweep_space.point_key(validated), chosen, reuse)
+        job = Job(
+            id=next(self._ids),
+            session=session,
+            point=validated,
+            worlds=chosen,
+            reuse=reuse,
+            key=key,
+        )
+        primary = self.queue.find_inflight(key)
+        if primary is not None:
+            self.dedup_hits += 1
+            job.coalesced_with = primary.id
+            self._followers.setdefault(primary.id, []).append(job)
+            return job
+        self.queue.push(job)
+        return job
+
+    def submit_sweep(
+        self,
+        points: Optional[Iterable[Mapping[str, Any]]] = None,
+        *,
+        worlds: Optional[Sequence[int]] = None,
+        session: str = "default",
+        reuse: bool = True,
+    ) -> SweepJob:
+        """Queue a sweep (defaults to the full axis-excluded grid)."""
+        scenario = self.service.scenario
+        if points is None:
+            points = scenario.space.grid(exclude=[scenario.axis])
+        sweep = SweepJob(id=next(self._ids), session=session)
+        for point in points:
+            sweep.jobs.append(
+                self.submit(point, worlds=worlds, session=session, reuse=reuse)
+            )
+        if not sweep.jobs:
+            raise ServeError("sweep has no points")
+        return sweep
+
+    # -- execution ---------------------------------------------------------
+
+    def run_pending(self) -> list[Job]:
+        """Drain the queue; returns the jobs completed by this call."""
+        finished: list[Job] = []
+        while True:
+            job = self.queue.pop()
+            if job is None:
+                break
+            started = time.perf_counter()
+            try:
+                job.result = self.service.evaluate(
+                    job.point, worlds=job.worlds, reuse=job.reuse
+                )
+                job.status = DONE
+            except Exception as error:
+                job.status = FAILED
+                job.error = str(error)
+                job.exception = error
+            job.elapsed_seconds = time.perf_counter() - started
+            self.queue.finish(job)
+            for follower in self._followers.pop(job.id, ()):
+                follower.result = job.result
+                follower.status = job.status
+                follower.error = job.error
+                follower.exception = job.exception
+            finished.append(job)
+            self.completed.append(job)
+            self.jobs_completed += 1
+        return finished
+
+    def evaluate(
+        self,
+        point: Mapping[str, Any],
+        *,
+        worlds: Optional[Sequence[int]] = None,
+        session: str = "default",
+        reuse: bool = True,
+    ) -> PointEvaluation:
+        """Submit one point and run the queue to completion (blocking).
+
+        A failed evaluation re-raises the original exception, so callers
+        see the same error types the sequential path would raise.
+        """
+        job = self.submit(point, worlds=worlds, session=session, reuse=reuse)
+        self.run_pending()
+        if job.status == FAILED:
+            if job.exception is not None:
+                raise job.exception
+            raise ServeError(f"evaluation failed: {job.error}")
+        return job.evaluation()

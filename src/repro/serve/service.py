@@ -1,0 +1,279 @@
+"""The evaluation service: sharded parallel point evaluation + result cache.
+
+:class:`EvaluationService` wraps one coordinator :class:`ProphetEngine` and
+turns `evaluate` into a concurrent, cached operation:
+
+1. **Result cache** (optional, persistent): if the exact (scenario, point,
+   worlds, seed config) was ever answered before — by this process or any
+   previous run — the stored statistics are returned without touching the
+   engine.
+2. **Coordinator reuse**: otherwise the coordinator engine runs its normal
+   evaluation cycle — stats cache, exact basis hits, fingerprint-mapped
+   reuse, the week memo — exactly as the sequential path would. Reuse
+   decisions stay on the coordinator so they never depend on worker
+   scheduling.
+3. **Sharded fresh sampling**: only the samples no reuse layer could serve
+   are computed, and those are sharded across the executor: the world slice
+   splits into contiguous shards, each worker fresh-samples its shard
+   (deterministically, from the fixed seed sequence), and the merged matrix
+   is bit-identical to what sequential sampling would have produced.
+
+Because stages 2 and 3 are the sequential code path with only the fresh
+sampling farmed out, sharded evaluation returns bit-identical
+:class:`AxisStatistics` for any shard count and either executor.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.aggregator import MergeableAxisStats
+from repro.core.engine import PointEvaluation, ProphetEngine, StageTimings
+from repro.core.instance import InstanceBatch
+from repro.core.scenario import VGOutput
+from repro.core.storage import ReuseReport
+from repro.errors import ServeError
+from repro.serve.cache import ResultCache, result_key, scenario_fingerprint
+from repro.serve.executors import InlineExecutor, create_executor
+from repro.serve.sharding import plan_shards
+from repro.serve.worker import EngineSpec, sample_shard_task
+
+
+@dataclass
+class ServiceStats:
+    """Counters for one service instance."""
+
+    points_evaluated: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    shard_tasks: int = 0
+    sampled_worlds: int = 0
+    parallel_seconds: float = 0.0
+
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+
+class EvaluationService:
+    """Concurrent, cached scenario evaluation over one coordinator engine."""
+
+    def __init__(
+        self,
+        spec: Optional[EngineSpec] = None,
+        *,
+        engine: Optional[ProphetEngine] = None,
+        executor: Any = None,
+        workers: Optional[int] = None,
+        shards: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+        min_shard_worlds: int = 8,
+    ) -> None:
+        if spec is None and engine is None:
+            raise ServeError("EvaluationService needs a spec= or an engine=")
+        self.spec = spec
+        self.engine = engine if engine is not None else spec.build()
+        if executor is None and spec is None:
+            # Without a spec, process workers cannot build engines — the
+            # only valid default is the in-process executor.
+            executor = InlineExecutor()
+        if spec is not None and engine is not None:
+            # Workers sample from the spec while the coordinator merges with
+            # this engine — they must describe the same evaluation or the
+            # merged matrices silently mix seed streams.
+            if spec.config != engine.config:
+                raise ServeError(
+                    "spec= and engine= carry different ProphetConfigs"
+                )
+            spec_scenario, spec_library = spec.build_scenario()
+            if scenario_fingerprint(
+                spec_scenario, spec_library
+            ) != scenario_fingerprint(engine.scenario, engine.library):
+                raise ServeError(
+                    "spec= describes a different scenario/library than engine="
+                )
+        self.executor = (
+            executor if executor is not None else create_executor("auto", workers)
+        )
+        if self.executor.kind == "process" and spec is None:
+            raise ServeError(
+                "a process executor needs an EngineSpec so workers can "
+                "build their own engines; pass spec= or use an inline executor"
+            )
+        self.n_shards = shards if shards is not None else self.executor.workers
+        if self.n_shards < 1:
+            raise ServeError(f"shards must be >= 1, got {self.n_shards}")
+        #: Below this many worlds a slice is not worth splitting: shard
+        #: payload overhead would exceed the sampling work.
+        self.min_shard_worlds = max(1, min_shard_worlds)
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.scenario = self.engine.scenario
+        self._scenario_hash = scenario_fingerprint(self.scenario, self.engine.library)
+        self.stats = ServiceStats()
+
+    # -- public API --------------------------------------------------------
+
+    def evaluate(
+        self,
+        point: Mapping[str, Any],
+        *,
+        worlds: Optional[Sequence[int]] = None,
+        reuse: bool = True,
+    ) -> PointEvaluation:
+        """Evaluate one point: result cache, then the sharded engine cycle."""
+        validated = self.scenario.sweep_space.validate_point(
+            {
+                k: v
+                for k, v in point.items()
+                if str(k).lstrip("@").lower() != self.scenario.axis
+            }
+        )
+        chosen = (
+            tuple(worlds)
+            if worlds is not None
+            else tuple(range(self.engine.config.n_worlds))
+        )
+        self.stats.points_evaluated += 1
+
+        key = None
+        if self.cache is not None and reuse:
+            key = self._key_for(validated, chosen)
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                return self._evaluation_from_cache(validated, chosen, cached.statistics)
+            self.stats.cache_misses += 1
+
+        evaluation = self.engine.evaluate_point(
+            validated, worlds=chosen, reuse=reuse, sampler=self._sharded_sampler
+        )
+        if key is not None:
+            self.cache.put(
+                key,
+                evaluation.statistics,
+                meta={
+                    "scenario": self._scenario_hash,
+                    "scenario_name": self.scenario.name,
+                    "point": {k: repr(v) for k, v in sorted(validated.items())},
+                    "n_worlds": len(chosen),
+                    "base_seed": self.engine.config.base_seed,
+                },
+            )
+        return evaluation
+
+    def mergeable_stats(self, evaluation: PointEvaluation) -> MergeableAxisStats:
+        """Mergeable week-axis moments of an evaluation's VG sample matrices.
+
+        The compact (``O(aliases x weeks)``) form of a point's results that
+        the scheduler merges across points and shards — see
+        :class:`repro.core.aggregator.MergeableAxisStats`.
+        """
+        if not evaluation.samples:
+            raise ServeError(
+                "evaluation carries no sample matrices (served from the "
+                "result cache); mergeable stats need a computed evaluation"
+            )
+        return MergeableAxisStats.from_matrices(evaluation.samples)
+
+    def close(self) -> None:
+        self.executor.shutdown()
+
+    def __enter__(self) -> "EvaluationService":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- internals ---------------------------------------------------------
+
+    def _key_for(self, validated: Mapping[str, Any], worlds: Sequence[int]) -> str:
+        config = self.engine.config
+        return result_key(
+            self._scenario_hash,
+            validated,
+            worlds,
+            n_worlds=len(worlds),
+            base_seed=config.base_seed,
+            fingerprint_seeds=config.fingerprint_seeds,
+            correlation_tolerance=config.correlation_tolerance,
+            min_mapped_fraction=config.min_mapped_fraction,
+        )
+
+    def _evaluation_from_cache(
+        self,
+        validated: dict[str, Any],
+        worlds: tuple[int, ...],
+        statistics,
+    ) -> PointEvaluation:
+        """A :class:`PointEvaluation` served entirely from the result cache.
+
+        No sample matrices travel through the cache — ``samples`` is empty
+        and every VG output reports a full ``exact`` reuse, tagged with the
+        ``result_cache`` kind so observers can tell the layers apart.
+        """
+        reports = tuple(
+            ReuseReport(
+                vg_name=output.vg_name,
+                args=output.model_arg_values(validated),
+                source="exact",
+                basis_args=output.model_arg_values(validated),
+                mapped_fraction=1.0,
+                components_total=self.engine.library.get(output.vg_name).n_components,
+                components_recomputed=0,
+                kind_counts={
+                    "result_cache": self.engine.library.get(
+                        output.vg_name
+                    ).n_components
+                },
+            )
+            for output in self.scenario.vg_outputs
+        )
+        return PointEvaluation(
+            point=validated,
+            statistics=statistics,
+            samples={},
+            reuse_reports=reports,
+            timings=StageTimings(),
+            n_worlds=len(worlds),
+        )
+
+    def _sharded_sampler(self, output: VGOutput, batch: InstanceBatch) -> np.ndarray:
+        """The engine's fresh-sampling stage, fanned out across shards."""
+        worlds = batch.worlds
+        n_shards = min(self.n_shards, max(1, len(worlds) // self.min_shard_worlds))
+        shards = plan_shards(worlds, n_shards)
+        self.stats.sampled_worlds += len(worlds)
+        if len(shards) == 1:
+            # Nothing to fan out — sample directly on the coordinator
+            # rather than round-tripping one shard through the pool.
+            self.stats.shard_tasks += 1
+            return self.engine.sample_fresh(output.alias, batch.point_dict, worlds)
+
+        started = time.perf_counter()
+        point_items = tuple(sorted(batch.point_dict.items()))
+        futures = []
+        for shard in shards:
+            if self.spec is not None and self.executor.kind == "process":
+                future = self.executor.submit(
+                    sample_shard_task,
+                    self.spec,
+                    output.alias,
+                    point_items,
+                    shard.worlds,
+                )
+            else:
+                future = self.executor.submit(
+                    self.engine.sample_fresh,
+                    output.alias,
+                    batch.point_dict,
+                    shard.worlds,
+                )
+            futures.append(future)
+        parts = [np.asarray(future.result(), dtype=float) for future in futures]
+        self.stats.shard_tasks += len(shards)
+        self.stats.parallel_seconds += time.perf_counter() - started
+        return np.vstack(parts)

@@ -1,0 +1,169 @@
+"""Worker-side machinery for process-pool shard evaluation.
+
+A worker process cannot receive a live :class:`ProphetEngine` (engines hold
+an open SQL catalog, numpy matrices, and closures), so it receives an
+:class:`EngineSpec` — a small picklable recipe — and builds the engine
+itself, once, caching it for every later shard task. Specs describe the
+scenario either as DSL text plus a named VG library, or as a named builder
+from :data:`SCENARIO_BUILDERS`.
+
+:func:`sample_shard_task` is the unit of work: fresh-sample one VG output
+over one contiguous world shard. It runs only the generated-SQL sampling
+stage (`ProphetEngine.sample_fresh`), which is a pure function of
+``(scenario, config, point, worlds)`` — all reuse and aggregation stay on
+the coordinator, so results never depend on which worker ran which shard.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.core.engine import ProphetConfig, ProphetEngine
+from repro.dsl import parse_scenario
+from repro.errors import ServeError
+from repro.models import (
+    build_demo_library,
+    build_growth_scenario,
+    build_maintenance_scenario,
+    build_risk_vs_cost,
+)
+
+#: Named VG libraries a spec may reference (DSL-text specs).
+LIBRARY_BUILDERS: dict[str, Callable[[], Any]] = {
+    "demo": build_demo_library,
+}
+
+#: Named (scenario, library) builders a spec may reference instead of DSL.
+SCENARIO_BUILDERS: dict[str, Callable[..., tuple[Any, Any]]] = {
+    "risk_vs_cost": build_risk_vs_cost,
+    "growth": build_growth_scenario,
+    "maintenance": build_maintenance_scenario,
+}
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """A picklable recipe for constructing a :class:`ProphetEngine`.
+
+    Exactly one of ``dsl`` or ``builder`` must be set. ``config`` carries
+    every determinism-relevant knob (worlds, seeds, tolerances); two specs
+    with equal :meth:`content_hash` build engines that produce bit-identical
+    samples for the same (point, worlds) requests.
+    """
+
+    dsl: Optional[str] = None
+    library: str = "demo"
+    builder: Optional[str] = None
+    builder_args: tuple[tuple[str, Any], ...] = ()
+    scenario_name: str = "serve_scenario"
+    config: ProphetConfig = field(default_factory=ProphetConfig)
+
+    @classmethod
+    def from_dsl(
+        cls,
+        text: str,
+        *,
+        library: str = "demo",
+        config: Optional[ProphetConfig] = None,
+        scenario_name: str = "serve_scenario",
+    ) -> "EngineSpec":
+        if library not in LIBRARY_BUILDERS:
+            raise ServeError(
+                f"unknown VG library {library!r} "
+                f"(known: {sorted(LIBRARY_BUILDERS)})"
+            )
+        return cls(
+            dsl=text,
+            library=library,
+            scenario_name=scenario_name,
+            config=config or ProphetConfig(),
+        )
+
+    @classmethod
+    def from_builder(
+        cls,
+        name: str,
+        *,
+        config: Optional[ProphetConfig] = None,
+        **builder_kwargs: Any,
+    ) -> "EngineSpec":
+        if name not in SCENARIO_BUILDERS:
+            raise ServeError(
+                f"unknown scenario builder {name!r} "
+                f"(known: {sorted(SCENARIO_BUILDERS)})"
+            )
+        return cls(
+            builder=name,
+            builder_args=tuple(sorted(builder_kwargs.items())),
+            scenario_name=name,
+            config=config or ProphetConfig(),
+        )
+
+    def __post_init__(self) -> None:
+        if (self.dsl is None) == (self.builder is None):
+            raise ServeError("EngineSpec needs exactly one of dsl= or builder=")
+
+    def content_hash(self) -> str:
+        """Digest of everything that determines the engine's behavior."""
+        payload = json.dumps(
+            {
+                "dsl": self.dsl,
+                "library": self.library,
+                "builder": self.builder,
+                "builder_args": [[k, repr(v)] for k, v in self.builder_args],
+                "config": {
+                    "n_worlds": self.config.n_worlds,
+                    "base_seed": self.config.base_seed,
+                    "fingerprint_seeds": self.config.fingerprint_seeds,
+                    "correlation_tolerance": self.config.correlation_tolerance,
+                    "min_mapped_fraction": self.config.min_mapped_fraction,
+                },
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def build_scenario(self) -> tuple[Any, Any]:
+        """The (scenario, library) pair this spec describes (no engine)."""
+        if self.builder is not None:
+            return SCENARIO_BUILDERS[self.builder](**dict(self.builder_args))
+        scenario = parse_scenario(self.dsl, name=self.scenario_name)
+        return scenario, LIBRARY_BUILDERS[self.library]()
+
+    def build(self) -> ProphetEngine:
+        scenario, library = self.build_scenario()
+        return ProphetEngine(scenario, library, self.config)
+
+
+#: Per-process engine cache: one engine per spec, reused across shard tasks.
+_WORKER_ENGINES: dict[str, ProphetEngine] = {}
+
+
+def _engine_for(spec: EngineSpec) -> ProphetEngine:
+    key = spec.content_hash()
+    engine = _WORKER_ENGINES.get(key)
+    if engine is None:
+        engine = spec.build()
+        _WORKER_ENGINES[key] = engine
+    return engine
+
+
+def sample_shard_task(
+    spec: EngineSpec,
+    alias: str,
+    point_items: tuple[tuple[str, Any], ...],
+    worlds: tuple[int, ...],
+) -> np.ndarray:
+    """Process-pool task: fresh samples of one output over one world shard."""
+    engine = _engine_for(spec)
+    return engine.sample_fresh(alias, dict(point_items), worlds)
+
+
+def worker_engine_count() -> int:
+    """How many engines this process has built (observability/testing)."""
+    return len(_WORKER_ENGINES)

@@ -1,0 +1,142 @@
+"""Result cache: keying, round-trips, determinism, fail-open behavior."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.aggregator import AxisStatistics, SeriesStats
+from repro.dsl import parse_scenario
+from repro.models import build_demo_library, build_risk_vs_cost
+from repro.serve import ResultCache, result_key, scenario_fingerprint
+from serve_testutil import SERVE_DSL
+
+
+def _stats(seed: int = 0, n_weeks: int = 5, n_worlds: int = 8) -> AxisStatistics:
+    rng = np.random.default_rng(seed)
+    series = {}
+    for alias in ("demand", "overload"):
+        series[alias] = SeriesStats(
+            alias=alias,
+            expectation=rng.normal(size=n_weeks),
+            stddev=np.abs(rng.normal(size=n_weeks)),
+            n_worlds=n_worlds,
+        )
+    return AxisStatistics(
+        axis_values=tuple(range(n_weeks)), series=series, n_worlds=n_worlds
+    )
+
+
+BASE_KEY_ARGS = dict(n_worlds=16, base_seed=42, fingerprint_seeds=8)
+POINT = {"purchase1": 0, "feature": 12}
+
+
+class TestResultKey:
+    def test_stable(self):
+        assert result_key("h", POINT, range(16), **BASE_KEY_ARGS) == result_key(
+            "h", POINT, range(16), **BASE_KEY_ARGS
+        )
+
+    def test_point_key_order_insensitive(self):
+        reordered = dict(reversed(list(POINT.items())))
+        assert result_key("h", POINT, range(16), **BASE_KEY_ARGS) == result_key(
+            "h", reordered, range(16), **BASE_KEY_ARGS
+        )
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            dict(point={"purchase1": 26, "feature": 12}),
+            dict(worlds=range(8)),
+            dict(n_worlds=8),
+            dict(base_seed=7),
+            dict(fingerprint_seeds=4),
+            dict(correlation_tolerance=0.5),
+            dict(min_mapped_fraction=0.5),
+            dict(scenario="other"),
+        ],
+    )
+    def test_every_component_matters(self, change):
+        base = result_key("h", POINT, range(16), **BASE_KEY_ARGS)
+        kwargs = dict(BASE_KEY_ARGS)
+        scenario_hash = change.pop("scenario", "h")
+        point = change.pop("point", POINT)
+        worlds = change.pop("worlds", range(16))
+        kwargs.update(change)
+        assert result_key(scenario_hash, point, worlds, **kwargs) != base
+
+
+class TestScenarioFingerprint:
+    def test_identical_constructions_agree(self):
+        first = parse_scenario(SERVE_DSL, name="a")
+        second = parse_scenario(SERVE_DSL, name="b")
+        library = build_demo_library()
+        # The name is presentation, not content: same structure, same hash.
+        assert scenario_fingerprint(first, library) == scenario_fingerprint(
+            second, library
+        )
+
+    def test_parameter_domain_changes_the_hash(self):
+        narrow, library = build_risk_vs_cost(purchase_step=26)
+        wide, _ = build_risk_vs_cost(purchase_step=4)
+        # Same source_sql text; different sweep grids must not collide.
+        assert narrow.source_sql == wide.source_sql
+        assert scenario_fingerprint(narrow, library) != scenario_fingerprint(
+            wide, library
+        )
+
+
+class TestResultCache:
+    def test_roundtrip_bitwise(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        stats = _stats()
+        payload = cache.put("k1", stats, meta={"note": "test"})
+        loaded = cache.get("k1")
+        assert loaded.payload == payload
+        assert loaded.meta["note"] == "test"
+        for alias in stats.aliases():
+            assert (
+                loaded.statistics.expectation(alias).tobytes()
+                == stats.expectation(alias).tobytes()
+            )
+            assert (
+                loaded.statistics.stddev(alias).tobytes()
+                == stats.stddev(alias).tobytes()
+            )
+        assert loaded.statistics.axis_values == stats.axis_values
+        assert loaded.statistics.n_worlds == stats.n_worlds
+
+    def test_payloads_are_deterministic_across_caches(self, tmp_path):
+        first = ResultCache(str(tmp_path / "a"))
+        second = ResultCache(str(tmp_path / "b"))
+        assert first.put("k", _stats()) == second.put("k", _stats())
+
+    def test_reput_is_a_noop(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        payload = cache.put("k", _stats(seed=1))
+        # Even with different statistics, an existing key keeps its bytes.
+        assert cache.put("k", _stats(seed=2)) == payload
+        assert cache.get("k").payload == payload
+
+    def test_miss_and_hit_counters(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        assert cache.get("absent") is None
+        cache.put("k", _stats())
+        assert cache.get("k") is not None
+        assert (cache.hits, cache.misses, cache.stores) == (1, 1, 1)
+        assert cache.hit_rate() == 0.5
+
+    def test_corrupt_entry_fails_open(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put("k", _stats())
+        with open(cache._npz_path("k"), "wb") as handle:
+            handle.write(b"not an npz at all")
+        assert cache.get("k") is None  # a corrupt entry is a miss, not a crash
+
+    def test_len_and_contains(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        assert "k" not in cache and len(cache) == 0
+        cache.put("k", _stats())
+        assert "k" in cache and len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0

@@ -1,0 +1,126 @@
+"""Sharded-vs-sequential parity: the serve layer's core contract.
+
+Sharded evaluation — any shard count, either executor — must return
+bit-identical :class:`AxisStatistics` to the plain sequential
+``ProphetEngine.evaluate_point``, and result-cache hits must serve
+byte-identical payloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import EvaluationService, InlineExecutor
+from serve_testutil import POINT, assert_stats_identical
+
+
+def _inline_service(spec, shards, **kwargs):
+    return EvaluationService(
+        spec,
+        executor=InlineExecutor(),
+        shards=shards,
+        min_shard_worlds=1,
+        **kwargs,
+    )
+
+
+class TestShardedParity:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_inline_executor(self, serve_spec, sequential_engine, shards):
+        reference = sequential_engine.evaluate_point(POINT)
+        service = _inline_service(serve_spec, shards)
+        evaluation = service.evaluate(POINT)
+        assert_stats_identical(evaluation.statistics, reference.statistics)
+        assert evaluation.n_worlds == reference.n_worlds
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_process_executor(
+        self, serve_spec, sequential_engine, process_executor, shards
+    ):
+        reference = sequential_engine.evaluate_point(POINT)
+        service = EvaluationService(
+            serve_spec,
+            executor=process_executor,
+            shards=shards,
+            min_shard_worlds=1,
+        )
+        evaluation = service.evaluate(POINT)
+        assert_stats_identical(evaluation.statistics, reference.statistics)
+        assert service.stats.shard_tasks >= shards  # one per output per shard
+
+    def test_sweep_parity_with_reuse(self, serve_spec, sequential_engine):
+        """A multi-point sweep (fingerprint reuse active) stays bit-identical.
+
+        Reuse decisions are made on the coordinator — shard workers only
+        ever fresh-sample — so the mapped/exact/fresh mix of a sweep is the
+        sequential engine's, point for point.
+        """
+        points = [
+            {"purchase1": 0, "purchase2": 0, "feature": 12},
+            {"purchase1": 0, "purchase2": 26, "feature": 12},
+            {"purchase1": 26, "purchase2": 26, "feature": 12},
+            {"purchase1": 26, "purchase2": 52, "feature": 36},
+        ]
+        service = _inline_service(serve_spec, 2)
+        for point in points:
+            reference = sequential_engine.evaluate_point(point)
+            evaluation = service.evaluate(point)
+            assert_stats_identical(evaluation.statistics, reference.statistics)
+            assert [r.source for r in evaluation.reuse_reports] == [
+                r.source for r in reference.reuse_reports
+            ]
+
+    def test_progressive_world_prefixes(self, serve_spec, sequential_engine):
+        """Growing world prefixes (online refinement) keep parity."""
+        service = _inline_service(serve_spec, 4)
+        for stop in (4, 8, 16):
+            reference = sequential_engine.evaluate_point(POINT, worlds=range(stop))
+            evaluation = service.evaluate(POINT, worlds=range(stop))
+            assert_stats_identical(evaluation.statistics, reference.statistics)
+
+
+class TestResultCacheParity:
+    def test_cache_hits_are_byte_identical(
+        self, serve_spec, sequential_engine, tmp_path
+    ):
+        cache_dir = str(tmp_path / "results")
+        first = _inline_service(serve_spec, 2, cache_dir=cache_dir)
+        computed = first.evaluate(POINT)
+        assert first.stats.cache_misses == 1 and first.stats.cache_hits == 0
+
+        key = first._key_for(computed.point, tuple(range(16)))
+        stored_payload = first.cache.get(key).payload
+
+        # A second service (fresh process, conceptually a restarted run)
+        # must hit, with the identical payload bytes backing the answer.
+        second = _inline_service(serve_spec, 2, cache_dir=cache_dir)
+        served = second.evaluate(POINT)
+        assert second.stats.cache_hits == 1
+        assert second.cache.get(key).payload == stored_payload
+        assert_stats_identical(served.statistics, computed.statistics)
+
+        reference = sequential_engine.evaluate_point(POINT)
+        assert_stats_identical(served.statistics, reference.statistics)
+
+        # Cache-served evaluations carry no samples but full reuse reports.
+        assert served.samples == {}
+        assert all(r.source == "exact" for r in served.reuse_reports)
+        assert all(
+            "result_cache" in r.kind_counts for r in served.reuse_reports
+        )
+
+    def test_repeated_put_never_rewrites(self, serve_spec, tmp_path):
+        service = _inline_service(serve_spec, 1, cache_dir=str(tmp_path))
+        evaluation = service.evaluate(POINT)
+        key = service._key_for(evaluation.point, tuple(range(16)))
+        payload = service.cache.get(key).payload
+        assert service.cache.put(key, evaluation.statistics) == payload
+
+
+class TestEngineOnlyService:
+    def test_defaults_to_inline_executor(self, sequential_engine):
+        """No spec means no process workers — on any core count."""
+        service = EvaluationService(engine=sequential_engine)
+        assert isinstance(service.executor, InlineExecutor)
+        evaluation = service.evaluate(POINT)
+        assert evaluation.statistics is not None

@@ -1,0 +1,47 @@
+"""Shard planning properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ServeError
+from repro.serve import WorldShard, plan_shards
+
+
+class TestPlanShards:
+    def test_single_shard_is_whole_sequence(self):
+        shards = plan_shards(range(10), 1)
+        assert shards == (WorldShard(index=0, worlds=tuple(range(10))),)
+
+    def test_contiguous_split(self):
+        shards = plan_shards(range(10), 3)
+        assert [s.worlds for s in shards] == [(0, 1, 2, 3), (4, 5, 6), (7, 8, 9)]
+
+    def test_more_shards_than_worlds(self):
+        shards = plan_shards([3, 4], 8)
+        assert [s.worlds for s in shards] == [(3,), (4,)]
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ServeError, match="n_shards"):
+            plan_shards(range(4), 0)
+
+    def test_rejects_empty_worlds(self):
+        with pytest.raises(ServeError, match="at least one world"):
+            plan_shards([], 2)
+
+    @given(
+        n_worlds=st.integers(min_value=1, max_value=200),
+        n_shards=st.integers(min_value=1, max_value=16),
+        start=st.integers(min_value=0, max_value=1000),
+    )
+    def test_concatenation_invariant(self, n_worlds, n_shards, start):
+        """Merging shards in order must reproduce the world sequence."""
+        worlds = tuple(range(start, start + n_worlds))
+        shards = plan_shards(worlds, n_shards)
+        assert sum((s.worlds for s in shards), ()) == worlds
+        assert [s.index for s in shards] == list(range(len(shards)))
+        assert all(len(s) >= 1 for s in shards)
+        sizes = [len(s) for s in shards]
+        assert max(sizes) - min(sizes) <= 1
+        assert sizes == sorted(sizes, reverse=True)

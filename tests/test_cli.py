@@ -135,3 +135,64 @@ class TestOptimize:
         path.write_text(text)
         assert main(["optimize", str(path), "--worlds", "8"]) == 1
         assert "no feasible" in capsys.readouterr().out
+
+
+class TestStatsFlag:
+    def test_run_stats(self, scenario_file, capsys):
+        code = main(
+            ["run", scenario_file, "--worlds", "8", "--no-chart", "--stats"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "plan cache:" in output
+        assert "basis reuse:" in output
+        assert "week memo:" in output
+
+    def test_optimize_stats(self, scenario_file, capsys):
+        code = main(["optimize", scenario_file, "--worlds", "8", "--stats"])
+        assert code == 0
+        assert "execution stats:" in capsys.readouterr().out
+
+
+class TestBatch:
+    def test_batch_sweeps_grid_inline(self, scenario_file, capsys):
+        code = main(
+            ["batch", scenario_file, "--worlds", "8", "--executor", "inline"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "full grid (18 points)" in output
+        assert "0 failed" in output
+
+    def test_batch_explicit_points_dedup(self, scenario_file, capsys):
+        code = main(
+            [
+                "batch", scenario_file, "--worlds", "8", "--executor", "inline",
+                "--point", "purchase1=0,purchase2=26,feature=12",
+                "--point", "purchase1=0,purchase2=26,feature=12",
+            ]
+        )
+        assert code == 0
+        assert "1 deduplicated" in capsys.readouterr().out
+
+    def test_batch_cache_dir_serves_second_run(self, scenario_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        argv = [
+            "batch", scenario_file, "--worlds", "8", "--executor", "inline",
+            "--cache-dir", cache_dir,
+            "--point", "purchase1=0,purchase2=0,feature=12",
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert "1 cache hits (100% hit rate)" in capsys.readouterr().out
+
+    def test_batch_stats_block(self, scenario_file, capsys):
+        code = main(
+            ["batch", scenario_file, "--worlds", "8", "--executor", "inline",
+             "--point", "purchase1=0,purchase2=0,feature=12", "--stats"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "service stats:" in output
+        assert "result cache:" in output
