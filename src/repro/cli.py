@@ -65,6 +65,19 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--seed", type=int, default=42, help="base seed for world derivation"
         )
+        sub.add_argument(
+            "--basis-cap",
+            type=int,
+            default=None,
+            help="bound the in-memory basis store to this many bases; "
+            "least-recently-used bases are evicted (to --basis-dir when set)",
+        )
+        sub.add_argument(
+            "--basis-dir",
+            default=None,
+            help="spill evicted bases to npz files here and fault them back "
+            "on demand; omit to drop evicted bases (they re-sample fresh)",
+        )
 
     info = subparsers.add_parser("info", help="parse and describe a scenario")
     add_common(info)
@@ -183,7 +196,12 @@ def _setup(args: argparse.Namespace):
     scenario = parse_scenario(text, name="cli_scenario")
     library = LIBRARIES[args.library]()
     scenario.check_against_library(library)
-    config = ProphetConfig(n_worlds=args.worlds, base_seed=args.seed)
+    config = ProphetConfig(
+        n_worlds=args.worlds,
+        base_seed=args.seed,
+        basis_cap=getattr(args, "basis_cap", None),
+        basis_dir=getattr(args, "basis_dir", None),
+    )
     return scenario, library, config, text
 
 
@@ -242,6 +260,13 @@ def _print_engine_stats(engine: ProphetEngine) -> None:
         f"  basis reuse: {engine.storage.exact_hits} exact / "
         f"{engine.storage.mapped_hits} mapped / {engine.storage.misses} fresh"
     )
+    tier = engine.storage.tier
+    print(
+        f"  basis tier: {tier.resident_count} resident "
+        f"({tier.resident_bytes / 1024:.0f} KiB) / {tier.spilled_count} spilled; "
+        f"{tier.stats.evictions} evicted, {tier.stats.spills} spills, "
+        f"{tier.stats.faults} faults, {tier.stats.dropped} dropped"
+    )
     print(
         f"  week memo: {engine.week_stats_hits} hits / "
         f"{engine.week_stats_misses} misses"
@@ -260,6 +285,12 @@ def _print_service_stats(scheduler: Scheduler) -> None:
         f"  shards: {service.stats.shard_tasks} tasks over "
         f"{service.stats.sampled_worlds} sampled worlds "
         f"({service.executor.kind} x{service.executor.workers})"
+    )
+    summary = scheduler.reuse_summary()
+    print(
+        f"  shard reuse: {summary['shard_exact_hits']} exact / "
+        f"{summary['shard_mapped_hits']} mapped / {summary['shard_fresh']} fresh "
+        f"({summary['snapshot_bases_shipped']} snapshot bases shipped)"
     )
     print(f"  scheduler: {scheduler.jobs_completed} jobs, "
           f"{scheduler.dedup_hits} deduplicated")

@@ -243,10 +243,23 @@ def _exact_square(x: float) -> tuple[float, float]:
     """``x * x`` as an exact float pair ``(product, rounding_error)``.
 
     Veltkamp splitting + Dekker's two-product, specialized to squaring: the
-    mathematical square equals ``product + rounding_error`` exactly (for
-    non-overflowing inputs), which lets the sum of squares stay exact.
+    mathematical square equals ``product + rounding_error`` exactly — but
+    only while the product stays in the normal range. When ``x * x``
+    underflows (``|x|`` below ~1.5e-154) Dekker's recombination produces a
+    garbage error term, so that regime falls back to the correctly rounded
+    true residual instead (computed exactly in rational arithmetic). The
+    residual itself may then be below the subnormal threshold, in which
+    case no float pair can be exact; the fallback is the closest
+    representable answer.
     """
     product = x * x
+    if not (2.2250738585072014e-308 <= product < math.inf):
+        if not math.isfinite(product):
+            return product, 0.0  # overflow: no finite error term exists
+        if x == 0.0:
+            return 0.0, 0.0
+        residual = Fraction(x) * Fraction(x) - Fraction(product)
+        return product, float(residual)
     c = 134217729.0 * x  # 2**27 + 1
     hi = c - (c - x)
     lo = x - hi

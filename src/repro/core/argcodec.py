@@ -1,0 +1,106 @@
+"""Type-preserving serialization of VG parameterization keys.
+
+Basis distributions are keyed by ``(vg_name, tuple(model_args))``, and those
+keys travel to disk twice — in the basis archives written by
+:mod:`repro.core.persistence` and in the spill files written by the tiered
+basis store (:mod:`repro.core.basis_store`). Plain JSON round-trips are not
+sound for these keys: tuples come back as lists, so a nested tuple arg
+decodes unhashable — a reloaded basis can never exact-hit its original key,
+and inserting it into a dict-keyed store crashes. JSON also cannot carry
+non-finite floats portably, and offers no way to distinguish a tuple arg
+from a genuine list arg.
+
+The scheme here tags every value with its concrete type and reconstructs it
+exactly: ``decode_args(encode_args(key)) == key`` with matching types for
+every supported value (bool, int, float — non-finite included — str, None,
+and arbitrarily nested tuples/lists of those).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+from repro.errors import FingerprintError
+
+#: Non-finite floats JSON cannot carry portably, as tagged strings.
+_FLOAT_WORDS = {"nan": math.nan, "inf": math.inf, "-inf": -math.inf}
+
+
+def _encode_value(value: Any) -> Any:
+    # bool first: bool is an int subclass and would match the int branch.
+    if isinstance(value, bool):
+        return {"t": "bool", "v": value}
+    if isinstance(value, int):
+        return {"t": "int", "v": value}
+    if isinstance(value, float):
+        if math.isfinite(value):
+            return {"t": "float", "v": value}
+        word = "nan" if math.isnan(value) else ("inf" if value > 0 else "-inf")
+        return {"t": "float", "v": word}
+    if isinstance(value, str):
+        return {"t": "str", "v": value}
+    if value is None:
+        return {"t": "none"}
+    if isinstance(value, tuple):
+        return {"t": "tuple", "v": [_encode_value(item) for item in value]}
+    if isinstance(value, list):
+        return {"t": "list", "v": [_encode_value(item) for item in value]}
+    raise FingerprintError(
+        f"cannot encode model arg of type {type(value).__name__}: {value!r}"
+    )
+
+
+def _decode_value(payload: Any) -> Any:
+    if not isinstance(payload, dict) or "t" not in payload:
+        raise FingerprintError(f"malformed encoded arg: {payload!r}")
+    tag = payload["t"]
+    if tag == "bool":
+        return bool(payload["v"])
+    if tag == "int":
+        return int(payload["v"])
+    if tag == "float":
+        raw = payload["v"]
+        if isinstance(raw, str):
+            if raw not in _FLOAT_WORDS:
+                raise FingerprintError(f"unknown float word {raw!r}")
+            return _FLOAT_WORDS[raw]
+        return float(raw)
+    if tag == "str":
+        return str(payload["v"])
+    if tag == "none":
+        return None
+    if tag == "tuple":
+        return tuple(_decode_value(item) for item in payload["v"])
+    if tag == "list":
+        return [_decode_value(item) for item in payload["v"]]
+    raise FingerprintError(f"unknown encoded arg tag {tag!r}")
+
+
+def encode_args(args: tuple[Any, ...]) -> str:
+    """Serialize a model-args tuple to JSON text, preserving exact types."""
+    return json.dumps([_encode_value(value) for value in tuple(args)])
+
+
+def decode_args(text: str) -> tuple[Any, ...]:
+    """Reconstruct a model-args tuple encoded by :func:`encode_args`."""
+    return tuple(_decode_value(item) for item in json.loads(text))
+
+
+def _tuplify(value: Any) -> Any:
+    if isinstance(value, list):
+        return tuple(_tuplify(item) for item in value)
+    return value
+
+
+def decode_legacy_args(text: str) -> tuple[Any, ...]:
+    """Decode version-1 archives (plain JSON args).
+
+    V1 encoding collapsed tuples and lists into JSON arrays; decoding them
+    as nested tuples restores hashability (store keys crash on lists) and
+    the original exact-hit keys, since basis args were tuples to begin
+    with. A genuine list arg from a v1 archive comes back as a tuple —
+    that distinction was lost at encode time and is why v2 tags types.
+    """
+    return tuple(_tuplify(item) for item in json.loads(text))

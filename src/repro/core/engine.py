@@ -64,6 +64,14 @@ class ProphetConfig:
     #: skips the combine/aggregate queries entirely. Disabled automatically
     #: when a caller passes ``reuse=False`` (baseline measurements).
     enable_stats_cache: bool = True
+    #: Memory-tier bounds of the basis store: maximum resident basis count
+    #: and resident sample bytes. ``None`` (default) means unbounded — the
+    #: pre-tiering in-RAM behavior.
+    basis_cap: Optional[int] = None
+    basis_byte_cap: Optional[int] = None
+    #: Disk tier: evicted bases spill to npz files here and fault back on
+    #: demand. ``None`` drops evicted bases (they degrade to fresh misses).
+    basis_dir: Optional[str] = None
 
     def plan(self) -> RefinementPlan:
         return RefinementPlan(
@@ -147,7 +155,12 @@ class ProphetEngine:
         self.registry = FingerprintRegistry(
             self.config.fingerprint_spec(), self.config.correlation_policy()
         )
-        self.storage = StorageManager(self.registry)
+        self.storage = StorageManager(
+            self.registry,
+            basis_cap=self.config.basis_cap,
+            basis_byte_cap=self.config.basis_byte_cap,
+            spill_dir=self.config.basis_dir,
+        )
         self.aggregator = ResultAggregator(scenario.output_aliases)
         self.total_timings = StageTimings()
         self.points_evaluated = 0
@@ -190,9 +203,7 @@ class ProphetEngine:
         therefore bit-identical to sequential by construction.
         """
         sweep_space = self.scenario.sweep_space
-        validated = sweep_space.validate_point(
-            {k: v for k, v in point.items() if k.lstrip("@").lower() != self.scenario.axis}
-        )
+        validated = self.scenario.validate_sweep_point(point)
         chosen_worlds = tuple(worlds) if worlds is not None else tuple(range(self.config.n_worlds))
         if not chosen_worlds:
             raise ScenarioError("evaluate_point needs at least one world")
@@ -265,19 +276,8 @@ class ProphetEngine:
         scenario and config would produce for those worlds, which is what
         makes sharded sampling safe to merge.
         """
-        target = alias.lower()
-        for output in self.scenario.vg_outputs:
-            if output.alias.lower() == target:
-                break
-        else:
-            raise ScenarioError(f"no VG output named {alias!r}")
-        validated = self.scenario.sweep_space.validate_point(
-            {
-                k: v
-                for k, v in point.items()
-                if str(k).lstrip("@").lower() != self.scenario.axis
-            }
-        )
+        output = self.scenario.vg_output(alias)
+        validated = self.scenario.validate_sweep_point(point)
         if not worlds:
             raise ScenarioError("sample_fresh needs at least one world")
         batch = InstanceBatch.at_point(validated, tuple(worlds), self.config.base_seed)
@@ -309,8 +309,12 @@ class ProphetEngine:
         seeds = batch.seeds
 
         # Extend a same-args basis that covers only some requested worlds.
+        # validated_entry expels adopted bases simulated under a different
+        # base seed — they must never be merged with this engine's samples.
         started = time.perf_counter()
-        existing = self.storage.entry(function.name, args)
+        existing = self.storage.validated_entry(
+            function, args, self.config.base_seed
+        )
         timings.storage += time.perf_counter() - started
         if existing is not None:
             missing = [w for w in worlds if w not in set(existing.worlds)]

@@ -81,6 +81,22 @@ class FingerprintRegistry:
     def has_fingerprint(self, vg_name: str, args: Iterable[Any]) -> bool:
         return (vg_name.lower(), tuple(args)) in self._fingerprints
 
+    def get_fingerprint(
+        self, vg_name: str, args: Iterable[Any]
+    ) -> Optional[Fingerprint]:
+        """The stored fingerprint at ``args``, or ``None`` (never computes)."""
+        return self._fingerprints.get((vg_name.lower(), tuple(args)))
+
+    def seed_fingerprint(self, fingerprint: Fingerprint) -> None:
+        """Adopt an externally computed fingerprint (persistence, snapshots).
+
+        The caller vouches that it was probed under this registry's spec;
+        :func:`require_same_spec`-style validation is the caller's job.
+        """
+        self._fingerprints[
+            (fingerprint.vg_name.lower(), tuple(fingerprint.args))
+        ] = fingerprint
+
     # -- matching ---------------------------------------------------------------
 
     def best_match(

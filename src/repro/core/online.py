@@ -49,9 +49,16 @@ class GraphView:
 
     @property
     def refresh_fraction(self) -> float:
+        """Fraction of rendered weeks that were recomputed this interaction.
+
+        An empty view (nothing refreshed, nothing reused — e.g. a
+        cache-served evaluation carrying no week sets) re-rendered nothing,
+        so it reports ``0.0``; reporting ``1.0`` would inflate aggregate
+        refresh-cost metrics with phantom full refreshes.
+        """
         total = len(self.refreshed_weeks) + len(self.reused_weeks)
         if total == 0:
-            return 1.0
+            return 0.0
         return len(self.refreshed_weeks) / total
 
 

@@ -10,6 +10,14 @@ ids/seeds, and fingerprints. Mappings are *not* persisted — they are cheap
 to re-derive and depend on the correlation policy, which may change between
 sessions. Loading validates that the engine's fingerprint spec matches the
 archive's; mismatched probes would make stored fingerprints incomparable.
+
+Model args are encoded with the type-preserving scheme from
+:mod:`repro.core.argcodec` (format version 2): nested tuples, bools, and
+non-finite floats all round-trip exactly, so a reloaded basis exact-hits
+its original ``(vg_name, tuple(args))`` key. Version-1 archives (plain
+JSON args) still load: their JSON arrays decode as nested tuples, which
+restores hashability and the original tuple keys (bool/int aliasing from
+v1 encoding is not recoverable).
 """
 
 from __future__ import annotations
@@ -21,25 +29,30 @@ from typing import Any
 import numpy as np
 
 from repro.errors import FingerprintError
+from repro.core.argcodec import decode_args, decode_legacy_args, encode_args
 from repro.core.engine import ProphetEngine
 from repro.core.fingerprint.fingerprint import Fingerprint
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 def _encode_args(args: tuple[Any, ...]) -> str:
-    return json.dumps(list(args))
+    return encode_args(args)
 
 
-def _decode_args(text: str) -> tuple[Any, ...]:
-    return tuple(json.loads(text))
+def _decode_args(text: str, format_version: int = _FORMAT_VERSION) -> tuple[Any, ...]:
+    if format_version == 1:
+        return decode_legacy_args(text)
+    return decode_args(text)
 
 
 def save_bases(engine: ProphetEngine, path: str | Path) -> int:
     """Persist the engine's basis distributions; returns the entry count."""
     arrays: dict[str, np.ndarray] = {}
     manifest: list[dict[str, Any]] = []
-    for index, ((vg_name, args), entry) in enumerate(engine.storage._store.items()):
+    persistable = engine.storage.persistable_entries(engine.config.base_seed)
+    for index, ((vg_name, args), entry) in enumerate(persistable):
         arrays[f"samples_{index}"] = entry.samples
         arrays[f"worlds_{index}"] = np.asarray(entry.worlds, dtype=np.int64)
         arrays[f"seeds_{index}"] = np.asarray(entry.seeds, dtype=np.uint64)
@@ -47,7 +60,7 @@ def save_bases(engine: ProphetEngine, path: str | Path) -> int:
             "vg_name": entry.vg_name,
             "args": _encode_args(entry.args),
         }
-        fingerprint = engine.registry._fingerprints.get((vg_name, args))
+        fingerprint = engine.registry.get_fingerprint(vg_name, args)
         if fingerprint is not None:
             arrays[f"fingerprint_{index}"] = fingerprint.matrix
             record["has_fingerprint"] = True
@@ -78,9 +91,10 @@ def load_bases(engine: ProphetEngine, path: str | Path, *, strict: bool = True) 
     """
     with np.load(Path(path)) as archive:
         header = json.loads(bytes(archive["header"]).decode("utf-8"))
-        if header.get("format_version") != _FORMAT_VERSION:
+        format_version = header.get("format_version")
+        if format_version not in _SUPPORTED_VERSIONS:
             raise FingerprintError(
-                f"unsupported basis archive version: {header.get('format_version')}"
+                f"unsupported basis archive version: {format_version}"
             )
         spec = engine.registry.spec
         spec_matches = (
@@ -100,7 +114,7 @@ def load_bases(engine: ProphetEngine, path: str | Path, *, strict: bool = True) 
             if vg_name not in engine.library:
                 continue  # the model was removed; its bases are useless
             function = engine.library.get(vg_name)
-            args = _decode_args(record["args"])
+            args = _decode_args(record["args"], format_version)
             samples = archive[f"samples_{index}"]
             if samples.shape[1] != function.n_components:
                 continue  # the model changed shape; stale basis
@@ -110,13 +124,14 @@ def load_bases(engine: ProphetEngine, path: str | Path, *, strict: bool = True) 
             # fingerprint and must find the persisted one instead of paying
             # k probe invocations per basis.
             if spec_matches and record.get("has_fingerprint"):
-                fingerprint = Fingerprint(
-                    vg_name=function.name,
-                    args=args,
-                    matrix=archive[f"fingerprint_{index}"],
-                    spec=spec,
+                engine.registry.seed_fingerprint(
+                    Fingerprint(
+                        vg_name=function.name,
+                        args=args,
+                        matrix=archive[f"fingerprint_{index}"],
+                        spec=spec,
+                    )
                 )
-                engine.registry._fingerprints[(vg_name.lower(), args)] = fingerprint
             engine.storage.store(function, args, samples, worlds, seeds)
             loaded += 1
     return loaded

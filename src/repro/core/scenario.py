@@ -206,6 +206,29 @@ class Scenario:
         """The parameter space excluding the graph axis."""
         return self.space.without(self.axis)
 
+    def vg_output(self, alias: str) -> VGOutput:
+        """The VG output named ``alias`` (case-insensitive)."""
+        target = alias.lower()
+        for output in self.vg_outputs:
+            if output.alias.lower() == target:
+                return output
+        raise ScenarioError(f"no VG output named {alias!r}")
+
+    def validate_sweep_point(self, point: Mapping[str, Any]) -> dict[str, Any]:
+        """Canonicalize a sweep point: strip the axis, validate the rest.
+
+        The single definition of point normalization — every entry point
+        (engine evaluation, shard workers, the serve layer) must agree on
+        it or reuse keys silently diverge.
+        """
+        return self.sweep_space.validate_point(
+            {
+                k: v
+                for k, v in point.items()
+                if str(k).lstrip("@").lower() != self.axis
+            }
+        )
+
     def axis_values(self) -> tuple[Any, ...]:
         return self.space.parameter(self.axis).values
 

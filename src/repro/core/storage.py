@@ -12,6 +12,14 @@ samples for a new parameterization the Storage Manager:
 3. otherwise reports a miss — the engine then runs the full generated-SQL
    sampling path and stores the result here.
 
+Bases live in a :class:`~repro.core.basis_store.TieredBasisStore`: an
+LRU memory tier bounded by basis count and by resident sample bytes, over
+an optional npz disk tier. Evicted entries spill to disk and fault back
+transparently on exact or mapped hits; with no spill directory an evicted
+entry simply degrades to a future fresh-sampling miss. Long sweeps thus
+run in fixed memory — the ``--basis-cap`` / ``--basis-dir`` CLI knobs and
+the matching :class:`~repro.core.engine.ProphetConfig` fields size the tiers.
+
 The acquisition outcome is summarized in a :class:`ReuseReport`, the raw
 material for every fingerprint-savings benchmark.
 """
@@ -20,14 +28,16 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence
+from typing import Any, Iterator, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import FingerprintError
+from repro.core.basis_store import TieredBasisStore
 from repro.core.fingerprint.mapping import fill_components, remap_samples
 from repro.core.fingerprint.registry import FingerprintRegistry, ParamKey
 from repro.vg.base import VGFunction
+from repro.vg.seeds import world_seed
 
 
 def _nearest_candidates(
@@ -36,8 +46,12 @@ def _nearest_candidates(
     """Rank basis candidates by argument distance, nearest first.
 
     Nearby parameterizations map best (their event windows overlap most),
-    so correlation matching tries them first and skips distant ones. Bases
-    with non-numeric or differently-shaped args sort last within the limit.
+    so correlation matching tries them first and skips distant ones.
+    Booleans are categorical, never numeric — ``True`` must not tie with
+    ``1.0`` at distance zero (``bool`` is an ``int`` subclass, and Python's
+    stable ordering would otherwise rank a wrong-typed basis first). Bases
+    with mismatched types or differently-shaped args sort last within the
+    limit.
     """
 
     def distance(args: ParamKey) -> float:
@@ -45,8 +59,12 @@ def _nearest_candidates(
             return float("inf")
         total = 0.0
         for a, b in zip(args, target):
-            if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+            a_bool = isinstance(a, bool)
+            b_bool = isinstance(b, bool)
+            if not a_bool and not b_bool and isinstance(a, (int, float)) and isinstance(b, (int, float)):
                 total += abs(float(a) - float(b))
+            elif a_bool != b_bool:
+                total += 1.0  # bool vs number: a type mismatch, never equal
             elif a != b:
                 total += 1.0
         return total
@@ -87,12 +105,47 @@ class BasisEntry:
     seeds: tuple[int, ...]
 
 
-class StorageManager:
-    """Basis-distribution store with fingerprint-driven reuse."""
+def adopted_seeds_valid(entry: BasisEntry, base_seed: int) -> bool:
+    """Were all of this entry's rows simulated from ``base_seed``'s seeds?
 
-    def __init__(self, registry: FingerprintRegistry) -> None:
+    The one definition of warm-start seed validation — adopted spill-dir
+    entries must pass it before they are served, merged, or persisted.
+    """
+    return all(
+        world_seed(base_seed, world) == seed
+        for world, seed in zip(entry.worlds, entry.seeds)
+    )
+
+
+class StorageManager:
+    """Basis-distribution store with fingerprint-driven reuse.
+
+    ``basis_cap`` / ``basis_byte_cap`` bound the memory tier (entry count
+    and resident sample bytes); ``spill_dir`` enables the disk tier evicted
+    entries spill to. All default off — an unbounded in-RAM store, the
+    pre-tiering behavior.
+
+    ``store_mapped_results=False`` makes :meth:`acquire` side-effect free
+    on the basis set (mapped results are returned but not retained): the
+    serve layer's shared snapshot stores need their content to stay a pure
+    function of the snapshot, so cached seeded stores can be reused across
+    identical requests without decisions drifting with request history.
+    """
+
+    def __init__(
+        self,
+        registry: FingerprintRegistry,
+        *,
+        basis_cap: Optional[int] = None,
+        basis_byte_cap: Optional[int] = None,
+        spill_dir: Optional[str] = None,
+        store_mapped_results: bool = True,
+    ) -> None:
         self.registry = registry
-        self._store: dict[tuple[str, ParamKey], BasisEntry] = {}
+        self.tier = TieredBasisStore(
+            basis_cap=basis_cap, byte_cap=basis_byte_cap, spill_dir=spill_dir
+        )
+        self.store_mapped_results = store_mapped_results
         self.exact_hits = 0
         self.mapped_hits = 0
         self.misses = 0
@@ -124,22 +177,65 @@ class StorageManager:
             worlds=tuple(worlds),
             seeds=tuple(seeds),
         )
-        self._store[key] = entry
+        self.tier.put(key, entry)
         self.registry.fingerprint_of(function, key[1])
         return entry
 
     def stored_args(self, vg_name: str) -> tuple[ParamKey, ...]:
+        """Known parameterizations for ``vg_name``, both tiers included."""
         lowered = vg_name.lower()
-        return tuple(args for (name, args) in self._store if name == lowered)
+        return tuple(args for (name, args) in self.tier.keys() if name == lowered)
 
     def entry(self, vg_name: str, args: Sequence[Any]) -> Optional[BasisEntry]:
-        return self._store.get((vg_name.lower(), tuple(args)))
+        """Fetch one basis, faulting it back from the disk tier if spilled."""
+        return self.tier.get((vg_name.lower(), tuple(args)))
+
+    def validated_entry(
+        self, function: VGFunction, args: Sequence[Any], base_seed: int
+    ) -> Optional[BasisEntry]:
+        """:meth:`entry` plus warm-start validation.
+
+        An adopted basis (pre-existing spill dir) whose rows were simulated
+        under a different base seed, or whose component count no longer
+        matches the model, can never serve this engine; it is discarded —
+        so it stops faulting from disk on every request — and ``None`` is
+        returned. Bases this process stored are trusted.
+        """
+        key = (function.name.lower(), tuple(args))
+        entry = self.tier.get(key)
+        if entry is None or not self.tier.is_adopted(key):
+            return entry
+        if entry.samples.shape[1] == function.n_components and adopted_seeds_valid(
+            entry, base_seed
+        ):
+            return entry
+        self.tier.discard(key)
+        return None
+
+    def entries(self) -> Iterator[tuple[tuple[str, ParamKey], BasisEntry]]:
+        """Every readable ``(key, entry)`` across both tiers (persistence)."""
+        return self.tier.items()
+
+    def persistable_entries(
+        self, base_seed: int
+    ) -> Iterator[tuple[tuple[str, ParamKey], BasisEntry]]:
+        """:meth:`entries`, minus adopted bases that fail seed validation.
+
+        An archive is trusted by whoever loads it, so a stale-seed adoption
+        (spill dir from a run with another base seed) must never be
+        laundered into one — the acquire paths reject such entries, and
+        persistence must too.
+        """
+        for key, entry in self.tier.items():
+            if self.tier.is_adopted(key) and not adopted_seeds_valid(entry, base_seed):
+                continue
+            yield key, entry
 
     def __len__(self) -> int:
-        return len(self._store)
+        return len(self.tier)
 
     def clear(self) -> None:
-        self._store.clear()
+        self.tier.clear()
         self.exact_hits = 0
         self.mapped_hits = 0
         self.misses = 0
@@ -164,7 +260,18 @@ class StorageManager:
         key = (function.name.lower(), tuple(args))
         n_components = function.n_components
 
-        exact = self._store.get(key)
+        # Coverage checks run on spill metadata (peek) so that candidates
+        # are only ever faulted back once actually selected.
+        exact = None
+        if self._covers_worlds(self.tier.peek_worlds(key), worlds):
+            exact = self.tier.get(key)  # may fault back; None degrades to miss
+            if exact is not None and not self._adoption_valid(
+                key, exact, function, worlds, seeds
+            ):
+                # Stale adopted basis: discard it so it stops faulting from
+                # disk on every request — it can never serve these seeds.
+                self.tier.discard(key)
+                exact = None
         if exact is not None and self._covers(exact, worlds):
             self.exact_hits += 1
             report = ReuseReport(
@@ -183,14 +290,35 @@ class StorageManager:
             candidates = [
                 stored_args
                 for stored_args in self.stored_args(function.name)
-                if self._covers(self._store[(key[0], stored_args)], worlds)
+                if self._covers_worlds(
+                    self.tier.peek_worlds((key[0], stored_args)), worlds
+                )
             ]
             candidates = _nearest_candidates(key[1], candidates, limit=8)
+            # Bases adopted from a warm-started spill dir (or loaded with a
+            # mismatched probe spec) have no fingerprint yet; probe the few
+            # surviving candidates so best_match can actually consider them
+            # — fingerprint_of is a cached no-op for everything stored by
+            # this process.
+            for candidate in candidates:
+                self.registry.fingerprint_of(function, candidate)
             match = self.registry.best_match(
                 function, key[1], candidates, min_fraction=min_mapped_fraction
             )
-            if match is not None:
-                basis = self._store[(key[0], match.basis_args)]
+            basis = (
+                self.tier.get((key[0], match.basis_args))
+                if match is not None
+                else None
+            )
+            if basis is not None and not self._adoption_valid(
+                (key[0], match.basis_args), basis, function, worlds, seeds
+            ):
+                # A warm start with another base seed must never feed stale
+                # samples into a remap; expel the unserveable basis.
+                self.tier.discard((key[0], match.basis_args))
+                basis = None
+            # A vanished or unreadable spill file degrades to a miss below.
+            if basis is not None and self._covers(basis, worlds):
                 basis_samples = self._select_worlds(basis, worlds)
                 remapped = remap_samples(basis_samples, match.correlation)
                 unmapped = remapped.unmapped_components
@@ -203,13 +331,21 @@ class StorageManager:
                     function.name, match.basis_args, key[1], match.correlation
                 )
                 self.mapped_hits += 1
-                self._store[key] = BasisEntry(
-                    vg_name=function.name,
-                    args=key[1],
-                    samples=samples,
-                    worlds=tuple(worlds),
-                    seeds=tuple(seeds),
-                )
+                if self.store_mapped_results:
+                    self.tier.put(
+                        key,
+                        BasisEntry(
+                            vg_name=function.name,
+                            args=key[1],
+                            samples=samples,
+                            worlds=tuple(worlds),
+                            seeds=tuple(seeds),
+                        ),
+                    )
+                    if self.tier.is_tainted((key[0], match.basis_args)):
+                        # Mapping from geometry-dependent samples produces
+                        # geometry-dependent samples.
+                        self.tier.taint(key)
                 report = ReuseReport(
                     vg_name=function.name,
                     args=key[1],
@@ -235,7 +371,44 @@ class StorageManager:
     # -- helpers -----------------------------------------------------------------
 
     def _covers(self, entry: BasisEntry, worlds: Sequence[int]) -> bool:
-        stored = set(entry.worlds)
+        return self._covers_worlds(entry.worlds, worlds)
+
+    def _adoption_valid(
+        self,
+        key: tuple[str, ParamKey],
+        entry: BasisEntry,
+        function: VGFunction,
+        worlds: Sequence[int],
+        seeds: Sequence[int],
+    ) -> bool:
+        """Can this entry safely serve the request?
+
+        Bases this process stored are trusted and skip every check; only
+        entries adopted from a pre-existing spill dir are validated. Two
+        ways an adoption can be stale: the dir was written under a
+        different base seed (rows simulated from other seeds), or the
+        model changed shape since the dir was written (wrong component
+        count) — both must degrade to fresh misses, never serve.
+        """
+        if not self.tier.is_adopted(key):
+            return True
+        if entry.samples.shape[1] != function.n_components:
+            return False
+        position = {world: index for index, world in enumerate(entry.worlds)}
+        for world, seed in zip(worlds, seeds):
+            index = position.get(world)
+            # A missing world means the faulted content no longer matches
+            # its index record — treat like any other stale adoption.
+            if index is None or entry.seeds[index] != seed:
+                return False
+        return True
+
+    def _covers_worlds(
+        self, stored_worlds: Optional[tuple[int, ...]], worlds: Sequence[int]
+    ) -> bool:
+        if stored_worlds is None:
+            return False
+        stored = set(stored_worlds)
         return all(world in stored for world in worlds)
 
     def _select_worlds(self, entry: BasisEntry, worlds: Sequence[int]) -> np.ndarray:

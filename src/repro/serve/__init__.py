@@ -15,7 +15,11 @@ Reuse layers, in the order they fire for one evaluation request:
    these samples or statistics in memory;
 3. **fingerprint map** — a correlated parameterization's samples are
    remapped, only unmapped components are simulated;
-4. **sharded fresh sampling** — whatever survives all reuse is sharded
+4. **cross-shard snapshot reuse** — shard tasks consult a read-only
+   snapshot of the coordinator's hot bases and serve their world slice by
+   exact or mapped reuse where a basis covers the shard but not the full
+   requested slice;
+5. **sharded fresh sampling** — whatever survives all reuse is sharded
    across workers, deterministically, and merged bit-identically.
 """
 
@@ -28,11 +32,19 @@ from repro.serve.executors import (
 from repro.serve.scheduler import Job, JobQueue, Scheduler, SweepJob
 from repro.serve.service import EvaluationService, ServiceStats
 from repro.serve.sharding import WorldShard, plan_shards
-from repro.serve.worker import EngineSpec, LIBRARY_BUILDERS, SCENARIO_BUILDERS
+from repro.serve.worker import (
+    BasisSnapshot,
+    EngineSpec,
+    LIBRARY_BUILDERS,
+    SCENARIO_BUILDERS,
+    ShardSample,
+)
 
 __all__ = [
+    "BasisSnapshot",
     "CachedResult",
     "EngineSpec",
+    "ShardSample",
     "EvaluationService",
     "InlineExecutor",
     "Job",

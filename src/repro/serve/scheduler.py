@@ -180,13 +180,7 @@ class Scheduler:
     ) -> Job:
         """Queue one point evaluation; identical in-flight points coalesce."""
         scenario = self.service.scenario
-        validated = scenario.sweep_space.validate_point(
-            {
-                k: v
-                for k, v in point.items()
-                if str(k).lstrip("@").lower() != scenario.axis
-            }
-        )
+        validated = scenario.validate_sweep_point(point)
         chosen = (
             tuple(worlds)
             if worlds is not None
@@ -261,6 +255,35 @@ class Scheduler:
             self.completed.append(job)
             self.jobs_completed += 1
         return finished
+
+    def reuse_summary(self) -> dict[str, Any]:
+        """One dict of every reuse-layer counter behind this scheduler.
+
+        Rolls up the coordinator engine's basis counters and tier
+        (eviction/spill/fault) stats with the service's result-cache and
+        cross-shard reuse counters — the CLI ``--stats`` block and
+        benchmark reports read this instead of poking four objects.
+        """
+        engine = self.service.engine
+        stats = self.service.stats
+        tier = engine.storage.tier
+        return {
+            "jobs_completed": self.jobs_completed,
+            "dedup_hits": self.dedup_hits,
+            "result_cache_hits": stats.cache_hits,
+            "result_cache_misses": stats.cache_misses,
+            "basis_exact_hits": engine.storage.exact_hits,
+            "basis_mapped_hits": engine.storage.mapped_hits,
+            "basis_misses": engine.storage.misses,
+            "basis_resident": tier.resident_count,
+            "basis_resident_bytes": tier.resident_bytes,
+            "basis_spilled": tier.spilled_count,
+            **{f"tier_{k}": v for k, v in tier.stats.as_dict().items()},
+            "shard_exact_hits": stats.shard_exact_hits,
+            "shard_mapped_hits": stats.shard_mapped_hits,
+            "shard_fresh": stats.shard_fresh,
+            "snapshot_bases_shipped": stats.snapshot_bases_shipped,
+        }
 
     def evaluate(
         self,

@@ -12,19 +12,31 @@ turns `evaluate` into a concurrent, cached operation:
    reuse, the week memo — exactly as the sequential path would. Reuse
    decisions stay on the coordinator so they never depend on worker
    scheduling.
-3. **Sharded fresh sampling**: only the samples no reuse layer could serve
-   are computed, and those are sharded across the executor: the world slice
-   splits into contiguous shards, each worker fresh-samples its shard
-   (deterministically, from the fixed seed sequence), and the merged matrix
-   is bit-identical to what sequential sampling would have produced.
+3. **Cross-shard basis reuse + sharded sampling**: only the samples no
+   coordinator reuse layer could serve are sharded across the executor.
+   Each shard task receives a read-only :class:`BasisSnapshot` of the
+   coordinator's hot in-memory bases and serves its shard through the
+   ordinary Storage Manager acquire path — an exact or fingerprint-mapped
+   hit skips fresh simulation for the shard's mapped components — before
+   falling back to fresh sampling from the fixed seed sequence. The shard
+   bases ship back and merge, in shard order, into the entry the
+   coordinator stores.
 
-Because stages 2 and 3 are the sequential code path with only the fresh
-sampling farmed out, sharded evaluation returns bit-identical
-:class:`AxisStatistics` for any shard count and either executor.
+The snapshot contains only bases the coordinator *could not* use — ones
+overlapping the requested worlds without covering the full slice — so a
+shard hit can never contradict a coordinator decision. For uniform-world
+workloads (full sweeps, fixed-prefix refreshes) every basis covers the
+full slice, the snapshot is empty, and sharded evaluation stays
+bit-identical to sequential for any shard count and either executor with
+zero shipping overhead; mixed-world workloads (progressive refinement +
+full refresh) gain mapped-reuse hits the fresh-only fan-out never had.
+``reuse=False`` disables shard reuse entirely and restores the pure
+fresh-sampling fan-out.
 """
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional, Sequence
@@ -35,12 +47,20 @@ from repro.core.aggregator import MergeableAxisStats
 from repro.core.engine import PointEvaluation, ProphetEngine, StageTimings
 from repro.core.instance import InstanceBatch
 from repro.core.scenario import VGOutput
-from repro.core.storage import ReuseReport
+from repro.core.storage import BasisEntry, ReuseReport
 from repro.errors import ServeError
 from repro.serve.cache import ResultCache, result_key, scenario_fingerprint
 from repro.serve.executors import InlineExecutor, create_executor
 from repro.serve.sharding import plan_shards
-from repro.serve.worker import EngineSpec, sample_shard_task
+from repro.serve.worker import (
+    BasisSnapshot,
+    EngineSpec,
+    ShardSample,
+    acquire_shard,
+    acquire_shard_task,
+    build_snapshot_store,
+    sample_shard_task,
+)
 
 
 @dataclass
@@ -53,10 +73,27 @@ class ServiceStats:
     shard_tasks: int = 0
     sampled_worlds: int = 0
     parallel_seconds: float = 0.0
+    #: Cross-shard basis reuse: how each shard task was served (exact hit
+    #: against the shipped snapshot, fingerprint-mapped from it, or fresh),
+    #: and how much snapshot state was shipped to make that possible.
+    #: ``shard_exact_hits`` is expected to stay 0 under the current design
+    #: (the engine's extend path consumes same-args coverage before the
+    #: sampler runs); it exists as an invariant check, not a hot counter.
+    shard_exact_hits: int = 0
+    shard_mapped_hits: int = 0
+    shard_fresh: int = 0
+    snapshots_shipped: int = 0
+    snapshot_bases_shipped: int = 0
 
     def cache_hit_rate(self) -> float:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
+
+    def shard_reuse_rate(self) -> float:
+        """Fraction of shard tasks served by snapshot reuse (exact or mapped)."""
+        reused = self.shard_exact_hits + self.shard_mapped_hits
+        total = reused + self.shard_fresh
+        return reused / total if total else 0.0
 
 
 class EvaluationService:
@@ -72,6 +109,7 @@ class EvaluationService:
         shards: Optional[int] = None,
         cache_dir: Optional[str] = None,
         min_shard_worlds: int = 8,
+        share_bases: bool = True,
     ) -> None:
         if spec is None and engine is None:
             raise ServeError("EvaluationService needs a spec= or an engine=")
@@ -110,10 +148,16 @@ class EvaluationService:
         #: Below this many worlds a slice is not worth splitting: shard
         #: payload overhead would exceed the sampling work.
         self.min_shard_worlds = max(1, min_shard_worlds)
+        #: Ship coordinator basis snapshots to shard tasks so shards reuse
+        #: (exact/mapped) where the coordinator could not. Off = the pure
+        #: fresh-sampling fan-out of the original serve layer.
+        self.share_bases = share_bases
         self.cache = ResultCache(cache_dir) if cache_dir else None
         self.scenario = self.engine.scenario
         self._scenario_hash = scenario_fingerprint(self.scenario, self.engine.library)
         self.stats = ServiceStats()
+        self._reuse_active = True
+        self._cache_writes_enabled = True
 
     # -- public API --------------------------------------------------------
 
@@ -125,13 +169,7 @@ class EvaluationService:
         reuse: bool = True,
     ) -> PointEvaluation:
         """Evaluate one point: result cache, then the sharded engine cycle."""
-        validated = self.scenario.sweep_space.validate_point(
-            {
-                k: v
-                for k, v in point.items()
-                if str(k).lstrip("@").lower() != self.scenario.axis
-            }
-        )
+        validated = self.scenario.validate_sweep_point(point)
         chosen = (
             tuple(worlds)
             if worlds is not None
@@ -148,10 +186,32 @@ class EvaluationService:
                 return self._evaluation_from_cache(validated, chosen, cached.statistics)
             self.stats.cache_misses += 1
 
+        self._reuse_active = reuse
         evaluation = self.engine.evaluate_point(
             validated, worlds=chosen, reuse=reuse, sampler=self._sharded_sampler
         )
-        if key is not None:
+        if self.stats.shard_exact_hits + self.stats.shard_mapped_hits > 0:
+            # Shard-snapshot reuse approximates within the mapping tolerance
+            # in a way that depends on the shard geometry (worker count,
+            # shard plan), which the result key deliberately does not
+            # include. The approximate samples also land in the engine's
+            # basis store, where later evaluations (stats-cache hits, exact
+            # basis hits, onward mappings) can transitively depend on them
+            # — so once any shard was served by reuse, nothing more from
+            # this service may enter the cross-run cache, or a run with
+            # different geometry would read geometry-dependent numbers back
+            # as exact. Uniform-world workloads never take shard reuse and
+            # cache as before; reads stay enabled either way. The disk
+            # escape hatch is closed separately: shard-reused entries are
+            # tainted in the tier and never spill or persist, so a future
+            # run cannot adopt them and re-launder their statistics into
+            # the cache.
+            self._cache_writes_enabled = False
+        if (
+            key is not None
+            and self._cache_writes_enabled
+            and not self._uses_tainted_bases(validated)
+        ):
             self.cache.put(
                 key,
                 evaluation.statistics,
@@ -189,6 +249,26 @@ class EvaluationService:
         self.close()
 
     # -- internals ---------------------------------------------------------
+
+    def _uses_tainted_bases(self, validated: Mapping[str, Any]) -> bool:
+        """Does any of this point's VG bases carry geometry taint?
+
+        The per-service cache-write latch cannot see contamination that
+        entered the shared engine through *another* service (or before this
+        service existed); the tier's taint marks can. A point whose basis
+        key is tainted is served from geometry-dependent samples no matter
+        which layer (stats cache, exact hit, mapping) answered, so its
+        statistics must not enter the cross-run cache.
+        """
+        tier = self.engine.storage.tier
+        for output in self.scenario.vg_outputs:
+            key = (
+                self.engine.library.get(output.vg_name).name.lower(),
+                tuple(output.model_arg_values(validated)),
+            )
+            if tier.is_tainted(key):
+                return True
+        return False
 
     def _key_for(self, validated: Mapping[str, Any], worlds: Sequence[int]) -> str:
         config = self.engine.config
@@ -241,23 +321,113 @@ class EvaluationService:
             n_worlds=len(worlds),
         )
 
+    def _snapshot_for(self, output: VGOutput, batch: InstanceBatch) -> BasisSnapshot:
+        """A read-only snapshot of the coordinator's hot bases for one VG.
+
+        Ships only the in-memory bases the coordinator *could not* use for
+        this request: entries overlapping the requested worlds without
+        covering the full slice. An entry covering the full slice was
+        already ruled on by the coordinator's own acquire (hit or rejection
+        applies to every shard equally), so shipping it could only let a
+        shard contradict that decision — and in uniform-world workloads
+        (every basis full-covering) the snapshot is therefore empty and the
+        fan-out stays the zero-overhead pure-fresh path. The shipped bases'
+        fingerprints and the current target's (always present after the
+        coordinator's acquire attempt) ride along so shard tasks never
+        re-probe.
+        """
+        engine = self.engine
+        vg_lower = engine.library.get(output.vg_name).name.lower()
+        requested = set(batch.worlds)
+        entries: list[BasisEntry] = []
+        fingerprints: list[tuple[tuple[Any, ...], np.ndarray]] = []
+        seen_args: set[tuple[Any, ...]] = set()
+        for (name, args), entry in engine.storage.tier.memory_items():
+            if name != vg_lower:
+                continue
+            if engine.storage.tier.is_adopted((name, args)):
+                # Warm-start adoptions carry foreign seeds the coordinator
+                # validates per-acquire; a snapshot store would trust them
+                # blindly, so they never travel.
+                continue
+            entry_worlds = set(entry.worlds)
+            if requested <= entry_worlds:
+                continue  # full-covering: the coordinator already ruled on it
+            if not (requested & entry_worlds):
+                continue  # overlaps no requested world: cannot serve a shard
+            entries.append(entry)
+            seen_args.add(args)
+        target_args = output.model_arg_values(batch.point_dict)
+        seen_args.add(tuple(target_args))
+        for args in seen_args:
+            fingerprint = engine.registry.get_fingerprint(vg_lower, args)
+            if fingerprint is not None:
+                fingerprints.append((args, fingerprint.matrix))
+        fingerprints.sort(key=lambda item: repr(item[0]))
+        # Content-addressed version: identical snapshot content across
+        # requests (common in sweeps, whose full-slice results are filtered
+        # out above) hashes identically, so the worker-side seeded-store
+        # cache hits instead of rebuilding once per evaluation.
+        digest = hashlib.blake2b(digest_size=16)
+        for entry in entries:
+            digest.update(repr((entry.args, entry.worlds, entry.seeds)).encode())
+            digest.update(entry.samples.tobytes())
+        for args, matrix in fingerprints:
+            digest.update(repr(args).encode())
+            digest.update(matrix.tobytes())
+        return BasisSnapshot(
+            version=f"{vg_lower}:{digest.hexdigest()}",
+            vg_name=output.vg_name,
+            entries=tuple(entries),
+            fingerprints=tuple(fingerprints),
+        )
+
     def _sharded_sampler(self, output: VGOutput, batch: InstanceBatch) -> np.ndarray:
-        """The engine's fresh-sampling stage, fanned out across shards."""
+        """The engine's fresh-sampling stage, fanned out across shards.
+
+        With ``share_bases`` (and ``reuse=True``) each shard task first
+        consults a shipped snapshot of the coordinator's hot bases; only
+        what the snapshot cannot serve is freshly sampled.
+        """
         worlds = batch.worlds
         n_shards = min(self.n_shards, max(1, len(worlds) // self.min_shard_worlds))
         shards = plan_shards(worlds, n_shards)
         self.stats.sampled_worlds += len(worlds)
         if len(shards) == 1:
-            # Nothing to fan out — sample directly on the coordinator
-            # rather than round-tripping one shard through the pool.
+            # Nothing to fan out — and nothing to reuse either: the
+            # coordinator's own acquire already rejected every basis that
+            # covers the full (= this single shard's) world slice.
             self.stats.shard_tasks += 1
+            self.stats.shard_fresh += 1
             return self.engine.sample_fresh(output.alias, batch.point_dict, worlds)
+
+        snapshot: Optional[BasisSnapshot] = None
+        if self.share_bases and self._reuse_active:
+            snapshot = self._snapshot_for(output, batch)
+            if not snapshot.entries:
+                snapshot = None  # nothing reusable; skip the shipping cost
 
         started = time.perf_counter()
         point_items = tuple(sorted(batch.point_dict.items()))
+        point_dict = batch.point_dict
+        use_process = self.spec is not None and self.executor.kind == "process"
+        inline_store = None
+        if snapshot is not None and not use_process:
+            # One seeded store per sampling request, shared by its shards —
+            # mirroring the worker-side per-version snapshot cache.
+            inline_store = build_snapshot_store(self.engine, snapshot)
         futures = []
         for shard in shards:
-            if self.spec is not None and self.executor.kind == "process":
+            if use_process and snapshot is not None:
+                future = self.executor.submit(
+                    acquire_shard_task,
+                    self.spec,
+                    output.alias,
+                    point_items,
+                    shard.worlds,
+                    snapshot,
+                )
+            elif use_process:
                 future = self.executor.submit(
                     sample_shard_task,
                     self.spec,
@@ -265,15 +435,59 @@ class EvaluationService:
                     point_items,
                     shard.worlds,
                 )
+            elif snapshot is not None:
+                future = self.executor.submit(
+                    acquire_shard,
+                    self.engine,
+                    inline_store,
+                    output.alias,
+                    point_dict,
+                    shard.worlds,
+                )
             else:
                 future = self.executor.submit(
                     self.engine.sample_fresh,
                     output.alias,
-                    batch.point_dict,
+                    point_dict,
                     shard.worlds,
                 )
             futures.append(future)
-        parts = [np.asarray(future.result(), dtype=float) for future in futures]
+        parts: list[np.ndarray] = []
+        any_shard_reuse = False
+        for future in futures:
+            result = future.result()
+            if isinstance(result, ShardSample):
+                self._count_shard_sample(result)
+                any_shard_reuse = any_shard_reuse or result.source != "fresh"
+                parts.append(np.asarray(result.samples, dtype=float))
+            else:
+                self.stats.shard_fresh += 1
+                parts.append(np.asarray(result, dtype=float))
+        if any_shard_reuse:
+            # The merged matrix the engine is about to store mixes shard-
+            # reused (geometry-dependent) rows in; taint the key before the
+            # store happens so the entry can never spill or persist. Taint
+            # is sticky across put(), so the ordering is race-free.
+            self.engine.storage.tier.taint(
+                (
+                    self.engine.library.get(output.vg_name).name.lower(),
+                    tuple(output.model_arg_values(batch.point_dict)),
+                )
+            )
+        if snapshot is not None:
+            self.stats.snapshots_shipped += 1
+            self.stats.snapshot_bases_shipped += len(snapshot.entries)
         self.stats.shard_tasks += len(shards)
         self.stats.parallel_seconds += time.perf_counter() - started
+        # The shard bases shipped back in ``parts`` merge here, in shard
+        # order; the engine stores the merged entry in its tiered store,
+        # where the next snapshot (and every other session) can reuse it.
         return np.vstack(parts)
+
+    def _count_shard_sample(self, sample: ShardSample) -> None:
+        if sample.source == "exact":
+            self.stats.shard_exact_hits += 1
+        elif sample.source == "mapped":
+            self.stats.shard_mapped_hits += 1
+        else:
+            self.stats.shard_fresh += 1

@@ -12,18 +12,35 @@ over one contiguous world shard. It runs only the generated-SQL sampling
 stage (`ProphetEngine.sample_fresh`), which is a pure function of
 ``(scenario, config, point, worlds)`` — all reuse and aggregation stay on
 the coordinator, so results never depend on which worker ran which shard.
+
+:func:`acquire_shard_task` is the reuse-aware variant: the coordinator
+ships a read-only :class:`BasisSnapshot` of its hot in-memory bases (plus
+their fingerprints), the worker seeds a throwaway snapshot store from it,
+and serves its shard through the ordinary Storage Manager acquire path —
+exact hit, fingerprint map with fresh fill of unmapped components, or a
+full fresh miss. Every worker (and the inline executor) sees the same
+snapshot, and the snapshot contains only bases the coordinator itself
+could not use for the request (overlapping some requested worlds, covering
+less than the full slice), so the reuse decision for a shard is a pure
+function of (coordinator history, shard worlds) — never of worker
+scheduling — and can never contradict a coordinator decision. The produced
+shard bases ship back in the :class:`ShardSample` and are merged, in shard
+order, into the entry the coordinator stores.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Optional
 
 import numpy as np
 
 from repro.core.engine import ProphetConfig, ProphetEngine
+from repro.core.fingerprint.fingerprint import Fingerprint
+from repro.core.fingerprint.registry import FingerprintRegistry
+from repro.core.storage import BasisEntry, StorageManager
 from repro.dsl import parse_scenario
 from repro.errors import ServeError
 from repro.models import (
@@ -32,6 +49,7 @@ from repro.models import (
     build_maintenance_scenario,
     build_risk_vs_cost,
 )
+from repro.vg.seeds import world_seed
 
 #: Named VG libraries a spec may reference (DSL-text specs).
 LIBRARY_BUILDERS: dict[str, Callable[[], Any]] = {
@@ -122,6 +140,9 @@ class EngineSpec:
                     "fingerprint_seeds": self.config.fingerprint_seeds,
                     "correlation_tolerance": self.config.correlation_tolerance,
                     "min_mapped_fraction": self.config.min_mapped_fraction,
+                    "basis_cap": self.config.basis_cap,
+                    "basis_byte_cap": self.config.basis_byte_cap,
+                    "basis_dir": self.config.basis_dir,
                 },
             },
             sort_keys=True,
@@ -140,15 +161,138 @@ class EngineSpec:
         return ProphetEngine(scenario, library, self.config)
 
 
+@dataclass(frozen=True)
+class BasisSnapshot:
+    """A read-only view of the coordinator's hot bases for one VG.
+
+    ``entries`` are the coordinator's own (picklable)
+    :class:`~repro.core.storage.BasisEntry` objects, shipped as-is.
+    ``version`` is unique per snapshot build; workers cache the seeded
+    snapshot store per ``(spec, version)`` so the shards of one sampling
+    request share one store instead of re-seeding per task.
+    ``fingerprints`` carries the coordinator's probe matrices for the
+    snapshot bases and the current target, so workers never re-probe.
+    """
+
+    version: str
+    vg_name: str
+    entries: tuple[BasisEntry, ...]
+    fingerprints: tuple[tuple[tuple[Any, ...], np.ndarray], ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass(frozen=True)
+class ShardSample:
+    """One shard's acquisition outcome, shipped worker -> coordinator.
+
+    ``samples`` is the shard's sample matrix (the newly produced basis the
+    coordinator merges, in shard order, into its stored entry); ``source``
+    says how it was obtained (``"exact"`` / ``"mapped"`` / ``"fresh"``).
+    """
+
+    samples: np.ndarray
+    source: str
+    basis_args: Optional[tuple[Any, ...]] = None
+    mapped_fraction: float = 0.0
+    components_recomputed: int = 0
+
+
+def build_snapshot_store(engine: ProphetEngine, snapshot: BasisSnapshot) -> StorageManager:
+    """Seed a throwaway Storage Manager from a coordinator snapshot.
+
+    The store's registry is pre-seeded with the shipped fingerprints, so
+    seeding costs no probe invocations; entries keep the coordinator's
+    order, which is what makes candidate ranking (and therefore the reuse
+    decision) identical on every executor.
+    """
+    config = engine.config
+    registry = FingerprintRegistry(
+        config.fingerprint_spec(), config.correlation_policy()
+    )
+    # Non-mutating: snapshot stores are cached per content version and
+    # shared across requests, so acquire must not retain mapped results —
+    # decisions have to stay a pure function of the snapshot.
+    store = StorageManager(registry, store_mapped_results=False)
+    for args, matrix in snapshot.fingerprints:
+        registry.seed_fingerprint(
+            Fingerprint(
+                vg_name=snapshot.vg_name,
+                args=tuple(args),
+                matrix=matrix,
+                spec=registry.spec,
+            )
+        )
+    for entry in snapshot.entries:
+        function = engine.library.get(entry.vg_name)
+        store.store(function, entry.args, entry.samples, entry.worlds, entry.seeds)
+    return store
+
+
+def acquire_shard(
+    engine: ProphetEngine,
+    store: StorageManager,
+    alias: str,
+    point: dict[str, Any],
+    worlds: tuple[int, ...],
+) -> ShardSample:
+    """Serve one shard through a snapshot store: reuse first, fresh last.
+
+    Shared by the process workers and the inline executor so both make
+    byte-identical decisions from the same snapshot. Point normalization
+    and output lookup are the scenario's own
+    (:meth:`~repro.core.scenario.Scenario.validate_sweep_point`), so shard
+    reuse keys cannot drift from the coordinator's.
+    """
+    output = engine.scenario.vg_output(alias)
+    validated = engine.scenario.validate_sweep_point(point)
+    function = engine.library.get(output.vg_name)
+    args = output.model_arg_values(validated)
+    seeds = tuple(world_seed(engine.config.base_seed, w) for w in worlds)
+    samples, report = store.acquire(
+        function,
+        args,
+        worlds,
+        seeds,
+        reuse=True,
+        min_mapped_fraction=engine.config.min_mapped_fraction,
+    )
+    if samples is None:
+        samples = engine.sample_fresh(alias, validated, worlds)
+    return ShardSample(
+        samples=np.asarray(samples, dtype=float),
+        source=report.source,
+        basis_args=report.basis_args,
+        mapped_fraction=report.mapped_fraction,
+        components_recomputed=report.components_recomputed,
+    )
+
+
 #: Per-process engine cache: one engine per spec, reused across shard tasks.
 _WORKER_ENGINES: dict[str, ProphetEngine] = {}
+
+#: Per-process snapshot-store cache: ``(spec_hash, snapshot_version)`` ->
+#: seeded store. Only the latest version per spec is retained, so stale
+#: snapshots (and their sample matrices) never accumulate in workers.
+#: Known tradeoff: the snapshot payload still pickles once per shard task
+#: (ProcessPoolExecutor has no per-worker broadcast); this cache only
+#: avoids re-seeding. The coordinator bounds the payload by shipping only
+#: partial-coverage bases, and uniform-world workloads ship nothing.
+_SNAPSHOT_STORES: dict[tuple[str, str], StorageManager] = {}
 
 
 def _engine_for(spec: EngineSpec) -> ProphetEngine:
     key = spec.content_hash()
     engine = _WORKER_ENGINES.get(key)
     if engine is None:
-        engine = spec.build()
+        # Worker engines never consult their own basis store (shard tasks
+        # run sample_fresh or the separate snapshot store), so drop the
+        # disk tier: indexing the coordinator's spill dir in every worker
+        # process would be pure startup I/O.
+        scenario, library = spec.build_scenario()
+        config = replace(spec.config, basis_dir=None)
+        engine = ProphetEngine(scenario, library, config)
         _WORKER_ENGINES[key] = engine
     return engine
 
@@ -162,6 +306,42 @@ def sample_shard_task(
     """Process-pool task: fresh samples of one output over one world shard."""
     engine = _engine_for(spec)
     return engine.sample_fresh(alias, dict(point_items), worlds)
+
+
+def _snapshot_store_for(
+    spec: EngineSpec, engine: ProphetEngine, snapshot: BasisSnapshot
+) -> StorageManager:
+    spec_key = spec.content_hash()
+    cache_key = (spec_key, snapshot.version)
+    store = _SNAPSHOT_STORES.get(cache_key)
+    if store is None:
+        store = build_snapshot_store(engine, snapshot)
+        # Retain one store per (spec, VG): versions are prefixed with the
+        # VG name, so evicting only same-prefix entries keeps the other
+        # outputs' current stores warm (a scenario typically ships one
+        # snapshot per VG output per evaluation).
+        vg_prefix = f"{snapshot.vg_name.lower()}:"
+        for stale in [
+            k
+            for k in _SNAPSHOT_STORES
+            if k[0] == spec_key and k[1].startswith(vg_prefix) and k != cache_key
+        ]:
+            del _SNAPSHOT_STORES[stale]
+        _SNAPSHOT_STORES[cache_key] = store
+    return store
+
+
+def acquire_shard_task(
+    spec: EngineSpec,
+    alias: str,
+    point_items: tuple[tuple[str, Any], ...],
+    worlds: tuple[int, ...],
+    snapshot: BasisSnapshot,
+) -> ShardSample:
+    """Process-pool task: serve one shard with snapshot reuse, fresh fallback."""
+    engine = _engine_for(spec)
+    store = _snapshot_store_for(spec, engine, snapshot)
+    return acquire_shard(engine, store, alias, dict(point_items), worlds)
 
 
 def worker_engine_count() -> int:

@@ -130,3 +130,38 @@ class TestProactiveExploration:
         # The neighbor was pre-explored at coarse depth; the full refresh
         # extends worlds but reuses heavily.
         assert used < 2 * 20 * 53
+
+
+class TestRefreshFraction:
+    def test_empty_view_reports_zero_not_full_refresh(self):
+        """Regression: a view with no refreshed and no reused weeks (e.g. a
+        cache-served evaluation carrying no week sets) used to report a
+        100% refresh, inflating aggregate refresh-cost metrics."""
+        from repro.core.online import GraphView
+
+        view = GraphView(
+            point={},
+            statistics=None,
+            refreshed_weeks=(),
+            reused_weeks=(),
+            elapsed_seconds=0.0,
+            n_worlds=0,
+            vg_invocations=0,
+            component_samples=0,
+        )
+        assert view.refresh_fraction == 0.0
+
+    def test_partial_view_fraction_unchanged(self):
+        from repro.core.online import GraphView
+
+        view = GraphView(
+            point={},
+            statistics=None,
+            refreshed_weeks=(0, 1),
+            reused_weeks=(2, 3, 4, 5),
+            elapsed_seconds=0.0,
+            n_worlds=4,
+            vg_invocations=0,
+            component_samples=0,
+        )
+        assert view.refresh_fraction == pytest.approx(2 / 6)

@@ -1,12 +1,19 @@
 """Tests for basis-distribution persistence (warm session restarts)."""
 
+import math
+
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.core.argcodec import decode_args, encode_args
 from repro.core.engine import ProphetConfig, ProphetEngine
 from repro.core.persistence import load_bases, save_bases
 from repro.errors import FingerprintError
 from repro.models import build_risk_vs_cost
+from repro.vg.base import CallableVGFunction
+from repro.vg.seeds import world_seed
 
 POINT = {"purchase1": 16, "purchase2": 32, "feature": 12}
 CONFIG = ProphetConfig(n_worlds=12)
@@ -150,3 +157,148 @@ class TestSpecCompatibility:
         reshaped_engine = ProphetEngine(reshaped, library, CONFIG)
         # Demand basis is stale (53 != 30 components); capacity still loads.
         assert load_bases(reshaped_engine, archive) == 1
+
+
+def _assert_same_typed(actual, expected):
+    """Equality plus exact type identity, recursively (True != 1, () != [])."""
+    assert type(actual) is type(expected), f"{actual!r} vs {expected!r}"
+    if isinstance(expected, (tuple, list)):
+        assert len(actual) == len(expected)
+        for a, b in zip(actual, expected):
+            _assert_same_typed(a, b)
+    elif isinstance(expected, float) and math.isnan(expected):
+        assert math.isnan(actual)
+    else:
+        assert actual == expected
+
+
+_ARG_VALUES = st.recursive(
+    st.one_of(
+        st.booleans(),
+        st.integers(min_value=-(2**53), max_value=2**53),
+        st.floats(allow_nan=False),
+        st.text(max_size=8),
+        st.none(),
+    ),
+    lambda children: st.lists(children, max_size=3).map(tuple)
+    | st.lists(children, max_size=3),
+    max_leaves=8,
+)
+
+#: Representative ParamKeys: tuples of scalars and nested containers.
+_PARAM_KEYS = st.lists(_ARG_VALUES, max_size=4).map(tuple)
+
+
+class TestArgsCodec:
+    """Regression: plain-JSON round-trips turned nested tuples into lists,
+    so reloaded bases could never exact-hit their original key and could
+    crash dict insertion with an unhashable key."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(_PARAM_KEYS)
+    def test_round_trip_preserves_values_and_types(self, args):
+        _assert_same_typed(decode_args(encode_args(args)), args)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.one_of(st.booleans(), st.integers(), st.floats(allow_nan=False), st.text(max_size=6)), max_size=3).map(tuple))
+    def test_round_tripped_scalar_keys_stay_hashable_and_equal(self, args):
+        decoded = decode_args(encode_args(args))
+        assert {args: 1}[decoded] == 1  # same dict key before and after
+
+    def test_nested_tuples_come_back_hashable(self):
+        args = ((1, (2, 3)), "label", (True, 5.0))
+        decoded = decode_args(encode_args(args))
+        _assert_same_typed(decoded, args)
+        hash(decoded)  # plain JSON decoding raised TypeError here
+
+    def test_non_finite_floats_round_trip(self):
+        decoded = decode_args(encode_args((math.inf, -math.inf, math.nan)))
+        assert decoded[0] == math.inf and decoded[1] == -math.inf
+        assert math.isnan(decoded[2])
+
+    def test_bool_and_int_do_not_alias(self):
+        encoded_bool = encode_args((True,))
+        encoded_int = encode_args((1,))
+        assert encoded_bool != encoded_int
+        assert decode_args(encoded_bool)[0] is True
+        assert type(decode_args(encoded_int)[0]) is int
+
+
+class TestNestedTupleArgsRoundTrip:
+    def test_saved_nested_tuple_key_exact_hits_after_reload(self, archive):
+        """End-to-end regression: a basis keyed by nested-tuple args must
+        reload under its exact original key (v1 archives decoded the args
+        as nested lists — unhashable, and never an exact hit)."""
+        nested_fn = CallableVGFunction(
+            "NestedModel", 4, ("cfg",), lambda rng, args: rng.normal(size=4)
+        )
+        scenario, library = build_risk_vs_cost(purchase_step=16)
+        library.register(nested_fn)
+        engine = ProphetEngine(scenario, library, CONFIG)
+        nested_args = ((1, (2, 3)),)
+        seeds = [world_seed(42, w) for w in range(3)]
+        matrix = np.vstack([nested_fn.invoke(s, nested_args) for s in seeds])
+        engine.storage.store(nested_fn, nested_args, matrix, range(3), seeds)
+        assert save_bases(engine, archive) == 1
+
+        scenario2, library2 = build_risk_vs_cost(purchase_step=16)
+        library2.register(
+            CallableVGFunction(
+                "NestedModel", 4, ("cfg",), lambda rng, args: rng.normal(size=4)
+            )
+        )
+        fresh = ProphetEngine(scenario2, library2, CONFIG)
+        assert load_bases(fresh, archive) == 1
+        entry = fresh.storage.entry("NestedModel", nested_args)
+        assert entry is not None  # exact (vg_name, tuple(args)) key hit
+        assert isinstance(entry.args[0], tuple)
+        assert isinstance(entry.args[0][1], tuple)
+        assert entry.samples.tobytes() == matrix.tobytes()
+
+
+class TestLegacyArchives:
+    def test_v1_archive_with_nested_args_loads_as_tuples(self, archive):
+        """Regression: v1 archives carry plain-JSON args; nested arrays must
+        decode as tuples (lists are unhashable store keys and crashed
+        load_bases)."""
+        import json
+
+        nested_fn = CallableVGFunction(
+            "NestedModel", 4, ("cfg",), lambda rng, args: rng.normal(size=4)
+        )
+        scenario, library = build_risk_vs_cost(purchase_step=16)
+        library.register(nested_fn)
+        engine = ProphetEngine(scenario, library, CONFIG)
+
+        seeds = [world_seed(42, w) for w in range(3)]
+        matrix = np.vstack(
+            [nested_fn.invoke(s, ((1, (2, 3)),)) for s in seeds]
+        )
+        spec = engine.registry.spec
+        header = {
+            "format_version": 1,
+            "scenario": scenario.name,
+            "n_probe_seeds": spec.n_seeds,
+            "probe_base_seed": spec.base_seed,
+            "entries": [
+                {
+                    "vg_name": "NestedModel",
+                    # v1 wrote json.dumps(list(args)): tuples became arrays.
+                    "args": json.dumps([[1, [2, 3]]]),
+                    "has_fingerprint": False,
+                }
+            ],
+        }
+        np.savez_compressed(
+            archive,
+            samples_0=matrix,
+            worlds_0=np.asarray(range(3), dtype=np.int64),
+            seeds_0=np.asarray(seeds, dtype=np.uint64),
+            header=np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
+        )
+
+        assert load_bases(engine, archive) == 1
+        entry = engine.storage.entry("NestedModel", ((1, (2, 3)),))
+        assert entry is not None
+        assert isinstance(entry.args[0], tuple)
+        assert entry.samples.tobytes() == matrix.tobytes()

@@ -5,9 +5,33 @@ import pytest
 
 from repro.core.fingerprint import CorrelationPolicy, FingerprintSpec
 from repro.core.fingerprint.registry import FingerprintRegistry
-from repro.core.storage import StorageManager
+from repro.core.storage import StorageManager, _nearest_candidates
 from repro.models import CapacityModel, DemandModel
 from repro.vg.seeds import world_seed
+
+
+class TestNearestCandidates:
+    def test_numeric_distance_ranks_nearest_first(self):
+        ranked = _nearest_candidates((10.0,), [(50.0,), (13.0,), (8.0,)], limit=3)
+        assert ranked == [(8.0,), (13.0,), (50.0,)]
+
+    def test_bool_is_categorical_not_numeric(self):
+        """Regression: ``isinstance(True, int)`` is true, so a bool-keyed
+        basis used to tie at distance 0 with a numerically-equal float key
+        and stable ordering could rank the wrong-typed basis first."""
+        ranked = _nearest_candidates((1.0, 5.0), [(True, 5.0), (1.0, 5.0)], limit=2)
+        assert type(ranked[0][0]) is float  # the true distance-0 candidate
+        assert type(ranked[1][0]) is bool  # bool vs number = type mismatch
+
+    def test_equal_bools_are_distance_zero(self):
+        ranked = _nearest_candidates((True,), [(False,), (True,)], limit=2)
+        assert ranked[0] == (True,) and ranked[0][0] is True
+        ranked = _nearest_candidates((False,), [(True,), (False,)], limit=2)
+        assert ranked[0][0] is False
+
+    def test_shape_mismatch_sorts_last(self):
+        ranked = _nearest_candidates((1.0, 2.0), [(1.0,), (9.0, 9.0)], limit=2)
+        assert ranked[0] == (9.0, 9.0)
 
 SPEC = FingerprintSpec(n_seeds=8)
 POLICY = CorrelationPolicy(tolerance=1e-6)
