@@ -111,23 +111,33 @@ def test_s1_stage_timings_before_after(benchmark):
 
 @pytest.mark.benchmark(group="S1-sql-hotpath")
 def test_s1_plan_cache_hit_rate_guard(benchmark):
-    """Regression guard: a repeated sweep must hit the plan cache >= 90%."""
+    """Regression guard: a repeated sweep must hit the plan cache >= 90%.
+
+    The sweep spans the purchase1 x purchase2 grid (36 points): the batched
+    sampling plane executes only ~10 statements per point (vs ~70 on the
+    per-world loop), so the scenario's ~10 one-time parses need a larger
+    sweep to amortize below the 10% miss budget. The guard's subject is
+    unchanged — if any generator emitted per-point statement text again,
+    misses would scale with the point count and the rate would collapse no
+    matter the sweep size.
+    """
     config = ProphetConfig(n_worlds=30, enable_stats_cache=False)
 
     def sweep():
         engine = _build_engine(config, fast=True)
         for purchase1 in (0, 8, 16, 24, 32, 40):
-            engine.evaluate_point(
-                {"purchase1": purchase1, "purchase2": 24, "feature": 12},
-                reuse=False,
-            )
+            for purchase2 in (0, 8, 16, 24, 32, 40):
+                engine.evaluate_point(
+                    {"purchase1": purchase1, "purchase2": purchase2, "feature": 12},
+                    reuse=False,
+                )
         return engine
 
     engine = benchmark.pedantic(sweep, rounds=1, iterations=1)
     cache = engine.executor.plan_cache
     stats = engine.executor.stats
     report(
-        "S1: plan-cache behavior over a 6-point sweep",
+        "S1: plan-cache behavior over a 36-point sweep",
         [
             f"lookups {cache.lookups()}, hits {cache.hits}, misses {cache.misses}",
             f"hit rate {cache.hit_rate():.1%} (guard: >= 90%)",

@@ -78,6 +78,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="spill evicted bases to npz files here and fault them back "
             "on demand; omit to drop evicted bases (they re-sample fresh)",
         )
+        sub.add_argument(
+            "--sampling-backend",
+            default="batched",
+            choices=("batched", "loop"),
+            help="fresh-sampling backend: 'batched' lands a whole world "
+            "slice per generated statement (default); 'loop' executes one "
+            "INSERT per world (the bit-identical reference path)",
+        )
 
     info = subparsers.add_parser("info", help="parse and describe a scenario")
     add_common(info)
@@ -201,6 +209,7 @@ def _setup(args: argparse.Namespace):
         base_seed=args.seed,
         basis_cap=getattr(args, "basis_cap", None),
         basis_dir=getattr(args, "basis_dir", None),
+        sampling_backend=getattr(args, "sampling_backend", "batched"),
     )
     return scenario, library, config, text
 
@@ -257,6 +266,12 @@ def _print_engine_stats(engine: ProphetEngine) -> None:
         f"fallback ({stats.rows_fallback} rows)"
     )
     print(
+        f"  sampling: {stats.sampled_batched} worlds batched / "
+        f"{stats.sampled_fallback} worlds per-world loop "
+        f"({engine.config.sampling_backend} backend, "
+        f"{engine.library.total_parity_fallbacks()} parity-guard fallbacks)"
+    )
+    print(
         f"  basis reuse: {engine.storage.exact_hits} exact / "
         f"{engine.storage.mapped_hits} mapped / {engine.storage.misses} fresh"
     )
@@ -291,6 +306,10 @@ def _print_service_stats(scheduler: Scheduler) -> None:
         f"  shard reuse: {summary['shard_exact_hits']} exact / "
         f"{summary['shard_mapped_hits']} mapped / {summary['shard_fresh']} fresh "
         f"({summary['snapshot_bases_shipped']} snapshot bases shipped)"
+    )
+    print(
+        f"  shard sampling: {summary['sampled_batched']} worlds batched / "
+        f"{summary['sampled_fallback']} worlds per-world loop"
     )
     print(f"  scheduler: {scheduler.jobs_completed} jobs, "
           f"{scheduler.dedup_hits} deduplicated")

@@ -239,32 +239,43 @@ class ExactSum:
         return total
 
 
-def _exact_square(x: float) -> tuple[float, float]:
-    """``x * x`` as an exact float pair ``(product, rounding_error)``.
+_ZERO = Fraction(0)
 
-    Veltkamp splitting + Dekker's two-product, specialized to squaring: the
-    mathematical square equals ``product + rounding_error`` exactly — but
-    only while the product stays in the normal range. When ``x * x``
-    underflows (``|x|`` below ~1.5e-154) Dekker's recombination produces a
-    garbage error term, so that regime falls back to the correctly rounded
-    true residual instead (computed exactly in rational arithmetic). The
-    residual itself may then be below the subnormal threshold, in which
-    case no float pair can be exact; the fallback is the closest
-    representable answer.
+#: Dekker's two-product is exact only while every intermediate product
+#: stays clear of the subnormal floor. The binding term is ``lo * lo``:
+#: ``lo``'s lowest mantissa bit sits at ``2**(e-52)`` for ``|x| ~ 2**e``,
+#: so ``lo * lo`` needs bits down to ``2**(2e-104)``, which must stay
+#: >= 2**-1074 — i.e. ``x * x`` >= ~2**-970. Anything below routes through
+#: the exact-rational fallback (2**-960 leaves a safety margin).
+_DEKKER_MIN_PRODUCT = 2.0**-960
+
+
+def _exact_square(x: float) -> tuple[float, float, Fraction]:
+    """``x * x`` as ``(product, rounding_error, rest)``, exact in total.
+
+    The mathematical square equals ``product + rounding_error + rest``
+    exactly. In the Dekker regime (product comfortably normal) the float
+    pair alone is exact and ``rest`` is zero. Near and below the underflow
+    threshold the rounding residual itself may need bits below the
+    subnormal floor, where no finite sum of floats can represent it; the
+    fallback then returns the correctly rounded float residual plus the
+    exact rational remainder, so accumulators can stay exact in every
+    regime.
     """
     product = x * x
-    if not (2.2250738585072014e-308 <= product < math.inf):
+    if not (_DEKKER_MIN_PRODUCT <= product < math.inf):
         if not math.isfinite(product):
-            return product, 0.0  # overflow: no finite error term exists
+            return product, 0.0, _ZERO  # overflow: no finite error term exists
         if x == 0.0:
-            return 0.0, 0.0
+            return 0.0, 0.0, _ZERO
         residual = Fraction(x) * Fraction(x) - Fraction(product)
-        return product, float(residual)
+        error = float(residual)
+        return product, error, residual - Fraction(error)
     c = 134217729.0 * x  # 2**27 + 1
     hi = c - (c - x)
     lo = x - hi
     error = ((hi * hi - product) + 2.0 * hi * lo) + lo * lo
-    return product, error
+    return product, error, _ZERO
 
 
 class MergeableMoments:
@@ -277,12 +288,15 @@ class MergeableMoments:
     rounding in the result is the final one.
     """
 
-    __slots__ = ("count", "_sum", "_sumsq", "minimum", "maximum")
+    __slots__ = ("count", "_sum", "_sumsq", "_sumsq_rest", "minimum", "maximum")
 
     def __init__(self) -> None:
         self.count = 0
         self._sum = ExactSum()
         self._sumsq = ExactSum()
+        # Exact rational remainder of squares whose residual needs bits
+        # below the subnormal floor (deep-underflow inputs); zero otherwise.
+        self._sumsq_rest = _ZERO
         self.minimum = math.inf
         self.maximum = -math.inf
 
@@ -290,10 +304,12 @@ class MergeableMoments:
         x = float(value)
         self.count += 1
         self._sum.add(x)
-        square, error = _exact_square(x)
+        square, error, rest = _exact_square(x)
         self._sumsq.add(square)
         if error:
             self._sumsq.add(error)
+        if rest:
+            self._sumsq_rest += rest
         if x < self.minimum:
             self.minimum = x
         if x > self.maximum:
@@ -307,6 +323,7 @@ class MergeableMoments:
         self.count += other.count
         self._sum.merge(other._sum)
         self._sumsq.merge(other._sumsq)
+        self._sumsq_rest += other._sumsq_rest
         if other.minimum < self.minimum:
             self.minimum = other.minimum
         if other.maximum > self.maximum:
@@ -327,7 +344,7 @@ class MergeableMoments:
         if self.count <= ddof:
             return math.nan
         total = self._sum.exact()
-        sumsq = self._sumsq.exact()
+        sumsq = self._sumsq.exact() + self._sumsq_rest
         exact = (sumsq - total * total / self.count) / (self.count - ddof)
         return float(max(exact, Fraction(0)))
 

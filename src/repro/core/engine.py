@@ -37,6 +37,7 @@ from repro.core.fingerprint.registry import FingerprintRegistry
 from repro.core.guide import RefinementPlan
 from repro.core.instance import InstanceBatch
 from repro.core.querygen import QueryGenerator
+from repro.core.sampling import SamplingPlane
 from repro.core.scenario import Scenario, VGOutput
 from repro.core.storage import ReuseReport, StorageManager
 from repro.sqldb.catalog import Catalog
@@ -72,6 +73,10 @@ class ProphetConfig:
     #: Disk tier: evicted bases spill to npz files here and fault back on
     #: demand. ``None`` drops evicted bases (they degrade to fresh misses).
     basis_dir: Optional[str] = None
+    #: Fresh-sampling backend: ``"batched"`` (one generated statement per
+    #: world slice, the default) or ``"loop"`` (one INSERT per world, the
+    #: bit-identity reference). Backends are bit-identical by contract.
+    sampling_backend: str = "batched"
 
     def plan(self) -> RefinementPlan:
         return RefinementPlan(
@@ -85,6 +90,17 @@ class ProphetConfig:
 
     def correlation_policy(self) -> CorrelationPolicy:
         return CorrelationPolicy(tolerance=self.correlation_tolerance)
+
+
+def _require_worlds(worlds: Optional[Sequence[int]], entry_point: str) -> None:
+    """Shared empty-world-slice guard of every evaluation entry point.
+
+    ``evaluate_point`` and ``sample_fresh`` (and, through them, the serve
+    workers) must agree on this behavior: an empty world slice is a caller
+    error, never a silently-empty result.
+    """
+    if not worlds:
+        raise ScenarioError(f"{entry_point} needs at least one world")
 
 
 #: Replacement for the fresh-sampling stage: called with the VG output and
@@ -152,6 +168,12 @@ class ProphetEngine:
         register_library(self.catalog, library)
 
         self.querygen = QueryGenerator(scenario)
+        self.sampling = SamplingPlane(
+            self.querygen,
+            self.executor,
+            library,
+            backend=self.config.sampling_backend,
+        )
         self.registry = FingerprintRegistry(
             self.config.fingerprint_spec(), self.config.correlation_policy()
         )
@@ -205,8 +227,7 @@ class ProphetEngine:
         sweep_space = self.scenario.sweep_space
         validated = self.scenario.validate_sweep_point(point)
         chosen_worlds = tuple(worlds) if worlds is not None else tuple(range(self.config.n_worlds))
-        if not chosen_worlds:
-            raise ScenarioError("evaluate_point needs at least one world")
+        _require_worlds(chosen_worlds, "evaluate_point")
         cache_key = (sweep_space.point_key(validated), chosen_worlds)
         if reuse and self.config.enable_stats_cache:
             cached = self._stats_cache.get(cache_key)
@@ -278,8 +299,7 @@ class ProphetEngine:
         """
         output = self.scenario.vg_output(alias)
         validated = self.scenario.validate_sweep_point(point)
-        if not worlds:
-            raise ScenarioError("sample_fresh needs at least one world")
+        _require_worlds(worlds, "sample_fresh")
         batch = InstanceBatch.at_point(validated, tuple(worlds), self.config.base_seed)
         return self._sql_sample(output, batch, StageTimings())
 
@@ -388,45 +408,16 @@ class ProphetEngine:
     def _sql_sample(
         self, output: VGOutput, batch: InstanceBatch, timings: StageTimings
     ) -> np.ndarray:
-        """Fresh Monte Carlo through the generated-SQL path.
+        """Fresh Monte Carlo through the generated-SQL sampling plane.
 
-        The sampling program is *parameterized*: one INSERT template with
-        ``@_world``/``@_seed`` (and the model's ``@parameters``) executes
-        once per world with fresh bindings, so the executor's plan cache
-        parses the text once per scenario instead of once per world.
+        The plane's default ``batched`` backend lands the whole world slice
+        with one parameterized statement (``@_worlds``/``@_seeds`` plus the
+        model's ``@parameters``); the ``loop`` backend executes the per-world
+        INSERT template once per world. Both are plan-cache friendly
+        (constant text per scenario) and bit-identical by contract — see
+        :mod:`repro.core.sampling`.
         """
-        started = time.perf_counter()
-        drop = self.querygen.drop_samples_table_sql(output.alias)
-        create = self.querygen.create_samples_table_sql(output.alias)
-        insert = self.querygen.insert_world_template(output)
-        readback = (
-            f"SELECT world, t, value FROM {self.querygen.samples_table(output.alias)} "
-            f"ORDER BY world, t"
-        )
-        timings.querygen += time.perf_counter() - started
-
-        started = time.perf_counter()
-        self.executor.execute(drop)
-        self.executor.execute(create)
-        point = batch.point_dict
-        for instance in batch:
-            self.executor.execute(
-                insert,
-                self.querygen.world_variables(instance.world, instance.seed, point),
-            )
-        result = self.executor.execute(readback)
-        timings.sql += time.perf_counter() - started
-
-        function = self.library.get(output.vg_name)
-        n_components = function.n_components
-        n_worlds = len(batch)
-        if len(result) != n_worlds * n_components:
-            raise ScenarioError(
-                f"sampling produced {len(result)} rows, expected "
-                f"{n_worlds * n_components}"
-            )
-        values = np.asarray(result.column_array("value"), dtype=float)
-        return values.reshape(n_worlds, n_components)
+        return self.sampling.sample(output, batch, timings)
 
     def _land_samples(
         self,

@@ -35,7 +35,7 @@ from repro.sqldb.ast_nodes import (
     UnaryOp,
     Variable,
 )
-from repro.sqldb.pdbext import TABLE_FORM_SUFFIX
+from repro.sqldb.pdbext import BATCH_FORM_SUFFIX, TABLE_FORM_SUFFIX
 
 
 def substitute(expression: Expression, bindings: Mapping[str, Expression]) -> Expression:
@@ -157,6 +157,37 @@ class QueryGenerator:
         variables = {str(name).lower(): value for name, value in point.items()}
         variables["_world"] = world
         variables["_seed"] = seed
+        return variables
+
+    def insert_batch_template(self, output: VGOutput) -> str:
+        """One statement that lands an entire world slice of one VG model.
+
+        The batch table form receives the whole slice through the reserved
+        ``@_worlds``/``@_seeds`` sequence variables (model arguments stay as
+        their ``@parameter`` expressions), so the statement text is constant
+        per scenario — one plan-cache entry serves every slice size — and
+        one execution replaces the per-world loop over
+        :meth:`insert_world_template`.
+        """
+        rendered_args = ", ".join(
+            ["@_worlds", "@_seeds"] + [arg.render() for arg in output.model_args]
+        )
+        return (
+            f"INSERT INTO {self.samples_table(output.alias)} (world, t, value) "
+            f"SELECT world, t, value "
+            f"FROM {output.vg_name}{BATCH_FORM_SUFFIX}({rendered_args})"
+        )
+
+    def batch_variables(
+        self,
+        worlds: Sequence[int],
+        seeds: Sequence[int],
+        point: Mapping[str, Any],
+    ) -> dict[str, Any]:
+        """Variable bindings for one execution of the batch insert template."""
+        variables = {str(name).lower(): value for name, value in point.items()}
+        variables["_worlds"] = tuple(worlds)
+        variables["_seeds"] = tuple(seeds)
         return variables
 
     def sampling_script(self, output: VGOutput, batch: InstanceBatch) -> list[str]:

@@ -283,6 +283,8 @@ class Scheduler:
             "shard_mapped_hits": stats.shard_mapped_hits,
             "shard_fresh": stats.shard_fresh,
             "snapshot_bases_shipped": stats.snapshot_bases_shipped,
+            "sampled_batched": stats.sampled_batched,
+            "sampled_fallback": stats.sampled_fallback,
         }
 
     def evaluate(

@@ -59,6 +59,7 @@ from repro.serve.worker import (
     acquire_shard,
     acquire_shard_task,
     build_snapshot_store,
+    fresh_shard,
     sample_shard_task,
 )
 
@@ -84,6 +85,12 @@ class ServiceStats:
     shard_fresh: int = 0
     snapshots_shipped: int = 0
     snapshot_bases_shipped: int = 0
+    #: Sampling-plane dispatch across the whole fleet (coordinator and
+    #: workers): fresh world-rows produced by the batched backend vs by the
+    #: per-world loop, so silent fallback to the slow path is observable
+    #: even when it happens inside a worker process.
+    sampled_batched: int = 0
+    sampled_fallback: int = 0
 
     def cache_hit_rate(self) -> float:
         total = self.cache_hits + self.cache_misses
@@ -398,8 +405,9 @@ class EvaluationService:
             # coordinator's own acquire already rejected every basis that
             # covers the full (= this single shard's) world slice.
             self.stats.shard_tasks += 1
-            self.stats.shard_fresh += 1
-            return self.engine.sample_fresh(output.alias, batch.point_dict, worlds)
+            sample = fresh_shard(self.engine, output.alias, batch.point_dict, worlds)
+            self._count_shard_sample(sample)
+            return sample.samples
 
         snapshot: Optional[BasisSnapshot] = None
         if self.share_bases and self._reuse_active:
@@ -446,7 +454,8 @@ class EvaluationService:
                 )
             else:
                 future = self.executor.submit(
-                    self.engine.sample_fresh,
+                    fresh_shard,
+                    self.engine,
                     output.alias,
                     point_dict,
                     shard.worlds,
@@ -455,14 +464,10 @@ class EvaluationService:
         parts: list[np.ndarray] = []
         any_shard_reuse = False
         for future in futures:
-            result = future.result()
-            if isinstance(result, ShardSample):
-                self._count_shard_sample(result)
-                any_shard_reuse = any_shard_reuse or result.source != "fresh"
-                parts.append(np.asarray(result.samples, dtype=float))
-            else:
-                self.stats.shard_fresh += 1
-                parts.append(np.asarray(result, dtype=float))
+            result: ShardSample = future.result()
+            self._count_shard_sample(result)
+            any_shard_reuse = any_shard_reuse or result.source != "fresh"
+            parts.append(np.asarray(result.samples, dtype=float))
         if any_shard_reuse:
             # The merged matrix the engine is about to store mixes shard-
             # reused (geometry-dependent) rows in; taint the key before the
@@ -491,3 +496,5 @@ class EvaluationService:
             self.stats.shard_mapped_hits += 1
         else:
             self.stats.shard_fresh += 1
+        self.stats.sampled_batched += sample.sampled_batched
+        self.stats.sampled_fallback += sample.sampled_fallback

@@ -143,6 +143,7 @@ class EngineSpec:
                     "basis_cap": self.config.basis_cap,
                     "basis_byte_cap": self.config.basis_byte_cap,
                     "basis_dir": self.config.basis_dir,
+                    "sampling_backend": self.config.sampling_backend,
                 },
             },
             sort_keys=True,
@@ -190,6 +191,10 @@ class ShardSample:
     ``samples`` is the shard's sample matrix (the newly produced basis the
     coordinator merges, in shard order, into its stored entry); ``source``
     says how it was obtained (``"exact"`` / ``"mapped"`` / ``"fresh"``).
+    ``sampled_batched``/``sampled_fallback`` count the fresh world-rows by
+    the sampling-plane backend that produced them (worker-side engines keep
+    their own :class:`~repro.sqldb.executor.ExecutionStats`, so the counts
+    ride back with the shard for the coordinator's ServiceStats).
     """
 
     samples: np.ndarray
@@ -197,6 +202,8 @@ class ShardSample:
     basis_args: Optional[tuple[Any, ...]] = None
     mapped_fraction: float = 0.0
     components_recomputed: int = 0
+    sampled_batched: int = 0
+    sampled_fallback: int = 0
 
 
 def build_snapshot_store(engine: ProphetEngine, snapshot: BasisSnapshot) -> StorageManager:
@@ -230,6 +237,28 @@ def build_snapshot_store(engine: ProphetEngine, snapshot: BasisSnapshot) -> Stor
     return store
 
 
+def fresh_shard(
+    engine: ProphetEngine,
+    alias: str,
+    point: dict[str, Any],
+    worlds: tuple[int, ...],
+) -> ShardSample:
+    """Fresh-sample one shard through the engine's sampling plane.
+
+    Shared by the process workers and the inline executor; the returned
+    :class:`ShardSample` carries which backend the plane used (batched vs
+    per-world loop) so coordinators can observe worker-side fallback.
+    """
+    samples = engine.sample_fresh(alias, point, worlds)
+    batched = engine.sampling.last_backend == "batched"
+    return ShardSample(
+        samples=np.asarray(samples, dtype=float),
+        source="fresh",
+        sampled_batched=len(worlds) if batched else 0,
+        sampled_fallback=0 if batched else len(worlds),
+    )
+
+
 def acquire_shard(
     engine: ProphetEngine,
     store: StorageManager,
@@ -259,7 +288,7 @@ def acquire_shard(
         min_mapped_fraction=engine.config.min_mapped_fraction,
     )
     if samples is None:
-        samples = engine.sample_fresh(alias, validated, worlds)
+        return fresh_shard(engine, alias, validated, worlds)
     return ShardSample(
         samples=np.asarray(samples, dtype=float),
         source=report.source,
@@ -302,10 +331,10 @@ def sample_shard_task(
     alias: str,
     point_items: tuple[tuple[str, Any], ...],
     worlds: tuple[int, ...],
-) -> np.ndarray:
+) -> ShardSample:
     """Process-pool task: fresh samples of one output over one world shard."""
     engine = _engine_for(spec)
-    return engine.sample_fresh(alias, dict(point_items), worlds)
+    return fresh_shard(engine, alias, dict(point_items), worlds)
 
 
 def _snapshot_store_for(

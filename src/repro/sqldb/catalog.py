@@ -105,6 +105,13 @@ class Catalog:
             raise CatalogError(f"table function already exists: {name!r}")
         self._table_functions[key] = fn
 
+    def unregister_table_function(self, name: str) -> None:
+        """Remove a table function (e.g. to disable one SQL form of a VG)."""
+        key = name.lower()
+        if key not in self._table_functions:
+            raise CatalogError(f"no such table function: {name!r}")
+        del self._table_functions[key]
+
     def has_table_function(self, name: str) -> bool:
         return name.lower() in self._table_functions
 

@@ -101,6 +101,11 @@ class ExecutionStats:
     fallback_selects: int = 0
     rows_vectorized: int = 0
     rows_fallback: int = 0
+    #: Fresh-sampling plane dispatch: world-rows of sample matrices produced
+    #: by the batched backend vs by the per-world loop (explicit ``loop``
+    #: backend or a silent fallback), so the slow path is observable.
+    sampled_batched: int = 0
+    sampled_fallback: int = 0
 
 
 class Executor:
@@ -724,6 +729,10 @@ class Executor:
     ) -> ResultSet:
         table = self.catalog.table(statement.table)
         positions = self._insert_positions(table.schema, statement.columns)
+        if self.enable_vectorized:
+            bulk = self._insert_select_columnar(statement, table, positions, variables)
+            if bulk is not None:
+                return bulk
         result = self._execute_select(statement.query, variables)
         if len(result.schema) != len(positions):
             raise ExecutionError(
@@ -736,6 +745,104 @@ class Executor:
                 full_row[position] = value
             table.insert(full_row)
         return _rowcount_result(len(result.rows))
+
+    def _insert_select_columnar(
+        self,
+        statement: InsertSelect,
+        table,
+        positions: list[int],
+        variables: Mapping[str, Any],
+    ) -> Optional[ResultSet]:
+        """Bulk path for ``INSERT ... SELECT cols FROM table_function(...)``.
+
+        When the query is a plain column pass-through of one table-function
+        source — no joins, filters, grouping, ordering, or rewriting — and
+        the function produced columnar data, the arrays append to the target
+        table directly; no Python row tuples are ever built. This is what
+        makes one batched sampling statement land a whole world slice at
+        columnar speed. Returns ``None`` (caller falls back to row-at-a-time
+        semantics) whenever any precondition fails.
+        """
+        query = statement.query
+        if not isinstance(query.source, TableFunctionSource):
+            return None
+        if (
+            query.joins
+            or query.where is not None
+            or query.group_by
+            or query.having is not None
+            or query.distinct
+            or query.order_by
+            or query.limit is not None
+            or query.offset is not None
+            or query.into is not None
+        ):
+            return None
+        source_label = (query.source.alias or query.source.name).lower()
+        names: list[str] = []
+        for item in query.items:
+            if item.star or not isinstance(item.expression, ColumnRef):
+                return None
+            ref = item.expression
+            if ref.qualifier is not None and ref.qualifier.lower() != source_label:
+                return None
+            names.append(ref.name)
+        if len(names) != len(positions):
+            return None
+        if sorted(positions) != list(range(len(table.schema))):
+            # Partial column lists need NULL fill — row semantics. Decided
+            # *before* invoking the (possibly side-effecting) function, so
+            # no statement ever invokes it twice.
+            return None
+
+        fn = self.catalog.table_function(query.source.name)
+        context = self._context(variables)
+        args = tuple(evaluate(arg, context) for arg in query.source.args)
+        result = fn(args, variables)
+        self.stats.table_function_calls += 1
+        if result.column_data is None:
+            # No columnar payload: bind and insert through row semantics.
+            return self._insert_rows_from(table, positions, result, names)
+        # An unknown column raises here (same error the row path would hit)
+        # rather than re-running the select and invoking the function again.
+        source_positions = [result.schema.position_of(name) for name in names]
+        # positions cover every schema slot (checked above), so this fills.
+        arrays: list[Optional[np.ndarray]] = [None] * len(table.schema)
+        n_rows = len(result)
+        for target, source in zip(positions, source_positions):
+            array = result.column_data[source]
+            declared = table.schema.columns[target].sql_type
+            if not _columnar_insert_compatible(array, declared):
+                return self._insert_rows_from(table, positions, result, names)
+            arrays[target] = array
+        self.stats.rows_scanned += n_rows
+        self.stats.vectorized_selects += 1
+        self.stats.rows_vectorized += n_rows
+        self.stats.rows_output += n_rows
+        table.append_columnar(arrays)
+        return _rowcount_result(n_rows)
+
+    def _insert_rows_from(
+        self,
+        table,
+        positions: list[int],
+        result: ResultSet,
+        names: list[str],
+    ) -> ResultSet:
+        """Row-path tail of the pass-through insert (non-columnar payloads)."""
+        source_positions = [result.schema.position_of(name) for name in names]
+        self.stats.rows_scanned += len(result)
+        self.stats.fallback_selects += 1
+        self.stats.rows_fallback += len(result)
+        inserted = 0
+        for row in result.rows:
+            full_row: list[Any] = [None] * len(table.schema)
+            for target, source in zip(positions, source_positions):
+                full_row[target] = row[source]
+            table.insert(full_row)
+            inserted += 1
+        self.stats.rows_output += inserted
+        return _rowcount_result(inserted)
 
     def _insert_positions(self, schema: TableSchema, columns: tuple[str, ...]) -> list[int]:
         if not columns:
@@ -803,6 +910,23 @@ class Executor:
 
 
 # -- helpers ---------------------------------------------------------------
+
+
+def _columnar_insert_compatible(array: np.ndarray, declared: SqlType) -> bool:
+    """Can ``array`` land in a ``declared`` column without value coercion?
+
+    The bulk insert path must be bit-identical to row-at-a-time inserts, so
+    only dtype/type pairs whose row round-trip is the identity qualify;
+    anything else falls back to ``schema.check_row`` semantics.
+    """
+    kind = array.dtype.kind
+    if declared is SqlType.INTEGER:
+        return kind == "i"
+    if declared is SqlType.FLOAT:
+        return kind == "f"
+    if declared is SqlType.BOOLEAN:
+        return kind == "b"
+    return False
 
 
 def _equi_join_plan(

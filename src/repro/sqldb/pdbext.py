@@ -1,6 +1,6 @@
 """PDB extension: exposing VG-Functions to the SQL engine.
 
-Following MCDB, a VG-Function surfaces in SQL two ways:
+Following MCDB, a VG-Function surfaces in SQL three ways:
 
 * **Scalar form** — ``DemandModel(@_seed, @current, @feature)``: the first
   argument is the Monte Carlo world seed, the second the component index
@@ -8,17 +8,24 @@ Following MCDB, a VG-Function surfaces in SQL two ways:
   float. This is the form the paper's Figure 2 scenario uses (with the seed
   injected by the Query Generator).
 * **Table form** — ``FROM DemandModelT(@_seed, @feature)``: generates the
-  whole vector as rows ``(t, value)``, one per component. This is the form
-  the Query Generator prefers, because it lands every week of a world with
-  one invocation.
+  whole vector as rows ``(t, value)``, one per component. One invocation
+  lands every week of one world.
+* **Batch table form** — ``FROM DemandModelTB(@_worlds, @_seeds,
+  @feature)``: generates an entire world slice as rows ``(world, t,
+  value)`` in world-major order, one statement for the whole slice. The
+  result carries columnar NumPy data, so the executor's bulk-insert path
+  lands it without materializing Python row tuples — this is what the
+  batched sampling plane executes.
 
-Both forms are *pure SQL* on the engine side — no Python objects cross the
+All forms are *pure SQL* on the engine side — no Python objects cross the
 query text. Determinism in ``(seed, args)`` is inherited from the VG layer.
 """
 
 from __future__ import annotations
 
 from typing import Any, Mapping
+
+import numpy as np
 
 from repro.errors import VGFunctionError
 from repro.sqldb.catalog import Catalog
@@ -31,9 +38,21 @@ from repro.vg.library import VGLibrary
 #: Suffix distinguishing the table form from the scalar form in the catalog.
 TABLE_FORM_SUFFIX = "T"
 
+#: Suffix of the batch table form (whole world slice per call).
+BATCH_FORM_SUFFIX = "TB"
+
 #: Schema of the table form: component index + generated value.
 TABLE_FORM_SCHEMA = TableSchema(
     (Column("t", SqlType.INTEGER, nullable=False), Column("value", SqlType.FLOAT, nullable=False))
+)
+
+#: Schema of the batch table form: world identity + component + value.
+BATCH_FORM_SCHEMA = TableSchema(
+    (
+        Column("world", SqlType.INTEGER, nullable=False),
+        Column("t", SqlType.INTEGER, nullable=False),
+        Column("value", SqlType.FLOAT, nullable=False),
+    )
 )
 
 
@@ -93,11 +112,68 @@ def make_table_form(function: VGFunction):
     return table_form
 
 
+def _coerce_world_slice(value: Any, name: str, label: str) -> tuple[int, ...]:
+    if not isinstance(value, (tuple, list)):
+        raise VGFunctionError(
+            f"{name}: {label} must be a sequence of integers, got {value!r}"
+        )
+    coerced = []
+    for item in value:
+        if not isinstance(item, int) or isinstance(item, bool):
+            raise VGFunctionError(
+                f"{name}: {label} must contain only integers, got {item!r}"
+            )
+        coerced.append(item)
+    return tuple(coerced)
+
+
+def make_batch_table_form(function: VGFunction):
+    """Build the batch SQL adapter ``nameTB(worlds, seeds, *model_args)``.
+
+    ``worlds`` and ``seeds`` are equal-length integer sequences (bound from
+    the ``@_worlds``/``@_seeds`` statement variables); the produced rows are
+    ``(world, t, value)`` in world-major, component-minor order — exactly
+    the row order the per-world table form would land over a loop. The
+    result ships columnar arrays, never Python row tuples.
+    """
+
+    def batch_table_form(args: tuple[Any, ...], variables: Mapping[str, Any]) -> ResultSet:
+        expected = 2 + len(function.arg_names)
+        if len(args) != expected:
+            raise VGFunctionError(
+                f"{function.name}{BATCH_FORM_SUFFIX} expects {expected} args "
+                f"(worlds, seeds, {', '.join(function.arg_names)}), got {len(args)}"
+            )
+        worlds = _coerce_world_slice(args[0], function.name, "worlds")
+        seeds = _coerce_world_slice(args[1], function.name, "seeds")
+        if len(worlds) != len(seeds):
+            raise VGFunctionError(
+                f"{function.name}: worlds ({len(worlds)}) and seeds "
+                f"({len(seeds)}) must have equal length"
+            )
+        model_args = tuple(args[2:])
+        matrix = function.invoke_batch(seeds, model_args)
+        n_components = function.n_components
+        world_column = np.repeat(np.asarray(worlds, dtype=np.int64), n_components)
+        t_column = np.tile(np.arange(n_components, dtype=np.int64), len(worlds))
+        value_column = np.ascontiguousarray(matrix, dtype=np.float64).reshape(-1)
+        return ResultSet(
+            schema=BATCH_FORM_SCHEMA,
+            column_data=[world_column, t_column, value_column],
+        )
+
+    batch_table_form.__name__ = function.name + BATCH_FORM_SUFFIX
+    return batch_table_form
+
+
 def register_vg_function(catalog: Catalog, function: VGFunction, *, replace: bool = False) -> None:
-    """Register both SQL forms of ``function`` in ``catalog``."""
+    """Register every SQL form of ``function`` in ``catalog``."""
     catalog.register_scalar_function(function.name, make_scalar_form(function), replace=replace)
     catalog.register_table_function(
         function.name + TABLE_FORM_SUFFIX, make_table_form(function), replace=replace
+    )
+    catalog.register_table_function(
+        function.name + BATCH_FORM_SUFFIX, make_batch_table_form(function), replace=replace
     )
 
 

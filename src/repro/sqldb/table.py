@@ -186,6 +186,36 @@ class Table:
         self._invalidate()
         return len(self._columns[0]) if self._columns else 0
 
+    def append_columnar(self, columns: Sequence[np.ndarray]) -> int:
+        """Append column arrays to the current contents (trusted producers).
+
+        The INSERT-flavored sibling of :meth:`load_columnar`: an empty table
+        adopts the arrays outright; a columnar table concatenates per
+        column; a row-backed table appends materialized rows. Used by the
+        executor's bulk INSERT ... SELECT path.
+        """
+        arrays = [np.asarray(column) for column in columns]
+        if len(arrays) != len(self.schema):
+            raise CatalogError(
+                f"columnar append has {len(arrays)} columns, "
+                f"schema has {len(self.schema)}"
+            )
+        lengths = {len(array) for array in arrays}
+        if len(lengths) > 1:
+            raise CatalogError(f"columnar append with ragged lengths {sorted(lengths)}")
+        appended = len(arrays[0]) if arrays else 0
+        if len(self) == 0:
+            self.load_columnar(arrays)
+            return appended
+        if self._columns is not None and self._rows is None:
+            self._columns = [
+                np.concatenate([existing, new])
+                for existing, new in zip(self._columns, arrays)
+            ]
+            self._invalidate()
+            return appended
+        return self.load_unchecked(zip(*(array.tolist() for array in arrays)))
+
     def columnar_view(self) -> ColumnarView:
         """The cached column-major view of this table (built on demand)."""
         if self._view is not None and self._view_version == self._version:

@@ -23,6 +23,7 @@ from repro.vg.distributions import (
     Constant,
     Discrete,
     Distribution,
+    DistributionSeries,
     Exponential,
     LogNormal,
     Normal,
@@ -61,6 +62,7 @@ __all__ = [
     "Triangular",
     "Discrete",
     "Constant",
+    "DistributionSeries",
     "GaussianSeries",
     "RandomWalk",
     "AR1Series",

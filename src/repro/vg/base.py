@@ -43,6 +43,7 @@ class VGFunction:
     def __init__(self) -> None:
         self.invocations = 0  # real stochastic generations (benchmark metric)
         self.component_samples = 0  # components actually simulated
+        self.parity_fallbacks = 0  # vectorized batches rejected by the guard
         self._cache: dict[tuple[int, tuple[Any, ...]], np.ndarray] = {}
         self._cache_limit = 4096
 
@@ -56,6 +57,44 @@ class VGFunction:
         equivalent seed-derivation helpers).
         """
         raise NotImplementedError
+
+    def generate_batch(self, seeds: Sequence[int], args: tuple[Any, ...]) -> np.ndarray:
+        """Produce the output vectors of many worlds: ``(len(seeds), n_components)``.
+
+        The default implementation loops :meth:`generate` per seed, which
+        makes it bit-identical to per-world generation by construction.
+        Subclasses with vectorizable structure override this with genuine
+        NumPy batch implementations; every override must keep bit-identity
+        with the per-seed loop (each world's randomness still flows through
+        that world's own seed-derived stream) and should route its result
+        through :meth:`guarded_batch`.
+        """
+        matrix = np.empty((len(seeds), self.n_components), dtype=float)
+        for index, seed in enumerate(seeds):
+            matrix[index] = np.asarray(self.generate(seed, args), dtype=float)
+        return matrix
+
+    def guarded_batch(
+        self, seeds: Sequence[int], args: tuple[Any, ...], matrix: np.ndarray
+    ) -> np.ndarray:
+        """Parity guard for vectorized ``generate_batch`` implementations.
+
+        Re-generates the first world through the scalar path and compares it
+        bitwise against the batch's first row. On any mismatch the whole
+        batch is recomputed with the per-seed loop (bit-correct by
+        construction) and :attr:`parity_fallbacks` is bumped, so a
+        vectorization bug degrades to the slow path instead of corrupting
+        samples.
+        """
+        if not len(seeds):
+            return matrix
+        probe = np.asarray(self.generate(seeds[0], args), dtype=float)
+        if probe.shape == matrix[0].shape and np.array_equal(
+            probe, matrix[0], equal_nan=True
+        ):
+            return matrix
+        self.parity_fallbacks += 1
+        return VGFunction.generate_batch(self, seeds, args)
 
     # -- helpers for implementations -------------------------------------------
 
@@ -103,6 +142,51 @@ class VGFunction:
         self._cache[key] = vector
         return vector
 
+    def invoke_batch(self, seeds: Sequence[int], args: tuple[Any, ...]) -> np.ndarray:
+        """Generate many worlds at once (with memoization) and count them.
+
+        The batch analogue of :meth:`invoke`: rows already in the memo cache
+        are served from it, only genuinely new ``(seed, args)`` pairs are
+        generated (through :meth:`generate_batch`, in one call) and counted.
+        Bit-identical to invoking each seed separately, for any backend.
+        """
+        self.check_args(args)
+        key_args = tuple(args)
+        n_seeds = len(seeds)
+        matrix = np.empty((n_seeds, self.n_components), dtype=float)
+        missing_order: list[int] = []  # distinct uncached seeds, first-seen order
+        rows_by_seed: dict[int, list[int]] = {}
+        for row, seed in enumerate(seeds):
+            cached = self._cache.get((seed, key_args))
+            if cached is not None:
+                matrix[row] = cached
+            else:
+                rows = rows_by_seed.setdefault(seed, [])
+                if not rows:
+                    missing_order.append(seed)
+                rows.append(row)
+        if missing_order:
+            generated = np.asarray(
+                self.generate_batch(tuple(missing_order), key_args), dtype=float
+            )
+            if generated.shape != (len(missing_order), self.n_components):
+                raise VGFunctionError(
+                    f"{self.name}.generate_batch returned shape {generated.shape}, "
+                    f"expected ({len(missing_order)}, {self.n_components})"
+                )
+            # Duplicated seeds within one batch generate once, exactly like
+            # repeated scalar invokes served from the memo cache.
+            self.invocations += len(missing_order)
+            self.component_samples += len(missing_order) * self.n_components
+            for position, seed in enumerate(missing_order):
+                vector = generated[position].copy()
+                for row in rows_by_seed[seed]:
+                    matrix[row] = vector
+                if len(self._cache) >= self._cache_limit:
+                    self._cache.clear()
+                self._cache[(seed, key_args)] = vector
+        return matrix
+
     def invoke_components(
         self, seed: int, args: tuple[Any, ...], components: Sequence[int]
     ) -> np.ndarray:
@@ -134,6 +218,7 @@ class VGFunction:
     def reset_counters(self) -> None:
         self.invocations = 0
         self.component_samples = 0
+        self.parity_fallbacks = 0
         self._cache.clear()
 
     def component_labels(self) -> list[Any]:

@@ -65,6 +65,36 @@ class _CompositeBase(VGFunction):
             vectors.append(child.invoke(child_seed, child_args))
         return vectors
 
+    def _scalar_path_intact(self, combinator: type) -> bool:
+        """Is this instance's scalar path exactly the combinator's own?
+
+        Subclasses that override ``generate`` (or the shared child-vector
+        helper) invalidate the vectorized batch, whose formula mirrors the
+        combinator's scalar implementation; the per-seed loop is then the
+        only safe batching.
+        """
+        return (
+            type(self).generate is combinator.generate
+            and type(self)._child_vectors is _CompositeBase._child_vectors
+        )
+
+    def _child_matrices(
+        self, seeds: Sequence[int], args: tuple[Any, ...]
+    ) -> list[np.ndarray]:
+        """Batched analogue of :meth:`_child_vectors`: one matrix per child.
+
+        Child seeds stay the per-world derived sub-seeds (bit-identity), but
+        each child samples its whole world slice in one ``invoke_batch``.
+        """
+        matrices = []
+        for index, child in enumerate(self.children):
+            child_seeds = tuple(
+                derive_seed("composite", self.name, index, seed) for seed in seeds
+            )
+            child_args = _route_args(self.arg_names, child, args)
+            matrices.append(child.invoke_batch(child_seeds, child_args))
+        return matrices
+
 
 class SumOf(_CompositeBase):
     """Componentwise sum of children (e.g. demand = baseline + feature surge)."""
@@ -72,6 +102,15 @@ class SumOf(_CompositeBase):
     def generate(self, seed: int, args: tuple[Any, ...]) -> np.ndarray:
         vectors = self._child_vectors(seed, args)
         return np.sum(vectors, axis=0)
+
+    def generate_batch(self, seeds: Sequence[int], args: tuple[Any, ...]) -> np.ndarray:
+        if not self._scalar_path_intact(SumOf):
+            return VGFunction.generate_batch(self, seeds, args)
+        matrices = self._child_matrices(seeds, args)
+        # Reducing over the child axis keeps the scalar path's per-element
+        # accumulation order (same child count, same np.sum reduction).
+        matrix = np.sum(matrices, axis=0)
+        return self.guarded_batch(seeds, args, matrix)
 
 
 class DifferenceOf(_CompositeBase):
@@ -83,6 +122,15 @@ class DifferenceOf(_CompositeBase):
         for vector in vectors[1:]:
             result -= vector
         return result
+
+    def generate_batch(self, seeds: Sequence[int], args: tuple[Any, ...]) -> np.ndarray:
+        if not self._scalar_path_intact(DifferenceOf):
+            return VGFunction.generate_batch(self, seeds, args)
+        matrices = self._child_matrices(seeds, args)
+        matrix = matrices[0].copy()
+        for child_matrix in matrices[1:]:
+            matrix -= child_matrix
+        return self.guarded_batch(seeds, args, matrix)
 
 
 class ScaledBy(VGFunction):
@@ -100,6 +148,13 @@ class ScaledBy(VGFunction):
     def generate(self, seed: int, args: tuple[Any, ...]) -> np.ndarray:
         child_seed = derive_seed("composite", self.name, 0, seed)
         return self.scale * self.child.invoke(child_seed, args) + self.offset
+
+    def generate_batch(self, seeds: Sequence[int], args: tuple[Any, ...]) -> np.ndarray:
+        if type(self).generate is not ScaledBy.generate:
+            return super().generate_batch(seeds, args)
+        child_seeds = tuple(derive_seed("composite", self.name, 0, seed) for seed in seeds)
+        matrix = self.scale * self.child.invoke_batch(child_seeds, args) + self.offset
+        return self.guarded_batch(seeds, args, matrix)
 
 
 class TransformedBy(VGFunction):
@@ -136,6 +191,25 @@ class TransformedBy(VGFunction):
             )
         return result
 
+    def generate_batch(self, seeds: Sequence[int], args: tuple[Any, ...]) -> np.ndarray:
+        if type(self).generate is not TransformedBy.generate:
+            return super().generate_batch(seeds, args)
+        # The transform's contract is one world's vector; only the child's
+        # sampling batches. Transforms stay a per-world loop by design.
+        child_seeds = tuple(derive_seed("composite", self.name, 0, seed) for seed in seeds)
+        child_args = _route_args(self.arg_names, self.child, args)
+        child_matrix = self.child.invoke_batch(child_seeds, child_args)
+        matrix = np.empty((len(seeds), self.n_components), dtype=float)
+        for row in range(len(seeds)):
+            result = np.asarray(self._transform(child_matrix[row], args), dtype=float)
+            if result.shape != (self.n_components,):
+                raise VGFunctionError(
+                    f"transform of {self.name!r} returned shape {result.shape}, "
+                    f"expected ({self.n_components},)"
+                )
+            matrix[row] = result
+        return self.guarded_batch(seeds, args, matrix)
+
 
 class MixtureOf(_CompositeBase):
     """Per-world random choice among children with fixed weights.
@@ -167,3 +241,23 @@ class MixtureOf(_CompositeBase):
         child_seed = derive_seed("composite", self.name, choice, seed)
         child_args = _route_args(self.arg_names, child, args)
         return child.invoke(child_seed, child_args)
+
+    def generate_batch(self, seeds: Sequence[int], args: tuple[Any, ...]) -> np.ndarray:
+        if type(self).generate is not MixtureOf.generate:
+            return VGFunction.generate_batch(self, seeds, args)
+        # Regime choice is one draw per world (its own stream, unavoidable);
+        # the worlds that landed on the same child then batch through it.
+        by_choice: dict[int, list[int]] = {}
+        for row, seed in enumerate(seeds):
+            rng = self.rng(seed, args)
+            choice = int(rng.choice(len(self.children), p=self.weights))
+            by_choice.setdefault(choice, []).append(row)
+        matrix = np.empty((len(seeds), self.n_components), dtype=float)
+        for choice, rows in by_choice.items():
+            child = self.children[choice]
+            child_seeds = tuple(
+                derive_seed("composite", self.name, choice, seeds[row]) for row in rows
+            )
+            child_args = _route_args(self.arg_names, child, args)
+            matrix[rows] = child.invoke_batch(child_seeds, child_args)
+        return self.guarded_batch(seeds, args, matrix)

@@ -3,18 +3,22 @@
 These are thin, validated wrappers over numpy's generator methods with
 analytic moments where they exist. They are the building blocks the demo
 models compose; they are *not* themselves VG-Functions (no seed protocol) —
-see :mod:`repro.vg.base` for that.
+see :mod:`repro.vg.base` for that. The one exception is
+:class:`DistributionSeries`, which lifts any distribution into a
+VG-Function of i.i.d. per-component draws (with a batched sampling
+implementation for the sampling plane).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
 from repro.errors import VGFunctionError
+from repro.vg.base import VGFunction
 
 
 class Distribution:
@@ -216,6 +220,33 @@ class Discrete(Distribution):
 
     def __repr__(self) -> str:
         return f"Discrete(values={self.values.tolist()}, probs={self.probabilities.tolist()})"
+
+
+class DistributionSeries(VGFunction):
+    """I.i.d. per-component draws from one :class:`Distribution`.
+
+    ``value[t] ~ distribution`` independently per component, with all
+    randomness flowing through the canonical per-seed stream. Each world's
+    whole vector is one generator call already, and per-world streams
+    cannot merge without breaking the determinism contract, so the
+    inherited per-seed ``generate_batch`` loop is the densest bit-identical
+    batching possible — no override needed.
+    """
+
+    def __init__(self, name: str, n_components: int, distribution: Distribution) -> None:
+        if n_components < 1:
+            raise VGFunctionError(f"n_components must be >= 1, got {n_components}")
+        self.name = name
+        self.n_components = int(n_components)
+        self.arg_names = ()
+        self.distribution = distribution
+        super().__init__()
+
+    def generate(self, seed: int, args: tuple[Any, ...]) -> np.ndarray:
+        return np.asarray(
+            self.distribution.sample(self.rng(seed, ()), size=self.n_components),
+            dtype=float,
+        )
 
 
 @dataclass(frozen=True)

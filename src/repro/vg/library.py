@@ -59,6 +59,16 @@ class VGLibrary:
         """Sum of simulated component-samples across all functions."""
         return sum(fn.component_samples for fn in self._functions.values())
 
+    def total_parity_fallbacks(self) -> int:
+        """Vectorized batches rejected by the parity guard, across functions.
+
+        Nonzero means some vectorized ``generate_batch`` disagreed with its
+        scalar path and every affected batch paid the vectorized attempt
+        *plus* a per-seed regeneration — correct output, but slower than the
+        plain loop backend. Surfaced by the CLI ``--stats`` block.
+        """
+        return sum(fn.parity_fallbacks for fn in self._functions.values())
+
     def reset_counters(self) -> None:
         for fn in self._functions.values():
             fn.reset_counters()

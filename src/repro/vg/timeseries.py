@@ -7,12 +7,27 @@ the same style but with business-specific structure.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Sequence
 
 import numpy as np
 
 from repro.errors import VGFunctionError
 from repro.vg.base import SteppedVGFunction, VGFunction
+
+
+def _stacked_noise(
+    function: VGFunction, seeds: Sequence[int], draw
+) -> np.ndarray:
+    """One noise row per seed: ``draw(rng)`` under each seed's own stream.
+
+    Per-world streams are independent generators, so the draws themselves
+    cannot merge into one call without changing the bit stream; everything
+    *around* the draws vectorizes across the seed axis.
+    """
+    matrix = np.empty((len(seeds), function.n_components), dtype=float)
+    for row, seed in enumerate(seeds):
+        matrix[row] = draw(seed)
+    return matrix
 
 
 class GaussianSeries(VGFunction):
@@ -55,6 +70,20 @@ class GaussianSeries(VGFunction):
         noise = self._noise(seed)[components]
         return self.base + self.trend * components.astype(float) + self.sigma * noise
 
+    def generate_batch(self, seeds: Sequence[int], args: tuple[Any, ...]) -> np.ndarray:
+        if (
+            type(self).generate is not GaussianSeries.generate
+            or type(self)._noise is not GaussianSeries._noise
+        ):
+            # A subclass changed the scalar path; only the loop is safe.
+            return super().generate_batch(seeds, args)
+        # The deterministic drift is computed once for the whole batch; the
+        # per-element op order matches the scalar path bit-for-bit.
+        t = np.arange(self.n_components, dtype=float)
+        noise = _stacked_noise(self, seeds, self._noise)
+        matrix = (self.base + self.trend * t)[None, :] + self.sigma * noise
+        return self.guarded_batch(seeds, args, matrix)
+
 
 class RandomWalk(SteppedVGFunction):
     """Gaussian random walk: ``x[t] = x[t-1] + N(drift, sigma)``."""
@@ -84,6 +113,28 @@ class RandomWalk(SteppedVGFunction):
         self, state: float, t: int, rng: np.random.Generator, args: tuple[Any, ...]
     ) -> float:
         return state + rng.normal(self.drift, self.sigma)
+
+    def generate_batch(self, seeds: Sequence[int], args: tuple[Any, ...]) -> np.ndarray:
+        if (
+            type(self).step is not RandomWalk.step
+            or type(self).observe is not SteppedVGFunction.observe
+            or type(self).initial_state is not RandomWalk.initial_state
+            or type(self).generate is not SteppedVGFunction.generate
+        ):
+            # A subclass changed the chain; only the per-seed loop is safe.
+            return super().generate_batch(seeds, args)
+        n = self.n_components
+        # Drawing the whole increment vector consumes each seed's bit stream
+        # exactly as n successive scalar draws do; prepending the start value
+        # makes cumsum reproduce the loop's left-to-right addition order.
+        increments = np.empty((len(seeds), n + 1), dtype=float)
+        increments[:, 0] = self.start
+        for row, seed in enumerate(seeds):
+            increments[row, 1:] = self.rng(seed, args).normal(
+                self.drift, self.sigma, size=n
+            )
+        matrix = np.cumsum(increments, axis=1)[:, 1:]
+        return self.guarded_batch(seeds, args, matrix)
 
 
 class AR1Series(SteppedVGFunction):
@@ -118,6 +169,27 @@ class AR1Series(SteppedVGFunction):
         self, state: float, t: int, rng: np.random.Generator, args: tuple[Any, ...]
     ) -> float:
         return self.mu + self.phi * (state - self.mu) + rng.normal(0.0, self.sigma)
+
+    def generate_batch(self, seeds: Sequence[int], args: tuple[Any, ...]) -> np.ndarray:
+        if (
+            type(self).step is not AR1Series.step
+            or type(self).observe is not SteppedVGFunction.observe
+            or type(self).initial_state is not AR1Series.initial_state
+            or type(self).generate is not SteppedVGFunction.generate
+        ):
+            return super().generate_batch(seeds, args)
+        n = self.n_components
+        noise = np.empty((len(seeds), n), dtype=float)
+        for row, seed in enumerate(seeds):
+            noise[row] = self.rng(seed, args).normal(0.0, self.sigma, size=n)
+        # The AR(1) recursion stays sequential over t (it must, bitwise) but
+        # every step now advances all worlds at once.
+        matrix = np.empty((len(seeds), n), dtype=float)
+        state = np.full(len(seeds), self.start, dtype=float)
+        for t in range(n):
+            state = self.mu + self.phi * (state - self.mu) + noise[:, t]
+            matrix[:, t] = state
+        return self.guarded_batch(seeds, args, matrix)
 
 
 class SeasonalSeries(VGFunction):
@@ -158,6 +230,21 @@ class SeasonalSeries(VGFunction):
         noise = self.rng(seed, args).normal(0.0, self.sigma, size=self.n_components)
         return self.base + self.trend * t + seasonal + noise
 
+    def generate_batch(self, seeds: Sequence[int], args: tuple[Any, ...]) -> np.ndarray:
+        if type(self).generate is not SeasonalSeries.generate:
+            return super().generate_batch(seeds, args)
+        t = np.arange(self.n_components, dtype=float)
+        seasonal = self.amplitude * np.sin(2.0 * np.pi * (t + self.phase) / self.period)
+        noise = _stacked_noise(
+            self,
+            seeds,
+            lambda seed: self.rng(seed, args).normal(
+                0.0, self.sigma, size=self.n_components
+            ),
+        )
+        matrix = (self.base + self.trend * t + seasonal)[None, :] + noise
+        return self.guarded_batch(seeds, args, matrix)
+
 
 class PoissonEventSeries(VGFunction):
     """Counts of random events per component: ``value[t] ~ Poisson(rate)``.
@@ -184,3 +271,7 @@ class PoissonEventSeries(VGFunction):
         self, seed: int, args: tuple[Any, ...], components: np.ndarray
     ) -> np.ndarray:
         return self._counts(seed)[components]
+
+    # No generate_batch override: each world is already a single generator
+    # call with no deterministic structure around it, so the inherited
+    # per-seed loop is the densest bit-identical batching possible.

@@ -18,13 +18,10 @@ from repro.errors import ScenarioError
 
 finite_floats = st.floats(
     min_value=-1e12, max_value=1e12, allow_nan=False, allow_infinity=False
-).map(
-    # Below ~1.5e-154 a value's square underflows the normal range and its
-    # rounding residual can fall below the subnormal floor, where no float
-    # pair can represent it — bit-exactness is only promised outside that
-    # regime (see _exact_square), so the strategy snaps the regime to 0.
-    lambda v: 0.0 if 0.0 < abs(v) < 1.5e-154 else v
 )
+# No underflow carve-out: squares whose residual needs bits below the
+# subnormal floor carry an exact rational remainder (_exact_square's third
+# return), so bit-exactness is promised in every regime.
 
 
 def _partition(values, cuts):

@@ -153,6 +153,39 @@ class TestStatsFlag:
         assert code == 0
         assert "execution stats:" in capsys.readouterr().out
 
+    def test_run_stats_reports_batched_sampling(self, scenario_file, capsys):
+        code = main(
+            ["run", scenario_file, "--worlds", "8", "--no-chart", "--stats"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "sampling: 16 worlds batched / 0 worlds per-world loop" in output
+        assert "(batched backend, 0 parity-guard fallbacks)" in output
+
+    def test_run_loop_backend_reports_fallback_worlds(self, scenario_file, capsys):
+        code = main(
+            [
+                "run", scenario_file, "--worlds", "8", "--no-chart", "--stats",
+                "--sampling-backend", "loop",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "sampling: 0 worlds batched / 16 worlds per-world loop" in output
+        assert "(loop backend," in output
+
+    def test_backend_knob_is_bit_identical(self, scenario_file, capsys):
+        argv = ["run", scenario_file, "--worlds", "8", "--no-chart",
+                "--set", "purchase1=26", "--set", "feature=12"]
+        assert main(argv) == 0
+        batched = capsys.readouterr().out
+        assert main(argv + ["--sampling-backend", "loop"]) == 0
+        loop = capsys.readouterr().out
+        # Identical numbers out of both backends (timing lines differ).
+        assert [l for l in batched.splitlines() if l.startswith("E[")] == [
+            l for l in loop.splitlines() if l.startswith("E[")
+        ]
+
 
 class TestBatch:
     def test_batch_sweeps_grid_inline(self, scenario_file, capsys):
@@ -196,3 +229,4 @@ class TestBatch:
         output = capsys.readouterr().out
         assert "service stats:" in output
         assert "result cache:" in output
+        assert "shard sampling: 16 worlds batched / 0 worlds per-world loop" in output

@@ -1,0 +1,301 @@
+"""Property tests: ``generate_batch`` is bitwise-identical to the per-seed loop.
+
+The sampling plane's whole correctness story rests on one contract: for any
+VG-Function, any seed slice (empty and singleton included), and any argument
+dtypes, the batched implementation produces byte-for-byte the matrix the
+per-world ``generate`` loop would. These tests pin that contract for every
+VG shape in the library — primitives, stepped chains, distribution series,
+combinators, and the demo business models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import build_demo_library
+from repro.models.demand import DemandModel
+from repro.models.capacity import CapacityModel
+from repro.vg import (
+    AR1Series,
+    CallableVGFunction,
+    DifferenceOf,
+    DistributionSeries,
+    Exponential,
+    GaussianSeries,
+    LogNormal,
+    MixtureOf,
+    Normal,
+    Poisson,
+    PoissonEventSeries,
+    RandomWalk,
+    ScaledBy,
+    SeasonalSeries,
+    SteppedVGFunction,
+    SumOf,
+    TransformedBy,
+)
+
+seeds_strategy = st.lists(
+    st.integers(min_value=0, max_value=2**63 - 1), min_size=0, max_size=6
+)
+
+#: (factory, args) pairs covering every VG shape; factories build fresh
+#: instances so memo caches and counters never leak across examples.
+VG_CASES = {
+    "gaussian": (lambda n: GaussianSeries("g", n, base=3.0, trend=0.5, sigma=2.0), ()),
+    "random_walk": (lambda n: RandomWalk("rw", n, start=1.0, drift=0.25, sigma=0.7), ()),
+    "ar1": (lambda n: AR1Series("ar", n, mu=2.0, phi=0.6, sigma=0.4, start=5.0), ()),
+    "seasonal": (
+        lambda n: SeasonalSeries(
+            "sea", n, base=1.0, amplitude=2.0, period=7.0, trend=0.2, phase=1.5, sigma=0.3
+        ),
+        (),
+    ),
+    "poisson_events": (lambda n: PoissonEventSeries("pe", n, rate=3.5), ()),
+    "dist_normal": (lambda n: DistributionSeries("dn", n, Normal(1.0, 2.0)), ()),
+    "dist_lognormal": (lambda n: DistributionSeries("dl", n, LogNormal(0.1, 0.4)), ()),
+    "dist_poisson": (lambda n: DistributionSeries("dp", n, Poisson(2.5)), ()),
+    "dist_exponential": (lambda n: DistributionSeries("de", n, Exponential(1.5)), ()),
+    "sum": (
+        lambda n: SumOf(
+            "sum",
+            [GaussianSeries("c1", n, base=1.0, sigma=1.0), PoissonEventSeries("c2", n, rate=2.0)],
+        ),
+        (),
+    ),
+    "difference": (
+        lambda n: DifferenceOf(
+            "diff",
+            [
+                GaussianSeries("c1", n, base=9.0, sigma=1.0),
+                PoissonEventSeries("c2", n, rate=2.0),
+                RandomWalk("c3", n, sigma=0.5),
+            ],
+        ),
+        (),
+    ),
+    "scaled": (
+        lambda n: ScaledBy("sc", GaussianSeries("c1", n, base=1.0, sigma=1.0), 2.5, offset=-1.0),
+        (),
+    ),
+    "transformed": (
+        lambda n: TransformedBy(
+            "tr",
+            GaussianSeries("c1", n, base=1.0, sigma=1.0),
+            lambda vector, args: np.maximum(vector, 0.0),
+        ),
+        (),
+    ),
+    "mixture": (
+        lambda n: MixtureOf(
+            "mix",
+            [GaussianSeries("c1", n, base=1.0, sigma=1.0), RandomWalk("c2", n, sigma=0.5)],
+            weights=[0.3, 0.7],
+        ),
+        (),
+    ),
+    "callable": (
+        lambda n: CallableVGFunction(
+            "cv", n, (), lambda rng, args: rng.normal(0.0, 1.0, size=n) ** 2
+        ),
+        (),
+    ),
+    "demand_int_arg": (lambda n: DemandModel("dm", n_weeks=n), (12,)),
+    "demand_float_growth": (
+        lambda n: DemandModel("dg", n_weeks=n, with_growth_arg=True),
+        (12, 1.25),
+    ),
+    "capacity_int_args": (lambda n: CapacityModel("cm", n_weeks=n), (8, 24)),
+}
+
+
+def _loop_reference(function, seeds, args) -> np.ndarray:
+    matrix = np.empty((len(seeds), function.n_components), dtype=float)
+    for row, seed in enumerate(seeds):
+        matrix[row] = np.asarray(function.generate(seed, args), dtype=float)
+    return matrix
+
+
+@pytest.mark.parametrize("case", sorted(VG_CASES))
+@given(seeds=seeds_strategy, n_components=st.integers(min_value=1, max_value=9))
+@settings(max_examples=20, deadline=None)
+def test_generate_batch_matches_per_seed_loop(case, seeds, n_components):
+    factory, args = VG_CASES[case]
+    function = factory(n_components)
+    batch = function.generate_batch(tuple(seeds), args)
+    reference = _loop_reference(function, seeds, args)
+    assert batch.shape == (len(seeds), function.n_components)
+    assert batch.dtype == np.float64
+    assert batch.tobytes() == reference.tobytes()
+    assert function.parity_fallbacks == 0
+
+
+@pytest.mark.parametrize("case", sorted(VG_CASES))
+@given(seeds=seeds_strategy)
+@settings(max_examples=12, deadline=None)
+def test_invoke_batch_matches_per_seed_invoke(case, seeds):
+    factory, args = VG_CASES[case]
+    batched = factory(7)
+    looped = factory(7)
+    batch = batched.invoke_batch(tuple(seeds), args)
+    if seeds:
+        reference = np.stack([looped.invoke(seed, args) for seed in seeds])
+        assert batch.tobytes() == reference.tobytes()
+    else:
+        assert batch.shape == (0, 7)
+    # Instrumentation parity: same real generations, same component counts.
+    assert batched.invocations == looped.invocations
+    assert batched.component_samples == looped.component_samples
+
+
+@given(seeds=st.lists(st.integers(min_value=0, max_value=2**63 - 1), min_size=1, max_size=6))
+@settings(max_examples=12, deadline=None)
+def test_invoke_batch_serves_cached_rows_without_recounting(seeds):
+    function = GaussianSeries("g", 5, base=0.0, sigma=1.0)
+    primed = function.invoke(seeds[0], ())
+    assert function.invocations == 1
+    batch = function.invoke_batch(tuple(seeds), ())
+    assert batch[0].tobytes() == primed.tobytes()
+    # Only genuinely new (seed, args) pairs count as invocations — cached
+    # rows and within-batch duplicates are served from the memo.
+    assert function.invocations == 1 + len(set(seeds) - {seeds[0]})
+
+
+@pytest.mark.parametrize("singleton", [[], [123456789]])
+def test_empty_and_singleton_slices(singleton):
+    for case in sorted(VG_CASES):
+        factory, args = VG_CASES[case]
+        function = factory(4)
+        batch = function.generate_batch(tuple(singleton), args)
+        assert batch.shape == (len(singleton), 4)
+        assert batch.tobytes() == _loop_reference(function, singleton, args).tobytes()
+
+
+def test_demo_library_batch_parity():
+    """Every VG registered in the demo library honors the batch contract."""
+    args_by_name = {
+        "demandmodel": (12,),
+        "capacitymodel": (8, 24),
+        "maintenancecapacitymodel": (3,),
+    }
+    seeds = (0, 1, 987654321, 2**62 + 17)
+    library = build_demo_library()
+    assert len(library) >= 3
+    for function in library:
+        args = args_by_name[function.name.lower()]
+        batch = function.generate_batch(seeds, args)
+        reference = _loop_reference(function, seeds, args)
+        assert batch.tobytes() == reference.tobytes(), function.name
+        assert function.parity_fallbacks == 0
+
+
+def test_parity_guard_catches_broken_vectorization():
+    """A vectorized batch that disagrees with the scalar path is rejected."""
+
+    class BrokenBatch(GaussianSeries):
+        def generate_batch(self, seeds, args):
+            matrix = super(GaussianSeries, self).generate_batch(seeds, args) + 1.0
+            return self.guarded_batch(seeds, args, matrix)
+
+    function = BrokenBatch("broken", 5, base=0.0, sigma=1.0)
+    seeds = (11, 22, 33)
+    batch = function.generate_batch(seeds, ())
+    # The guard fell back to the per-seed loop: output is still bit-correct.
+    assert batch.tobytes() == _loop_reference(function, seeds, ()).tobytes()
+    assert function.parity_fallbacks == 1
+
+
+def test_stepped_subclass_overrides_disable_vectorized_walk():
+    """A RandomWalk subclass with a custom step keeps bit-identity."""
+
+    class CustomWalk(RandomWalk):
+        def step(self, state, t, rng, args):
+            return state + abs(rng.normal(self.drift, self.sigma))
+
+    function = CustomWalk("cw", 6, start=0.0, drift=0.1, sigma=1.0)
+    seeds = (5, 6, 7)
+    batch = function.generate_batch(seeds, ())
+    assert batch.tobytes() == _loop_reference(function, seeds, ()).tobytes()
+    assert function.parity_fallbacks == 0  # structural check, not the guard
+
+
+def test_generate_override_disables_vectorized_gaussian():
+    """A GaussianSeries subclass with a seed-conditional tweak stays exact.
+
+    The first-world parity probe alone could miss a seed-conditional
+    override; the structural check must route every batch through the loop.
+    """
+
+    class SpikedGaussian(GaussianSeries):
+        def generate(self, seed, args):
+            vector = super().generate(seed, args)
+            return vector + 100.0 if seed % 2 == 0 else vector
+
+    function = SpikedGaussian("sg", 5, base=0.0, sigma=1.0)
+    seeds = (1, 2, 3, 4)  # first seed does NOT trigger the override
+    batch = function.generate_batch(seeds, ())
+    assert batch.tobytes() == _loop_reference(function, seeds, ()).tobytes()
+    assert function.parity_fallbacks == 0  # structural check, not the guard
+
+
+def test_generate_override_disables_vectorized_composites():
+    class OffsetSum(SumOf):
+        def generate(self, seed, args):
+            return super().generate(seed, args) + (1.0 if seed % 2 == 0 else 0.0)
+
+    function = OffsetSum(
+        "osum",
+        [GaussianSeries("c1", 4, base=1.0, sigma=1.0),
+         GaussianSeries("c2", 4, base=2.0, sigma=1.0)],
+    )
+    seeds = (1, 2, 3, 4)
+    batch = function.generate_batch(seeds, ())
+    assert batch.tobytes() == _loop_reference(function, seeds, ()).tobytes()
+
+
+def test_library_counts_parity_fallbacks():
+    from repro.vg import VGLibrary
+
+    class BrokenBatch(GaussianSeries):
+        def generate_batch(self, seeds, args):
+            matrix = super(GaussianSeries, self).generate_batch(seeds, args) + 1.0
+            return self.guarded_batch(seeds, args, matrix)
+
+    library = VGLibrary()
+    library.register(BrokenBatch("broken", 4, base=0.0, sigma=1.0))
+    library.register(GaussianSeries("fine", 4, base=0.0, sigma=1.0))
+    assert library.total_parity_fallbacks() == 0
+    for function in library:
+        function.generate_batch((1, 2), ())
+    assert library.total_parity_fallbacks() == 1
+    library.reset_counters()
+    assert library.total_parity_fallbacks() == 0
+
+
+def test_observe_override_disables_vectorized_ar1():
+    class ObservedAR1(AR1Series):
+        def observe(self, state, t, args):
+            return state * 2.0
+
+    function = ObservedAR1("oar", 6, mu=0.0, phi=0.5, sigma=1.0)
+    seeds = (5, 6, 7)
+    batch = function.generate_batch(seeds, ())
+    assert batch.tobytes() == _loop_reference(function, seeds, ()).tobytes()
+
+
+def test_mixture_groups_preserve_row_order():
+    """Worlds scattered across regimes land back in their own rows."""
+    children = [
+        GaussianSeries("lo", 4, base=-100.0, sigma=0.1),
+        GaussianSeries("hi", 4, base=100.0, sigma=0.1),
+    ]
+    function = MixtureOf("mix", children, weights=[0.5, 0.5])
+    seeds = tuple(range(40))
+    batch = function.generate_batch(seeds, ())
+    reference = _loop_reference(function, seeds, ())
+    assert batch.tobytes() == reference.tobytes()
+    # Sanity: both regimes actually occurred, so grouping was exercised.
+    assert (batch.mean(axis=1) < 0).any() and (batch.mean(axis=1) > 0).any()
