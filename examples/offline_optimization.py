@@ -14,10 +14,9 @@ Three studies beyond the headline scenario:
     PYTHONPATH=src python examples/offline_optimization.py   # without installing
 """
 
-from repro import (
+from repro.api import ProphetClient
+from repro.core.fingerprint import (
     FingerprintSpec,
-    OfflineOptimizer,
-    ProphetConfig,
     analyze_markov,
     simulate_with_shortcuts,
 )
@@ -28,7 +27,8 @@ from repro.models.capacity import MaintenanceWindowCapacityModel
 def growth_what_if() -> None:
     print("=== What-if: uncertain user growth ===\n")
     scenario, library = build_growth_scenario(purchase_step=16)
-    optimizer = OfflineOptimizer(scenario, library, ProphetConfig(n_worlds=40))
+    client = ProphetClient.open(scenario, library).with_sampling(n_worlds=40)
+    optimizer = client.optimize()
     result = optimizer.run(reuse=True)
 
     print(f"points: {result.points_evaluated}, sources: {result.source_counts()}")

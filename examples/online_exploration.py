@@ -10,7 +10,7 @@ the session reports exactly which weeks of the graph were re-rendered.
     PYTHONPATH=src python examples/online_exploration.py   # without installing
 """
 
-from repro import OnlineSession, ProphetConfig
+from repro.api import ProphetClient
 from repro.models import build_risk_vs_cost
 from repro.viz import render_sparkline
 
@@ -30,7 +30,8 @@ def describe(label: str, view) -> None:
 def main() -> None:
     print("=== Online exploration (the demo GUI, scripted) ===\n")
     scenario, library = build_risk_vs_cost()
-    session = OnlineSession(scenario, library, ProphetConfig(n_worlds=150))
+    client = ProphetClient.open(scenario, library).with_sampling(n_worlds=150)
+    session = client.interactive()
 
     print("-> initial sliders: purchase1=20, purchase2=40, feature=12")
     session.set_sliders({"purchase1": 20, "purchase2": 40, "feature": 12})

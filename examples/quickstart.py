@@ -1,18 +1,19 @@
 #!/usr/bin/env python3
-"""Quickstart: parse the paper's Figure 2 scenario and explore it.
+"""Quickstart: open the paper's Figure 2 scenario through the client API.
 
-Runs the full Fuzzy Prophet cycle once (Figure 1): the Guide picks the
-slider point, the Query Generator emits pure SQL, the engine samples
-Monte Carlo worlds through the VG table functions, the Storage Manager
-records basis distributions, and the Result Aggregator produces the
-per-week statistics that the online graph renders.
+Runs the full Fuzzy Prophet cycle once (Figure 1) via
+:class:`repro.api.ProphetClient`: the Guide picks the slider point, the
+Query Generator emits pure SQL, the engine samples Monte Carlo worlds
+through the VG table functions, the Storage Manager records basis
+distributions, and the Result Aggregator produces the per-week statistics
+that the online graph renders.
 
     python examples/quickstart.py          # after: pip install -e .
     PYTHONPATH=src python examples/quickstart.py   # without installing
 """
 
-from repro import OnlineSession, ProphetConfig, parse_scenario
-from repro.models import FIGURE2_DSL, build_demo_library
+from repro.api import ProphetClient
+from repro.models import FIGURE2_DSL
 from repro.viz import render_chart
 
 
@@ -21,14 +22,15 @@ def main() -> None:
     print("Scenario program (paper Figure 2):")
     print(FIGURE2_DSL)
 
-    scenario = parse_scenario(FIGURE2_DSL, name="risk_vs_cost")
-    library = build_demo_library()
-    session = OnlineSession(scenario, library, ProphetConfig(n_worlds=120))
+    client = ProphetClient.open(
+        FIGURE2_DSL, "demo", name="risk_vs_cost"
+    ).with_sampling(n_worlds=120)
+    session = client.interactive()
 
-    print(f"parsed: {scenario}")
-    print(f"VG-Functions: {library.names}")
+    print(f"parsed: {client.scenario}")
+    print(f"VG-Functions: {client.library.names}")
     print(f"parameter grid (excluding axis): "
-          f"{scenario.space.grid_size(exclude=[scenario.axis])} points\n")
+          f"{client.scenario.space.grid_size(exclude=[client.scenario.axis])} points\n")
 
     # Stage 1 (Guide): the user positions the sliders.
     session.set_sliders({"purchase1": 8, "purchase2": 24, "feature": 12})

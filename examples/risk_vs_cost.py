@@ -14,7 +14,8 @@ final mapping grid is the paper's Figure 4.
 
 import sys
 
-from repro import OfflineOptimizer, ProphetConfig, RiskAnalyzer
+from repro.api import ProphetClient
+from repro.core import RiskAnalyzer
 from repro.models import build_risk_vs_cost
 from repro.viz import mapping_grid, render_grid, render_sparkline
 
@@ -22,7 +23,8 @@ from repro.viz import mapping_grid, render_grid, render_sparkline
 def main() -> None:
     print("=== Offline optimization: when to buy hardware? ===\n")
     scenario, library = build_risk_vs_cost(purchase_step=8, overload_threshold=0.05)
-    optimizer = OfflineOptimizer(scenario, library, ProphetConfig(n_worlds=60))
+    client = ProphetClient.open(scenario, library).with_sampling(n_worlds=60)
+    optimizer = client.optimize()
 
     total = scenario.space.grid_size(exclude=[scenario.axis])
     print(f"grid: {total} parameter points x 60 Monte Carlo worlds\n")
@@ -64,7 +66,7 @@ def main() -> None:
 
     # Risk drill-down on the chosen schedule (beyond mean/stddev).
     analyzer = RiskAnalyzer(scenario)
-    evaluation = optimizer.engine.evaluate_point(best.point)
+    evaluation = client.evaluate(best.point)
     headroom_p05 = analyzer.quantiles(evaluation, "capacity", (0.05,))[0.05]
     demand_p95 = analyzer.quantiles(evaluation, "demand", (0.95,))[0.95]
     tightest = int((headroom_p05 - demand_p95).argmin())

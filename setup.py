@@ -2,7 +2,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-fuzzy-prophet",
-    version="1.0.0",
+    version="1.1.0",
     description=(
         "Fuzzy Prophet reproduction: probabilistic what-if exploration "
         "with fingerprint reuse and a sharded evaluation service"

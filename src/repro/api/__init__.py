@@ -1,0 +1,50 @@
+"""``repro.api`` — the public client surface of the Fuzzy Prophet reproduction.
+
+Everything a caller needs lives here and only here:
+
+* :class:`ProphetClient` — ``open(scenario, library, config=...)`` plus the
+  fluent ``with_serving`` / ``with_cache`` / ``with_basis_store`` /
+  ``with_sampling`` helpers;
+* the typed layered configuration — :class:`ClientConfig` composing
+  :class:`SamplingConfig`, :class:`ReuseConfig`, :class:`StoreConfig`,
+  :class:`ServeConfig`, :class:`CacheConfig`;
+* the three uniform handles — :class:`InteractiveHandle`,
+  :class:`SweepHandle` (streaming :class:`SweepResult` iterator),
+  :class:`OptimizeHandle`;
+* the one stats surface — :class:`StatsReport`.
+
+``__all__`` is the public contract: the API surface snapshot test pins it,
+so accidental export changes fail CI instead of shipping.
+"""
+
+from repro.api.client import ProphetClient
+from repro.api.config import (
+    CacheConfig,
+    ClientConfig,
+    ReuseConfig,
+    SamplingConfig,
+    ServeConfig,
+    StoreConfig,
+)
+from repro.api.handles import (
+    InteractiveHandle,
+    OptimizeHandle,
+    SweepHandle,
+    SweepResult,
+)
+from repro.api.stats import StatsReport
+
+__all__ = [
+    "CacheConfig",
+    "ClientConfig",
+    "InteractiveHandle",
+    "OptimizeHandle",
+    "ProphetClient",
+    "ReuseConfig",
+    "SamplingConfig",
+    "ServeConfig",
+    "StatsReport",
+    "StoreConfig",
+    "SweepHandle",
+    "SweepResult",
+]

@@ -1,0 +1,400 @@
+"""The unified Prophet client façade.
+
+One entrypoint — ``ProphetClient.open(scenario, library, config=...)`` —
+replaces the four divergent legacy surfaces (``ProphetEngine``,
+``OnlineSession``, ``OfflineOptimizer``, ``serve``'s service/scheduler).
+Backends are pure configuration: the same three handles resolve against an
+in-process engine or the sharded serve backend, bit-identically by the
+serve parity contract, and one :meth:`ProphetClient.stats` report unifies
+every counter dialect.
+
+Fluent configuration (before the backend is built)::
+
+    client = (
+        ProphetClient.open(FIGURE2_DSL, "demo")
+        .with_sampling(n_worlds=400)
+        .with_serving(workers=4, shards=4)
+        .with_cache(".repro-cache")
+        .with_basis_store(cap=256, dir=".repro-bases")
+    )
+    for result in client.sweep():        # streams as jobs complete
+        print(result.point, result.statistics.expectation("overload").max())
+    print(client.stats().to_json())
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Optional, Sequence, Union
+
+from repro.api.config import CacheConfig, ClientConfig
+from repro.api.handles import InteractiveHandle, OptimizeHandle, SweepHandle
+from repro.api.stats import StatsReport
+from repro.core.engine import PointEvaluation, ProphetEngine
+from repro.core.offline import OfflineOptimizer
+from repro.core.online import OnlineSession
+from repro.core.scenario import Scenario
+from repro.dsl import parse_scenario
+from repro.errors import ScenarioError, ServeError
+from repro.serve.executors import create_executor
+from repro.serve.scheduler import Scheduler
+from repro.serve.service import EvaluationService
+from repro.serve.worker import LIBRARY_BUILDERS, EngineSpec
+from repro.vg.library import VGLibrary
+
+
+class ProphetClient:
+    """The public surface: open a scenario, get handles, read one stats report.
+
+    Construction is lazy: no engine, pool, or cache is built until the
+    first handle (or evaluation) needs it, so the fluent ``with_*`` helpers
+    can refine the configuration cheaply. Once the backend exists the
+    configuration is frozen — ``with_*`` then raises instead of silently
+    serving two configs from one client.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        library: VGLibrary,
+        config: Optional[ClientConfig] = None,
+        *,
+        dsl_text: Optional[str] = None,
+        library_name: Optional[str] = None,
+        scenario_name: str = "scenario",
+    ) -> None:
+        self.scenario = scenario
+        self.library = library
+        self.config = config or ClientConfig()
+        self._dsl_text = dsl_text
+        self._library_name = library_name
+        self._scenario_name = scenario_name
+        self._engine: Optional[ProphetEngine] = None
+        self._service: Optional[EvaluationService] = None
+        self._scheduler: Optional[Scheduler] = None
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        scenario: Union[Scenario, str],
+        library: Union[VGLibrary, str] = "demo",
+        *,
+        config: Optional[ClientConfig] = None,
+        name: str = "scenario",
+    ) -> "ProphetClient":
+        """Open a client over a scenario and a VG library.
+
+        ``scenario`` is a parsed :class:`Scenario` or Fuzzy Prophet DSL
+        text; ``library`` is a :class:`VGLibrary` or the name of a
+        registered one (``"demo"``). Opening from DSL text + a library
+        name keeps the client shippable: process-pool serving needs both
+        to rebuild engines inside workers.
+        """
+        dsl_text: Optional[str] = None
+        library_name: Optional[str] = None
+        if isinstance(library, str):
+            if library not in LIBRARY_BUILDERS:
+                raise ScenarioError(
+                    f"unknown VG library {library!r} "
+                    f"(known: {sorted(LIBRARY_BUILDERS)})"
+                )
+            library_name = library
+            library = LIBRARY_BUILDERS[library]()
+        if isinstance(scenario, str):
+            dsl_text = scenario
+            scenario = parse_scenario(dsl_text, name=name)
+        scenario.check_against_library(library)
+        return cls(
+            scenario,
+            library,
+            config,
+            dsl_text=dsl_text,
+            library_name=library_name,
+            scenario_name=name,
+        )
+
+    # -- fluent configuration ------------------------------------------------
+
+    def with_config(self, config: ClientConfig) -> "ProphetClient":
+        """A client over the same scenario with a replacement config."""
+        self._require_unbuilt("with_config")
+        return ProphetClient(
+            self.scenario,
+            self.library,
+            config,
+            dsl_text=self._dsl_text,
+            library_name=self._library_name,
+            scenario_name=self._scenario_name,
+        )
+
+    def with_serving(
+        self,
+        *,
+        workers: Optional[int] = None,
+        shards: Optional[int] = None,
+        executor: Optional[str] = None,
+        min_shard_worlds: Optional[int] = None,
+        share_bases: Optional[bool] = None,
+    ) -> "ProphetClient":
+        """Route evaluations through the sharded serve backend.
+
+        Only the knobs actually passed are changed — chained calls
+        accumulate instead of resetting each other. Calling with no
+        geometry knob at all still opts into the serve backend (inline,
+        default sizing).
+        """
+        changes: dict[str, Any] = {}
+        if workers is not None:
+            changes["workers"] = workers
+        if shards is not None:
+            changes["shards"] = shards
+        if executor is not None:
+            changes["executor"] = executor
+        if min_shard_worlds is not None:
+            changes["min_shard_worlds"] = min_shard_worlds
+        if share_bases is not None:
+            changes["share_bases"] = share_bases
+        config = self.config.replace_section("serve", **changes)
+        if not config.serve.enabled:
+            # The caller asked for serving but named no geometry knob:
+            # pin the executor so the request is not a silent no-op.
+            config = config.replace_section("serve", executor="inline")
+        return self.with_config(config)
+
+    def with_cache(self, dir: Optional[str]) -> "ProphetClient":
+        """Persist finished point statistics in a cross-run result cache."""
+        return self.with_config(self.config.replace_section("cache", dir=dir))
+
+    def with_basis_store(
+        self,
+        *,
+        cap: Optional[int] = None,
+        byte_cap: Optional[int] = None,
+        dir: Optional[str] = None,
+    ) -> "ProphetClient":
+        """Bound the in-memory basis tier and/or spill evictions to disk.
+
+        Only the knobs actually passed are changed — chained calls
+        accumulate instead of resetting each other.
+        """
+        changes: dict[str, Any] = {}
+        if cap is not None:
+            changes["basis_cap"] = cap
+        if byte_cap is not None:
+            changes["basis_byte_cap"] = byte_cap
+        if dir is not None:
+            changes["basis_dir"] = dir
+        return self.with_config(self.config.replace_section("store", **changes))
+
+    def with_sampling(
+        self,
+        *,
+        backend: Optional[str] = None,
+        n_worlds: Optional[int] = None,
+        base_seed: Optional[int] = None,
+    ) -> "ProphetClient":
+        """Choose the sampling backend, world count, or base seed."""
+        changes: dict[str, Any] = {}
+        if backend is not None:
+            changes["backend"] = backend
+        if n_worlds is not None:
+            changes["n_worlds"] = n_worlds
+        if base_seed is not None:
+            changes["base_seed"] = base_seed
+        return self.with_config(self.config.replace_section("sampling", **changes))
+
+    def _require_unbuilt(self, method: str) -> None:
+        if self._engine is not None or self._service is not None:
+            raise ScenarioError(
+                f"{method}() must be called before the backend is built; "
+                "configure the client before requesting handles or stats"
+            )
+
+    # -- backend -------------------------------------------------------------
+
+    @property
+    def engine(self) -> ProphetEngine:
+        """The coordinator engine (built on first use)."""
+        self._ensure_backend()
+        return self._engine
+
+    def _ensure_backend(self) -> None:
+        if self._engine is not None:
+            return
+        if self.config.wants_service():
+            self._build_service()
+            self._engine = self._service.engine
+        else:
+            self._engine = ProphetEngine(
+                self.scenario, self.library, self.config.engine_config()
+            )
+
+    def _build_service(self) -> None:
+        serve = self.config.serve
+        engine_config = self.config.engine_config()
+        kind = serve.executor
+        if kind == "auto" and serve.workers is None:
+            # Without an explicit worker count "auto" means sequential —
+            # the in-process executor (mirrors the CLI contract).
+            kind = "inline"
+        executor = create_executor(kind, serve.workers)
+        spec: Optional[EngineSpec] = None
+        if self._dsl_text is not None and self._library_name is not None:
+            spec = EngineSpec.from_dsl(
+                self._dsl_text,
+                library=self._library_name,
+                config=engine_config,
+                scenario_name=self._scenario_name,
+            )
+        if executor.kind == "process" and spec is None:
+            raise ServeError(
+                "process-pool serving needs a shippable scenario: open the "
+                "client with DSL text and a named library "
+                "(ProphetClient.open(dsl, 'demo')), or serve with an "
+                "inline executor"
+            )
+        if spec is not None:
+            self._service = EvaluationService(
+                spec,
+                executor=executor,
+                shards=serve.shards,
+                cache_dir=self.config.cache.dir,
+                min_shard_worlds=serve.min_shard_worlds,
+                share_bases=serve.share_bases,
+            )
+        else:
+            engine = ProphetEngine(self.scenario, self.library, engine_config)
+            self._service = EvaluationService(
+                engine=engine,
+                executor=executor,
+                shards=serve.shards,
+                cache_dir=self.config.cache.dir,
+                min_shard_worlds=serve.min_shard_worlds,
+                share_bases=serve.share_bases,
+            )
+        self._scheduler = Scheduler(self._service)
+
+    def _sweep_scheduler(self) -> Scheduler:
+        """The scheduler behind sweeps — built on demand for every backend.
+
+        A pure in-process client still schedules sweeps (dedup and the
+        streaming iterator need the job queue); it gets an inline
+        single-shard service over the client's own engine, which the serve
+        parity suite pins bit-identical to direct engine evaluation.
+        """
+        if self._scheduler is None:
+            self._ensure_backend()
+            if self._scheduler is None:
+                self._service = EvaluationService(engine=self._engine)
+                self._scheduler = Scheduler(self._service)
+        return self._scheduler
+
+    # -- handles -------------------------------------------------------------
+
+    def interactive(
+        self, *, neighbor_depth: int = 1, session_name: str = "interactive"
+    ) -> InteractiveHandle:
+        """Sliders + progressive refresh (wraps :class:`OnlineSession`)."""
+        self._ensure_backend()
+        if self._scheduler is not None:
+            session = OnlineSession(
+                self.scenario,
+                self.library,
+                neighbor_depth=neighbor_depth,
+                scheduler=self._scheduler,
+                session_name=session_name,
+            )
+        else:
+            session = OnlineSession(
+                self.scenario,
+                self.library,
+                neighbor_depth=neighbor_depth,
+                session_name=session_name,
+                engine=self._engine,
+            )
+        return InteractiveHandle(session)
+
+    def sweep(
+        self,
+        points: Optional[Iterable[Mapping[str, Any]]] = None,
+        *,
+        worlds: Optional[Sequence[int]] = None,
+        reuse: bool = True,
+        session_name: str = "sweep",
+    ) -> SweepHandle:
+        """A streaming sweep over ``points`` (default: the full grid).
+
+        Returns immediately with every job queued (identical points
+        coalesced); iterate the handle to run them one at a time and
+        consume each :class:`~repro.api.SweepResult` as it completes.
+        """
+        scheduler = self._sweep_scheduler()
+        sweep = scheduler.submit_sweep(
+            points, worlds=worlds, session=session_name, reuse=reuse
+        )
+        return SweepHandle(scheduler, sweep.jobs)
+
+    def optimize(self, *, session_name: str = "optimizer") -> OptimizeHandle:
+        """The scenario's OPTIMIZE block (wraps :class:`OfflineOptimizer`)."""
+        self._ensure_backend()
+        if self._scheduler is not None:
+            optimizer = OfflineOptimizer(
+                self.scenario,
+                self.library,
+                scheduler=self._scheduler,
+                session_name=session_name,
+            )
+        else:
+            optimizer = OfflineOptimizer(
+                self.scenario, self.library, engine=self._engine
+            )
+        return OptimizeHandle(optimizer)
+
+    # -- evaluation + stats --------------------------------------------------
+
+    def evaluate(
+        self,
+        point: Mapping[str, Any],
+        *,
+        worlds: Optional[Sequence[int]] = None,
+        reuse: bool = True,
+    ) -> PointEvaluation:
+        """Evaluate one parameter point through the configured backend.
+
+        Goes straight to the service (result cache + sharded engine cycle),
+        not through the scheduler's job queue — an evaluate() call mid-sweep
+        must not drain jobs a streaming :class:`SweepHandle` has pending.
+        """
+        self._ensure_backend()
+        if self._service is not None:
+            return self._service.evaluate(point, worlds=worlds, reuse=reuse)
+        return self._engine.evaluate_point(point, worlds=worlds, reuse=reuse)
+
+    def backend_description(self) -> str:
+        """Human description of the built backend: ``"sequential"`` for a
+        bare engine, ``"<executor> x<workers>"`` for the serve backend."""
+        self._ensure_backend()
+        if self._service is None:
+            return "sequential"
+        return f"{self._service.executor.kind} x{self._service.executor.workers}"
+
+    def stats(self) -> StatsReport:
+        """One merged report over every backend layer's counters."""
+        self._ensure_backend()
+        return StatsReport.gather(
+            self._engine, service=self._service, scheduler=self._scheduler
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the serve backend's executor, if one was built."""
+        if self._service is not None:
+            self._service.close()
+
+    def __enter__(self) -> "ProphetClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

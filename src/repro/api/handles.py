@@ -1,0 +1,203 @@
+"""The three uniform result handles a :class:`~repro.api.ProphetClient` hands out.
+
+* :class:`InteractiveHandle` — sliders and progressive refresh over one
+  :class:`~repro.core.online.OnlineSession` (the demo GUI, programmatic);
+* :class:`SweepHandle` — a **streaming** iterator over a scheduled sweep:
+  each iteration runs exactly one queued job (in-flight duplicates
+  coalesce, the result cache answers repeats) and yields its
+  :class:`SweepResult` the moment it lands, so callers render progress
+  without waiting for the whole grid;
+* :class:`OptimizeHandle` — the scenario's OPTIMIZE block over one
+  :class:`~repro.core.offline.OfflineOptimizer`.
+
+Every handle resolves identically against the in-process engine and the
+sharded serve backend — bit-identical by the serve parity contract — and
+none of them owns private counters: :meth:`repro.api.ProphetClient.stats`
+is the one stats surface for all three.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Mapping, Optional
+
+import numpy as np
+
+from repro.core.aggregator import AxisStatistics, ConvergenceTracker
+from repro.core.engine import PointEvaluation, ProphetEngine
+from repro.core.offline import OfflineOptimizer, OptimizationResult
+from repro.core.online import GraphView, InteractionLog, OnlineSession
+from repro.errors import ServeError
+from repro.serve.scheduler import DONE, FAILED, Job, Scheduler
+
+
+class InteractiveHandle:
+    """Sliders + progressive refresh, backed by the client's engine or service."""
+
+    def __init__(self, session: OnlineSession) -> None:
+        self._session = session
+
+    # -- sliders ------------------------------------------------------------
+
+    @property
+    def sliders(self) -> dict[str, Any]:
+        return self._session.sliders
+
+    def set_slider(self, name: str, value: Any) -> None:
+        self._session.set_slider(name, value)
+
+    def set_sliders(self, values: Mapping[str, Any]) -> None:
+        self._session.set_sliders(values)
+
+    # -- evaluation ---------------------------------------------------------
+
+    def refresh(self, *, reuse: bool = True) -> GraphView:
+        return self._session.refresh(reuse=reuse)
+
+    def refresh_progressive(self, *, reuse: bool = True) -> list[GraphView]:
+        return self._session.refresh_progressive(reuse=reuse)
+
+    def explore_proactively(self, max_points: int | None = None) -> int:
+        return self._session.explore_proactively(max_points)
+
+    # -- observability ------------------------------------------------------
+
+    @property
+    def log(self) -> InteractionLog:
+        return self._session.log
+
+    @property
+    def tracker(self) -> ConvergenceTracker:
+        return self._session.tracker
+
+    def graph_series(self, view: GraphView) -> dict[str, np.ndarray]:
+        return self._session.graph_series(view)
+
+    @property
+    def session(self) -> OnlineSession:
+        """The underlying session (escape hatch for advanced callers)."""
+        return self._session
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """One finished sweep point, yielded as soon as its job completes."""
+
+    index: int
+    point: dict[str, Any]
+    statistics: Optional[AxisStatistics]
+    evaluation: Optional[PointEvaluation]
+    deduplicated: bool  #: coalesced onto an identical in-flight job
+    error: Optional[str]
+    elapsed_seconds: float
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class SweepHandle:
+    """A streaming sweep: iterate to run, results arrive job by job.
+
+    Jobs are queued at construction (so ``len(handle)`` is known up front
+    and identical points have already coalesced); each ``next()`` steps the
+    scheduler until the next submitted point — in submission order — has a
+    result, then yields it. Coalesced followers resolve together with
+    their primary, so a handle over N points always yields N results.
+
+    Failed points yield a :class:`SweepResult` with ``error`` set instead
+    of raising, so one bad point does not abort a long sweep; call
+    :meth:`raise_failures` (or check ``result.ok``) for strictness.
+    """
+
+    def __init__(self, scheduler: Scheduler, jobs: list[Job]) -> None:
+        self._scheduler = scheduler
+        self._jobs = jobs
+        self._cursor = 0
+        self.results: list[SweepResult] = []
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __iter__(self) -> Iterator[SweepResult]:
+        return self
+
+    def __next__(self) -> SweepResult:
+        if self._cursor >= len(self._jobs):
+            raise StopIteration
+        job = self._jobs[self._cursor]
+        while job.status not in (DONE, FAILED):
+            if self._scheduler.run_next() is None:
+                # Queue drained yet this job never resolved — a coalesced
+                # follower whose primary was submitted outside this sweep
+                # and never ran. Surface it rather than spinning.
+                raise ServeError(
+                    f"sweep job {job.id} never completed (status: {job.status})"
+                )
+        result = SweepResult(
+            index=self._cursor,
+            point=dict(job.point),
+            statistics=job.result.statistics if job.result is not None else None,
+            evaluation=job.result,
+            deduplicated=job.coalesced_with is not None,
+            error=job.error,
+            elapsed_seconds=job.elapsed_seconds,
+        )
+        self._cursor += 1
+        self.results.append(result)
+        return result
+
+    # -- conveniences --------------------------------------------------------
+
+    def run(self) -> list[SweepResult]:
+        """Drain the whole sweep (the non-streaming spelling)."""
+        for _ in self:
+            pass
+        return self.results
+
+    @property
+    def failures(self) -> list[SweepResult]:
+        return [result for result in self.results if not result.ok]
+
+    def raise_failures(self) -> None:
+        """Re-raise the first failed point's original exception, if any."""
+        for index, result in enumerate(self.results):
+            if result.ok:
+                continue
+            exception = self._jobs[result.index].exception
+            if exception is not None:
+                raise exception
+            raise ServeError(f"sweep point {index} failed: {result.error}")
+
+
+class OptimizeHandle:
+    """The scenario's OPTIMIZE block, runnable against either backend."""
+
+    def __init__(self, optimizer: OfflineOptimizer) -> None:
+        self._optimizer = optimizer
+        self.result: Optional[OptimizationResult] = None
+
+    def run(
+        self,
+        *,
+        reuse: bool = True,
+        progress: Optional[Callable[..., None]] = None,
+    ) -> OptimizationResult:
+        """Sweep the grid and select the best feasible point."""
+        self.result = self._optimizer.run(reuse=reuse, progress=progress)
+        return self.result
+
+    def best_point(self) -> dict[str, Any]:
+        """The winning point of the last :meth:`run` (raises if infeasible)."""
+        if self.result is None:
+            raise ServeError("optimize handle has not run yet; call run()")
+        return self.result.best_point()
+
+    @property
+    def engine(self) -> ProphetEngine:
+        """The engine behind the sweep (escape hatch for drill-downs)."""
+        return self._optimizer.engine
+
+    @property
+    def optimizer(self) -> OfflineOptimizer:
+        return self._optimizer

@@ -1,0 +1,174 @@
+"""One merged statistics surface for every backend.
+
+PRs 1–4 grew four stats dialects: the SQL executor's ``ExecutionStats``
+(plan cache, vectorization, sampling-plane dispatch), the Storage Manager's
+basis counters plus the tier's eviction/spill/fault stats, the engine's
+week-memo counters, and — behind the serve backend — ``ServiceStats`` and
+the scheduler's job counters. :class:`StatsReport` rolls all of them into
+one frozen snapshot with a stable :meth:`to_json` and the human rendering
+the CLI ``--stats`` flag prints.
+
+Determinism contract: the report carries **counters only** — never
+wall-clock — so two identical runs produce byte-identical ``to_json()``
+output (asserted by the API test suite).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.core.engine import ProphetEngine
+
+
+@dataclass(frozen=True)
+class StatsReport:
+    """A point-in-time snapshot of every counter behind one client.
+
+    ``service`` and ``scheduler`` are ``None`` for clients running on a
+    bare in-process engine that never built a serve backend.
+    """
+
+    execution: dict[str, Any]
+    sampling: dict[str, Any]
+    basis: dict[str, Any]
+    week_memo: dict[str, Any]
+    service: Optional[dict[str, Any]] = None
+    scheduler: Optional[dict[str, Any]] = None
+
+    @classmethod
+    def gather(
+        cls,
+        engine: ProphetEngine,
+        service: Any = None,
+        scheduler: Any = None,
+    ) -> "StatsReport":
+        """Snapshot the counters of one engine (plus serve layers, if any)."""
+        stats = engine.executor.stats
+        tier = engine.storage.tier
+        execution = {
+            "statements": stats.statements,
+            "plan_cache_hits": stats.plan_cache_hits,
+            "plan_cache_misses": stats.plan_cache_misses,
+            "vectorized_selects": stats.vectorized_selects,
+            "fallback_selects": stats.fallback_selects,
+            "rows_vectorized": stats.rows_vectorized,
+            "rows_fallback": stats.rows_fallback,
+        }
+        sampling = {
+            "backend": engine.config.sampling_backend,
+            "sampled_batched": stats.sampled_batched,
+            "sampled_fallback": stats.sampled_fallback,
+            "parity_fallbacks": engine.library.total_parity_fallbacks(),
+        }
+        basis = {
+            "exact_hits": engine.storage.exact_hits,
+            "mapped_hits": engine.storage.mapped_hits,
+            "misses": engine.storage.misses,
+            "resident": tier.resident_count,
+            "resident_bytes": tier.resident_bytes,
+            "spilled": tier.spilled_count,
+            **{f"tier_{k}": v for k, v in tier.stats.as_dict().items()},
+        }
+        week_memo = {
+            "hits": engine.week_stats_hits,
+            "misses": engine.week_stats_misses,
+        }
+        service_dict = None
+        scheduler_dict = None
+        if service is not None:
+            service_dict = {
+                "executor_kind": service.executor.kind,
+                "executor_workers": service.executor.workers,
+                **service.stats.as_dict(),
+            }
+        if scheduler is not None:
+            scheduler_dict = {
+                "jobs_completed": scheduler.jobs_completed,
+                "dedup_hits": scheduler.dedup_hits,
+            }
+        return cls(
+            execution=execution,
+            sampling=sampling,
+            basis=basis,
+            week_memo=week_memo,
+            service=service_dict,
+            scheduler=scheduler_dict,
+        )
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Nested plain dict; absent serve layers are omitted, not null."""
+        payload: dict[str, Any] = {
+            "execution": dict(self.execution),
+            "sampling": dict(self.sampling),
+            "basis": dict(self.basis),
+            "week_memo": dict(self.week_memo),
+        }
+        if self.service is not None:
+            payload["service"] = dict(self.service)
+        if self.scheduler is not None:
+            payload["scheduler"] = dict(self.scheduler)
+        return payload
+
+    def to_json(self) -> str:
+        """Stable JSON: sorted keys, counters only — identical runs produce
+        identical bytes."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    # -- human rendering -----------------------------------------------------
+
+    def render(self) -> str:
+        """The ``--stats`` block, exactly as the CLI prints it."""
+        e, s, b, w = self.execution, self.sampling, self.basis, self.week_memo
+        plan_total = e["plan_cache_hits"] + e["plan_cache_misses"]
+        plan_rate = e["plan_cache_hits"] / plan_total if plan_total else 0.0
+        lines = [
+            "execution stats:",
+            f"  plan cache: {e['plan_cache_hits']} hits / "
+            f"{e['plan_cache_misses']} misses ({plan_rate:.1%})",
+            f"  selects: {e['vectorized_selects']} vectorized "
+            f"({e['rows_vectorized']} rows) / {e['fallback_selects']} "
+            f"fallback ({e['rows_fallback']} rows)",
+            f"  sampling: {s['sampled_batched']} worlds batched / "
+            f"{s['sampled_fallback']} worlds per-world loop "
+            f"({s['backend']} backend, "
+            f"{s['parity_fallbacks']} parity-guard fallbacks)",
+            f"  basis reuse: {b['exact_hits']} exact / "
+            f"{b['mapped_hits']} mapped / {b['misses']} fresh",
+            f"  basis tier: {b['resident']} resident "
+            f"({b['resident_bytes'] / 1024:.0f} KiB) / {b['spilled']} spilled; "
+            f"{b['tier_evictions']} evicted, {b['tier_spills']} spills, "
+            f"{b['tier_faults']} faults, {b['tier_dropped']} dropped",
+            f"  week memo: {w['hits']} hits / {w['misses']} misses",
+        ]
+        if self.service is not None:
+            lines.extend(self._render_service())
+        return "\n".join(lines)
+
+    def _render_service(self) -> list[str]:
+        sv = self.service or {}
+        sc = self.scheduler or {}
+        cache_total = sv["cache_hits"] + sv["cache_misses"]
+        cache_rate = sv["cache_hits"] / cache_total if cache_total else 0.0
+        lines = [
+            "service stats:",
+            f"  result cache: {sv['cache_hits']} hits / "
+            f"{sv['cache_misses']} misses ({cache_rate:.1%})",
+            f"  shards: {sv['shard_tasks']} tasks over "
+            f"{sv['sampled_worlds']} sampled worlds "
+            f"({sv['executor_kind']} x{sv['executor_workers']})",
+            f"  shard reuse: {sv['shard_exact_hits']} exact / "
+            f"{sv['shard_mapped_hits']} mapped / {sv['shard_fresh']} fresh "
+            f"({sv['snapshot_bases_shipped']} snapshot bases shipped)",
+            f"  shard sampling: {sv['sampled_batched']} worlds batched / "
+            f"{sv['sampled_fallback']} worlds per-world loop",
+        ]
+        if self.scheduler is not None:
+            lines.append(
+                f"  scheduler: {sc['jobs_completed']} jobs, "
+                f"{sc['dedup_hits']} deduplicated"
+            )
+        return lines

@@ -13,27 +13,31 @@ The scenario file is a Fuzzy Prophet DSL program (Figure 2 syntax). Models
 are resolved from a named library (``--library demo`` is the paper's demo
 model set). Passing ``-`` as the file reads the built-in Figure 2 program.
 
-``batch`` (and ``optimize`` with ``--workers``/``--cache-dir``) runs through
-the ``repro.serve`` sharded evaluation service: fresh Monte Carlo sampling
-fans out across a process pool and finished statistics persist in the
-cross-run result cache, so a repeated run answers from disk.
+Every command runs through the :mod:`repro.api` client: the flags build one
+typed :class:`~repro.api.ClientConfig` and the backend — in-process engine
+vs the sharded serve pool, result cache, tiered basis store, sampling
+backend — is pure configuration. ``--stats`` prints the client's unified
+:class:`~repro.api.StatsReport`.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Any, Optional, Sequence
+import time
+from typing import Any, Sequence
 
-from repro.core.engine import ProphetConfig, ProphetEngine
-from repro.core.offline import OfflineOptimizer
-from repro.core.online import OnlineSession
-from repro.dsl import parse_scenario
+from repro.api import (
+    CacheConfig,
+    ClientConfig,
+    ProphetClient,
+    SamplingConfig,
+    ServeConfig,
+    StoreConfig,
+)
 from repro.errors import ReproError
 from repro.models import FIGURE2_DSL
-from repro.serve.scheduler import Scheduler
-from repro.serve.service import EvaluationService
-from repro.serve.worker import LIBRARY_BUILDERS, EngineSpec
+from repro.serve.worker import LIBRARY_BUILDERS
 from repro.viz import mapping_grid, render_chart, render_grid
 
 #: Named model libraries available to the CLI (shared with serve workers).
@@ -199,124 +203,40 @@ def _parse_assignment(text: str) -> tuple[str, Any]:
     return name.strip().lstrip("@"), value
 
 
-def _setup(args: argparse.Namespace):
+def _client_config(args: argparse.Namespace) -> ClientConfig:
+    """One typed layered config from the flat CLI flags."""
+    return ClientConfig(
+        sampling=SamplingConfig(
+            n_worlds=args.worlds,
+            base_seed=args.seed,
+            backend=getattr(args, "sampling_backend", "batched"),
+        ),
+        store=StoreConfig(
+            basis_cap=getattr(args, "basis_cap", None),
+            basis_dir=getattr(args, "basis_dir", None),
+        ),
+        serve=ServeConfig(
+            workers=getattr(args, "workers", None),
+            shards=getattr(args, "shards", None),
+            executor=getattr(args, "executor", "auto"),
+        ),
+        cache=CacheConfig(dir=getattr(args, "cache_dir", None)),
+    )
+
+
+def _open_client(args: argparse.Namespace) -> ProphetClient:
     text = _load_scenario_text(args.scenario)
-    scenario = parse_scenario(text, name="cli_scenario")
-    library = LIBRARIES[args.library]()
-    scenario.check_against_library(library)
-    config = ProphetConfig(
-        n_worlds=args.worlds,
-        base_seed=args.seed,
-        basis_cap=getattr(args, "basis_cap", None),
-        basis_dir=getattr(args, "basis_dir", None),
-        sampling_backend=getattr(args, "sampling_backend", "batched"),
-    )
-    return scenario, library, config, text
-
-
-def _wants_service(args: argparse.Namespace) -> bool:
-    return (
-        getattr(args, "workers", None) is not None
-        or getattr(args, "cache_dir", None) is not None
-        or getattr(args, "shards", None) is not None
-        or getattr(args, "executor", "auto") != "auto"
-    )
-
-
-def _build_scheduler(
-    args: argparse.Namespace, config: ProphetConfig, text: str
-) -> Scheduler:
-    """A scheduler over a sharded evaluation service for this CLI run."""
-    from repro.serve.executors import create_executor
-
-    spec = EngineSpec.from_dsl(
+    return ProphetClient.open(
         text,
-        library=args.library,
-        config=config,
-        scenario_name="cli_scenario",
+        args.library,
+        config=_client_config(args),
+        name="cli_scenario",
     )
-    # --workers opts into the process pool; --cache-dir/--shards alone stay
-    # in-process (the --workers help promises "default: sequential").
-    kind = args.executor
-    if kind == "auto" and args.workers is None:
-        kind = "inline"
-    executor = create_executor(kind, args.workers)
-    service = EvaluationService(
-        spec,
-        executor=executor,
-        shards=args.shards,
-        cache_dir=args.cache_dir,
-    )
-    return Scheduler(service)
-
-
-def _print_engine_stats(engine: ProphetEngine) -> None:
-    """The --stats block: execution pipeline and reuse-layer counters."""
-    stats = engine.executor.stats
-    plan_total = stats.plan_cache_hits + stats.plan_cache_misses
-    plan_rate = stats.plan_cache_hits / plan_total if plan_total else 0.0
-    print("execution stats:")
-    print(
-        f"  plan cache: {stats.plan_cache_hits} hits / "
-        f"{stats.plan_cache_misses} misses ({plan_rate:.1%})"
-    )
-    print(
-        f"  selects: {stats.vectorized_selects} vectorized "
-        f"({stats.rows_vectorized} rows) / {stats.fallback_selects} "
-        f"fallback ({stats.rows_fallback} rows)"
-    )
-    print(
-        f"  sampling: {stats.sampled_batched} worlds batched / "
-        f"{stats.sampled_fallback} worlds per-world loop "
-        f"({engine.config.sampling_backend} backend, "
-        f"{engine.library.total_parity_fallbacks()} parity-guard fallbacks)"
-    )
-    print(
-        f"  basis reuse: {engine.storage.exact_hits} exact / "
-        f"{engine.storage.mapped_hits} mapped / {engine.storage.misses} fresh"
-    )
-    tier = engine.storage.tier
-    print(
-        f"  basis tier: {tier.resident_count} resident "
-        f"({tier.resident_bytes / 1024:.0f} KiB) / {tier.spilled_count} spilled; "
-        f"{tier.stats.evictions} evicted, {tier.stats.spills} spills, "
-        f"{tier.stats.faults} faults, {tier.stats.dropped} dropped"
-    )
-    print(
-        f"  week memo: {engine.week_stats_hits} hits / "
-        f"{engine.week_stats_misses} misses"
-    )
-
-
-def _print_service_stats(scheduler: Scheduler) -> None:
-    service = scheduler.service
-    print("service stats:")
-    print(
-        f"  result cache: {service.stats.cache_hits} hits / "
-        f"{service.stats.cache_misses} misses "
-        f"({service.stats.cache_hit_rate():.1%})"
-    )
-    print(
-        f"  shards: {service.stats.shard_tasks} tasks over "
-        f"{service.stats.sampled_worlds} sampled worlds "
-        f"({service.executor.kind} x{service.executor.workers})"
-    )
-    summary = scheduler.reuse_summary()
-    print(
-        f"  shard reuse: {summary['shard_exact_hits']} exact / "
-        f"{summary['shard_mapped_hits']} mapped / {summary['shard_fresh']} fresh "
-        f"({summary['snapshot_bases_shipped']} snapshot bases shipped)"
-    )
-    print(
-        f"  shard sampling: {summary['sampled_batched']} worlds batched / "
-        f"{summary['sampled_fallback']} worlds per-world loop"
-    )
-    print(f"  scheduler: {scheduler.jobs_completed} jobs, "
-          f"{scheduler.dedup_hits} deduplicated")
 
 
 def command_info(args: argparse.Namespace) -> int:
-    scenario, library, _, _ = _setup(args)
+    client = _open_client(args)
+    scenario, library = client.scenario, client.library
     print(f"scenario: {scenario.name}")
     print(f"axis: @{scenario.axis} ({len(scenario.axis_values())} values)")
     print("parameters:")
@@ -349,58 +269,57 @@ def command_info(args: argparse.Namespace) -> int:
 
 
 def command_run(args: argparse.Namespace) -> int:
-    scenario, library, config, _ = _setup(args)
-    session = OnlineSession(scenario, library, config)
-    for assignment in args.assignments:
-        name, value = _parse_assignment(assignment)
-        session.set_slider(name, value)
-    print(f"point: {session.sliders}  ({config.n_worlds} worlds)")
-    view = session.refresh()
-    print(
-        f"evaluated in {view.elapsed_seconds * 1000:.0f} ms "
-        f"({view.component_samples} component-samples)"
-    )
-    if scenario.graph and not args.no_chart:
-        print()
-        print(render_chart(session.graph_series(view), title=f"{scenario.name}"))
-    print()
-    for alias in view.statistics.aliases():
-        series = view.statistics.expectation(alias)
+    client = _open_client(args)
+    with client:
+        session = client.interactive(session_name="cli")
+        for assignment in args.assignments:
+            name, value = _parse_assignment(assignment)
+            session.set_slider(name, value)
+        print(f"point: {session.sliders}  ({client.config.sampling.n_worlds} worlds)")
+        view = session.refresh()
         print(
-            f"E[{alias}]: min={series.min():.4g} max={series.max():.4g} "
-            f"mean={series.mean():.4g}"
+            f"evaluated in {view.elapsed_seconds * 1000:.0f} ms "
+            f"({view.component_samples} component-samples)"
         )
-    if args.stats:
+        if client.scenario.graph and not args.no_chart:
+            print()
+            print(
+                render_chart(
+                    session.graph_series(view), title=f"{client.scenario.name}"
+                )
+            )
         print()
-        _print_engine_stats(session.engine)
-    return 0
+        for alias in view.statistics.aliases():
+            series = view.statistics.expectation(alias)
+            print(
+                f"E[{alias}]: min={series.min():.4g} max={series.max():.4g} "
+                f"mean={series.mean():.4g}"
+            )
+        if args.stats:
+            print()
+            print(client.stats().render())
+        return 0
 
 
 def command_optimize(args: argparse.Namespace) -> int:
-    scenario, library, config, text = _setup(args)
-    scheduler: Optional[Scheduler] = None
-    if _wants_service(args):
-        scheduler = _build_scheduler(args, config, text)
-    try:
-        optimizer = OfflineOptimizer(scenario, library, config, scheduler=scheduler)
+    client = _open_client(args)
+    with client:
+        scenario = client.scenario
+        handle = client.optimize(session_name="cli")
         total = scenario.space.grid_size(exclude=[scenario.axis])
-        backend = (
-            f"{scheduler.service.executor.kind} x{scheduler.service.executor.workers}"
-            if scheduler is not None
-            else "sequential"
+        print(
+            f"sweeping {total} points x {client.config.sampling.n_worlds} worlds "
+            f"(reuse {'off' if args.no_reuse else 'on'}; "
+            f"{client.backend_description()})"
         )
-        print(f"sweeping {total} points x {config.n_worlds} worlds "
-              f"(reuse {'off' if args.no_reuse else 'on'}; {backend})")
-        result = optimizer.run(reuse=not args.no_reuse)
+        result = handle.run(reuse=not args.no_reuse)
         print(
             f"done in {result.elapsed_seconds:.1f}s; sources {result.source_counts()}; "
             f"{result.component_samples} component-samples"
         )
         if args.stats:
             print()
-            _print_engine_stats(optimizer.engine)
-            if scheduler is not None:
-                _print_service_stats(scheduler)
+            print(client.stats().render())
         if result.best is None:
             print("no feasible point satisfies the constraint")
             return 1
@@ -413,69 +332,73 @@ def command_optimize(args: argparse.Namespace) -> int:
             print()
             print(render_grid(grid, title=f"exploration grid ({x_name} x {y_name})"))
         return 0
-    finally:
-        if scheduler is not None:
-            scheduler.service.close()
 
 
 def command_batch(args: argparse.Namespace) -> int:
-    scenario, library, config, text = _setup(args)
-    scheduler = _build_scheduler(args, config, text)
-    try:
+    client = _open_client(args)
+    with client:
+        points = None
         if args.points:
-            for text in args.points:
-                point = dict(
+            points = [
+                dict(
                     _parse_assignment(part)
                     for part in text.split(",")
                     if part.strip()
                 )
-                scheduler.submit(point, session="cli")
-            label = f"{len(args.points)} points"
-        else:
-            sweep = scheduler.submit_sweep(session="cli")
-            label = f"full grid ({len(sweep.jobs)} points)"
-        service = scheduler.service
+                for text in args.points
+            ]
+        sweep = client.sweep(points, session_name="cli")
+        label = (
+            f"{len(args.points)} points"
+            if args.points
+            else f"full grid ({len(sweep)} points)"
+        )
         print(
-            f"batch: {label} x {config.n_worlds} worlds via "
-            f"{service.executor.kind} x{service.executor.workers}"
+            f"batch: {label} x {client.config.sampling.n_worlds} worlds via "
+            f"{client.backend_description()}"
             + (f"; cache {args.cache_dir}" if args.cache_dir else "")
         )
-        import time as _time
-
-        started = _time.perf_counter()
-        jobs = scheduler.run_pending()
-        elapsed = _time.perf_counter() - started
-        failed = [job for job in jobs if job.error]
+        started = time.perf_counter()
+        results = sweep.run()  # streams job by job; collected for the summary
+        elapsed = time.perf_counter() - started
+        report = client.stats()
+        # Summarize the evaluations that actually ran: coalesced followers
+        # share their primary's result and would double-count it.
+        primaries = [result for result in results if not result.deduplicated]
+        failed = [result for result in primaries if not result.ok]
+        cache_hits = report.service["cache_hits"] if report.service else 0
+        cache_total = cache_hits + (
+            report.service["cache_misses"] if report.service else 0
+        )
+        hit_rate = cache_hits / cache_total if cache_total else 0.0
+        dedup = report.scheduler["dedup_hits"] if report.scheduler else 0
         print(
-            f"done in {elapsed:.1f}s: {len(jobs)} evaluations, "
-            f"{scheduler.dedup_hits} deduplicated, "
-            f"{service.stats.cache_hits} cache hits "
-            f"({service.stats.cache_hit_rate():.0%} hit rate), "
+            f"done in {elapsed:.1f}s: {len(primaries)} evaluations, "
+            f"{dedup} deduplicated, "
+            f"{cache_hits} cache hits "
+            f"({hit_rate:.0%} hit rate), "
             f"{len(failed)} failed"
         )
-        # Failed jobs are always listed in full; successes truncate.
-        succeeded = [job for job in jobs if not job.error]
-        shown = succeeded[: 5 if len(jobs) > 10 else len(succeeded)]
-        for job in failed + shown:
-            marker = "!" if job.error else " "
+        # Failed points are always listed in full; successes truncate.
+        succeeded = [result for result in primaries if result.ok]
+        shown = succeeded[: 5 if len(primaries) > 10 else len(succeeded)]
+        for result in failed + shown:
+            marker = "!" if not result.ok else " "
             summary = (
-                job.error
-                if job.error
+                result.error
+                if not result.ok
                 else " ".join(
-                    f"E[{alias}]={job.result.statistics.expectation(alias).mean():.4g}"
-                    for alias in job.result.statistics.aliases()
+                    f"E[{alias}]={result.statistics.expectation(alias).mean():.4g}"
+                    for alias in result.statistics.aliases()
                 )
             )
-            print(f" {marker} {job.point}: {summary}")
+            print(f" {marker} {result.point}: {summary}")
         if len(shown) < len(succeeded):
             print(f"   ... {len(succeeded) - len(shown)} more")
         if args.stats:
             print()
-            _print_engine_stats(service.engine)
-            _print_service_stats(scheduler)
+            print(report.render())
         return 1 if failed else 0
-    finally:
-        scheduler.service.close()
 
 
 COMMANDS = {

@@ -78,6 +78,21 @@ def _decode_value(payload: Any) -> Any:
     raise FingerprintError(f"unknown encoded arg tag {tag!r}")
 
 
+def encode_value(value: Any) -> Any:
+    """Tag one value for an exact JSON round-trip (public single-value form).
+
+    The ``repro.api`` layered config uses this for its ``to_mapping``
+    portable form: every leaf keeps its concrete type (bool vs int, tuple
+    vs list, non-finite floats) across a JSON hop.
+    """
+    return _encode_value(value)
+
+
+def decode_value(payload: Any) -> Any:
+    """Reconstruct a value tagged by :func:`encode_value`."""
+    return _decode_value(payload)
+
+
 def encode_args(args: tuple[Any, ...]) -> str:
     """Serialize a model-args tuple to JSON text, preserving exact types."""
     return json.dumps([_encode_value(value) for value in tuple(args)])

@@ -37,7 +37,7 @@ from repro.core.fingerprint.registry import FingerprintRegistry
 from repro.core.guide import RefinementPlan
 from repro.core.instance import InstanceBatch
 from repro.core.querygen import QueryGenerator
-from repro.core.sampling import SamplingPlane
+from repro.core.sampling import SAMPLING_BACKENDS, SamplingPlane
 from repro.core.scenario import Scenario, VGOutput
 from repro.core.storage import ReuseReport, StorageManager
 from repro.sqldb.catalog import Catalog
@@ -77,6 +77,26 @@ class ProphetConfig:
     #: world slice, the default) or ``"loop"`` (one INSERT per world, the
     #: bit-identity reference). Backends are bit-identical by contract.
     sampling_backend: str = "batched"
+
+    def __post_init__(self) -> None:
+        # Reject bad knobs at construction, not deep in the engine: a config
+        # travels (EngineSpec pickles it to workers, the API layer derives it
+        # from ClientConfig), so the failure must name the knob, here.
+        if self.sampling_backend not in SAMPLING_BACKENDS:
+            raise ScenarioError(
+                f"unknown sampling backend {self.sampling_backend!r} "
+                f"(known: {', '.join(SAMPLING_BACKENDS)})"
+            )
+        if self.n_worlds < 1:
+            raise ScenarioError(f"n_worlds must be >= 1, got {self.n_worlds}")
+        if self.basis_cap is not None and self.basis_cap < 0:
+            raise ScenarioError(
+                f"basis_cap must be >= 0 or None, got {self.basis_cap}"
+            )
+        if self.basis_byte_cap is not None and self.basis_byte_cap < 0:
+            raise ScenarioError(
+                f"basis_byte_cap must be >= 0 or None, got {self.basis_byte_cap}"
+            )
 
     def plan(self) -> RefinementPlan:
         return RefinementPlan(

@@ -210,7 +210,9 @@ class OfflineOptimizer:
         config: ProphetConfig | None = None,
         engine: ProphetEngine | None = None,
         scheduler: Optional[Any] = None,
+        session_name: str = "optimizer",
     ) -> None:
+        self.session_name = session_name
         if scenario.optimize is None:
             raise OptimizationError(
                 f"scenario {scenario.name!r} has no OPTIMIZE specification"
@@ -242,8 +244,20 @@ class OfflineOptimizer:
                     "omit it or build the service with this config"
                 )
             self.engine = service.engine
+        elif engine is not None:
+            if engine.scenario is not scenario:
+                raise OptimizationError(
+                    "engine= was built for a different scenario object than "
+                    "this optimizer's"
+                )
+            if config is not None and config != engine.config:
+                raise OptimizationError(
+                    "config= conflicts with the shared engine's config; "
+                    "omit it or build the engine with this config"
+                )
+            self.engine = engine
         else:
-            self.engine = engine or ProphetEngine(scenario, library, config)
+            self.engine = ProphetEngine(scenario, library, config)
 
     def run(
         self,
@@ -274,7 +288,7 @@ class OfflineOptimizer:
                 evaluation = self.scheduler.evaluate(
                     batch.point_dict,
                     worlds=batch.worlds,
-                    session="optimizer",
+                    session=self.session_name,
                     reuse=reuse,
                 )
             else:

@@ -90,9 +90,19 @@ class OnlineSession:
         neighbor_depth: int = 1,
         scheduler: Optional[Any] = None,
         session_name: str = "online",
+        engine: Optional[ProphetEngine] = None,
     ) -> None:
         self.scheduler = scheduler
         self.session_name = session_name
+        if engine is not None and scheduler is not None:
+            raise OnlineSessionError(
+                "pass either engine= or scheduler=, not both"
+            )
+        if engine is not None and config is not None and config != engine.config:
+            raise OnlineSessionError(
+                "config= conflicts with the shared engine's config; "
+                "omit it or build the engine with this config"
+            )
         if scheduler is not None:
             # Share the scheduler's coordinator engine so this session sees
             # (and contributes to) the same bases, caches, and counters as
@@ -115,6 +125,15 @@ class OnlineSession:
                     "omit it or build the service with this config"
                 )
             self.engine = service.engine
+        elif engine is not None:
+            # Share a caller-owned engine (the repro.api client's), so the
+            # session sees and contributes to the same bases and counters.
+            if engine.scenario is not scenario:
+                raise OnlineSessionError(
+                    "engine= was built for a different scenario object than "
+                    "this session's"
+                )
+            self.engine = engine
         else:
             self.engine = ProphetEngine(scenario, library, config)
         self.scenario = scenario

@@ -227,33 +227,47 @@ class Scheduler:
 
     # -- execution ---------------------------------------------------------
 
+    def run_next(self) -> Optional[Job]:
+        """Run the oldest pending job to completion; ``None`` when idle.
+
+        The streaming primitive behind ``repro.api``'s sweep handle: callers
+        step the queue one job at a time and consume each result as it
+        lands, instead of blocking on the whole sweep. Coalesced followers
+        complete together with their primary, exactly as in
+        :meth:`run_pending` (which is this, in a loop).
+        """
+        job = self.queue.pop()
+        if job is None:
+            return None
+        started = time.perf_counter()
+        try:
+            job.result = self.service.evaluate(
+                job.point, worlds=job.worlds, reuse=job.reuse
+            )
+            job.status = DONE
+        except Exception as error:
+            job.status = FAILED
+            job.error = str(error)
+            job.exception = error
+        job.elapsed_seconds = time.perf_counter() - started
+        self.queue.finish(job)
+        for follower in self._followers.pop(job.id, ()):
+            follower.result = job.result
+            follower.status = job.status
+            follower.error = job.error
+            follower.exception = job.exception
+        self.completed.append(job)
+        self.jobs_completed += 1
+        return job
+
     def run_pending(self) -> list[Job]:
         """Drain the queue; returns the jobs completed by this call."""
         finished: list[Job] = []
         while True:
-            job = self.queue.pop()
+            job = self.run_next()
             if job is None:
                 break
-            started = time.perf_counter()
-            try:
-                job.result = self.service.evaluate(
-                    job.point, worlds=job.worlds, reuse=job.reuse
-                )
-                job.status = DONE
-            except Exception as error:
-                job.status = FAILED
-                job.error = str(error)
-                job.exception = error
-            job.elapsed_seconds = time.perf_counter() - started
-            self.queue.finish(job)
-            for follower in self._followers.pop(job.id, ()):
-                follower.result = job.result
-                follower.status = job.status
-                follower.error = job.error
-                follower.exception = job.exception
             finished.append(job)
-            self.completed.append(job)
-            self.jobs_completed += 1
         return finished
 
     def reuse_summary(self) -> dict[str, Any]:

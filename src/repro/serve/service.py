@@ -102,6 +102,25 @@ class ServiceStats:
         total = reused + self.shard_fresh
         return reused / total if total else 0.0
 
+    def as_dict(self) -> dict[str, Any]:
+        """Deterministic counters only — ``parallel_seconds`` (wall-clock)
+        is excluded so the dict is stable across identical runs; the unified
+        :class:`repro.api.StatsReport` relies on that."""
+        return {
+            "points_evaluated": self.points_evaluated,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "shard_tasks": self.shard_tasks,
+            "sampled_worlds": self.sampled_worlds,
+            "shard_exact_hits": self.shard_exact_hits,
+            "shard_mapped_hits": self.shard_mapped_hits,
+            "shard_fresh": self.shard_fresh,
+            "snapshots_shipped": self.snapshots_shipped,
+            "snapshot_bases_shipped": self.snapshot_bases_shipped,
+            "sampled_batched": self.sampled_batched,
+            "sampled_fallback": self.sampled_fallback,
+        }
+
 
 class EvaluationService:
     """Concurrent, cached scenario evaluation over one coordinator engine."""

@@ -1,0 +1,306 @@
+"""`ProphetClient` handles are bit-identical to the legacy entrypoints.
+
+The compatibility contract of the API redesign: a client-configured
+backend — in-process engine, inline serve, or process-pool serve — must
+produce byte-for-byte the same ``AxisStatistics`` as the pre-client
+spellings (``OnlineSession``, ``OfflineOptimizer``, ``Scheduler``), and
+the unified stats report must be deterministic across identical runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from api_testutil import API_DSL, POINT, assert_stats_identical
+from repro.api import ClientConfig, ProphetClient, SamplingConfig
+from repro.core.engine import ProphetConfig, ProphetEngine
+from repro.core.offline import OfflineOptimizer
+from repro.core.online import OnlineSession
+from repro.dsl import parse_scenario
+from repro.errors import ScenarioError
+from repro.models import build_demo_library
+
+N_WORLDS = 16
+
+CLIENT_CONFIG = ClientConfig(
+    sampling=SamplingConfig(n_worlds=N_WORLDS, refinement_first=8)
+)
+
+ENGINE_CONFIG = ProphetConfig(n_worlds=N_WORLDS, refinement_first=8)
+
+SLIDERS = {"purchase1": 26, "purchase2": 52, "feature": 12}
+
+
+def open_client(**with_kwargs) -> ProphetClient:
+    client = ProphetClient.open(API_DSL, "demo", config=CLIENT_CONFIG)
+    if with_kwargs:
+        client = client.with_serving(**with_kwargs)
+    return client
+
+
+@pytest.fixture
+def legacy_parts():
+    scenario = parse_scenario(API_DSL, name="scenario")
+    return scenario, build_demo_library()
+
+
+class TestInteractiveParity:
+    def _legacy_views(self, legacy_parts):
+        scenario, library = legacy_parts
+        session = OnlineSession(scenario, library, ENGINE_CONFIG)
+        session.set_sliders(SLIDERS)
+        first = session.refresh()
+        session.set_slider("purchase1", 0)
+        second = session.refresh()
+        return first, second
+
+    def _client_views(self, client):
+        handle = client.interactive()
+        handle.set_sliders(SLIDERS)
+        first = handle.refresh()
+        handle.set_slider("purchase1", 0)
+        second = handle.refresh()
+        return first, second
+
+    def test_in_process_backend(self, legacy_parts):
+        expected = self._legacy_views(legacy_parts)
+        with open_client() as client:
+            actual = self._client_views(client)
+        for view, reference in zip(actual, expected):
+            assert_stats_identical(view.statistics, reference.statistics)
+            assert view.refreshed_weeks == reference.refreshed_weeks
+
+    def test_inline_serve_backend(self, legacy_parts):
+        expected = self._legacy_views(legacy_parts)
+        with open_client(executor="inline") as client:
+            actual = self._client_views(client)
+        for view, reference in zip(actual, expected):
+            assert_stats_identical(view.statistics, reference.statistics)
+
+    def test_progressive_refresh_parity(self, legacy_parts):
+        scenario, library = legacy_parts
+        session = OnlineSession(scenario, library, ENGINE_CONFIG)
+        session.set_sliders(SLIDERS)
+        expected = session.refresh_progressive()
+        with open_client() as client:
+            handle = client.interactive()
+            handle.set_sliders(SLIDERS)
+            actual = handle.refresh_progressive()
+        assert len(actual) == len(expected)
+        for view, reference in zip(actual, expected):
+            assert_stats_identical(view.statistics, reference.statistics)
+
+
+class TestSweepParity:
+    def _reference_statistics(self, legacy_parts, points):
+        scenario, library = legacy_parts
+        engine = ProphetEngine(scenario, library, ENGINE_CONFIG)
+        return [engine.evaluate_point(point).statistics for point in points]
+
+    def _grid(self, legacy_parts):
+        scenario, _ = legacy_parts
+        return list(scenario.space.grid(exclude=[scenario.axis]))
+
+    @pytest.mark.parametrize(
+        "serving",
+        [
+            {},
+            {"executor": "inline", "shards": 2},
+            {"executor": "process", "workers": 2},
+        ],
+        ids=["in-process", "inline-sharded", "process-pool"],
+    )
+    def test_full_grid_bitwise(self, legacy_parts, serving):
+        points = self._grid(legacy_parts)
+        expected = self._reference_statistics(legacy_parts, points)
+        with open_client(**serving) as client:
+            results = list(client.sweep(points))
+        assert [result.point for result in results] == [
+            client.scenario.validate_sweep_point(point) for point in points
+        ]
+        for result, reference in zip(results, expected):
+            assert result.ok
+            assert_stats_identical(result.statistics, reference)
+
+    def test_streaming_yields_one_job_per_step(self):
+        with open_client() as client:
+            handle = client.sweep([POINT, {**POINT, "purchase1": 26}])
+            assert len(handle) == 2
+            report = client.stats()
+            assert report.scheduler["jobs_completed"] == 0
+            first = next(handle)
+            assert first.ok
+            assert client.stats().scheduler["jobs_completed"] == 1
+            second = next(handle)
+            assert second.ok
+            with pytest.raises(StopIteration):
+                next(handle)
+
+    def test_evaluate_mid_sweep_leaves_queue_untouched(self):
+        with open_client() as client:
+            handle = client.sweep([POINT, {**POINT, "purchase1": 26}])
+            next(handle)
+            assert client.stats().scheduler["jobs_completed"] == 1
+            evaluation = client.evaluate({**POINT, "feature": 36})
+            # The direct evaluation ran on the service, not the job queue:
+            # the second sweep job is still pending.
+            assert client.stats().scheduler["jobs_completed"] == 1
+            assert evaluation.n_worlds == N_WORLDS
+            second = next(handle)
+            assert second.ok
+
+    def test_duplicate_points_coalesce(self):
+        with open_client() as client:
+            results = list(client.sweep([POINT, POINT, POINT]))
+            assert [result.deduplicated for result in results] == [
+                False,
+                True,
+                True,
+            ]
+            assert client.stats().scheduler["dedup_hits"] == 2
+            # Followers carry the primary's result, bit for bit.
+            assert_stats_identical(results[1].statistics, results[0].statistics)
+
+
+class TestOptimizeParity:
+    @pytest.mark.parametrize(
+        "serving",
+        [{}, {"executor": "inline", "shards": 2}],
+        ids=["in-process", "inline-sharded"],
+    )
+    def test_run_matches_legacy(self, legacy_parts, serving):
+        scenario, library = legacy_parts
+        expected = OfflineOptimizer(scenario, library, ENGINE_CONFIG).run()
+        with open_client(**serving) as client:
+            result = client.optimize().run()
+        assert result.best is not None and expected.best is not None
+        assert result.best.point == expected.best.point
+        assert len(result.records) == len(expected.records)
+        for record, reference in zip(result.records, expected.records):
+            assert record.point == reference.point
+            assert record.feasible == reference.feasible
+            assert_stats_identical(record.statistics, reference.statistics)
+
+    def test_session_name_propagates_to_jobs(self):
+        with open_client(executor="inline") as client:
+            client.optimize(session_name="opt-x").run()
+            assert {job.session for job in client._scheduler.completed} == {"opt-x"}
+
+    def test_best_point_requires_run(self):
+        with open_client() as client:
+            handle = client.optimize()
+            with pytest.raises(Exception, match="has not run"):
+                handle.best_point()
+
+
+class TestResultCache:
+    def test_second_client_serves_from_cache(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        points = [POINT, {**POINT, "feature": 36}]
+        with open_client().with_cache(cache_dir) as first:
+            cold = list(first.sweep(points))
+            assert first.stats().service["cache_hits"] == 0
+        with open_client().with_cache(cache_dir) as second:
+            warm = list(second.sweep(points))
+            assert second.stats().service["cache_hits"] == len(points)
+        for cold_result, warm_result in zip(cold, warm):
+            assert_stats_identical(warm_result.statistics, cold_result.statistics)
+
+
+class TestStatsReport:
+    def _run_and_report(self):
+        with open_client() as client:
+            handle = client.interactive()
+            handle.set_sliders(SLIDERS)
+            handle.refresh()
+            list(client.sweep([POINT]))
+            return client.stats()
+
+    def test_json_stable_across_identical_runs(self):
+        assert self._run_and_report().to_json() == self._run_and_report().to_json()
+
+    def test_sections_present(self):
+        report = self._run_and_report()
+        payload = report.to_dict()
+        assert set(payload) == {
+            "execution",
+            "sampling",
+            "basis",
+            "week_memo",
+            "service",
+            "scheduler",
+        }
+        assert report.sampling["backend"] == "batched"
+        assert report.sampling["sampled_batched"] > 0
+
+    def test_render_covers_every_block(self):
+        text = self._run_and_report().render()
+        for marker in (
+            "execution stats:",
+            "plan cache:",
+            "sampling:",
+            "basis reuse:",
+            "basis tier:",
+            "week memo:",
+            "service stats:",
+            "result cache:",
+            "shard sampling:",
+            "scheduler:",
+        ):
+            assert marker in text
+
+    def test_engine_only_report_omits_service(self):
+        with open_client() as client:
+            handle = client.interactive()
+            handle.set_sliders(SLIDERS)
+            handle.refresh()
+            report = client.stats()
+        assert report.service is None
+        assert "service stats:" not in report.render()
+        assert "service" not in report.to_dict()
+
+
+class TestFluentConfiguration:
+    def test_with_helpers_return_new_clients(self):
+        base = open_client()
+        tuned = base.with_sampling(n_worlds=8).with_basis_store(cap=4)
+        assert tuned is not base
+        assert tuned.config.sampling.n_worlds == 8
+        assert tuned.config.store.basis_cap == 4
+        assert base.config.sampling.n_worlds == N_WORLDS
+
+    def test_chained_fluent_calls_accumulate(self):
+        client = (
+            open_client()
+            .with_serving(workers=2)
+            .with_serving(executor="inline")
+            .with_basis_store(cap=4)
+            .with_basis_store(dir="/spill")
+        )
+        assert client.config.serve.workers == 2  # not reset by the 2nd call
+        assert client.config.serve.executor == "inline"
+        assert client.config.store.basis_cap == 4  # not reset by dir=
+        assert client.config.store.basis_dir == "/spill"
+
+    def test_bare_with_serving_opts_in(self):
+        with open_client().with_serving() as client:
+            assert client.config.serve.enabled
+            assert client.backend_description() != "sequential"
+
+    def test_fluent_after_backend_build_rejected(self):
+        with open_client() as client:
+            client.interactive()  # forces the backend
+            with pytest.raises(ScenarioError, match="before the backend"):
+                client.with_sampling(n_worlds=8)
+
+    def test_unknown_library_name(self):
+        with pytest.raises(ScenarioError, match="unknown VG library"):
+            ProphetClient.open(API_DSL, "nope")
+
+    def test_process_serving_requires_shippable_scenario(self, legacy_parts):
+        scenario, library = legacy_parts
+        client = ProphetClient.open(scenario, library).with_serving(
+            workers=2, executor="process"
+        )
+        with pytest.raises(Exception, match="shippable"):
+            client.engine

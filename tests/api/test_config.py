@@ -1,0 +1,177 @@
+"""The typed layered configuration: validation, round-trips, the flat shim."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import (
+    CacheConfig,
+    ClientConfig,
+    ReuseConfig,
+    SamplingConfig,
+    ServeConfig,
+    StoreConfig,
+)
+from repro.core.engine import ProphetConfig
+from repro.errors import ScenarioError
+
+
+class TestSectionValidation:
+    def test_unknown_sampling_backend(self):
+        with pytest.raises(ScenarioError, match="unknown sampling backend"):
+            SamplingConfig(backend="turbo")
+
+    def test_nonpositive_worlds(self):
+        with pytest.raises(ScenarioError, match="n_worlds"):
+            SamplingConfig(n_worlds=0)
+
+    def test_negative_basis_cap(self):
+        with pytest.raises(ScenarioError, match="basis_cap"):
+            StoreConfig(basis_cap=-1)
+
+    def test_negative_basis_byte_cap(self):
+        with pytest.raises(ScenarioError, match="basis_byte_cap"):
+            StoreConfig(basis_byte_cap=-1)
+
+    def test_zero_caps_allowed(self):
+        store = StoreConfig(basis_cap=0, basis_byte_cap=0)
+        assert store.basis_cap == 0
+
+    def test_unknown_executor_kind(self):
+        with pytest.raises(ScenarioError, match="unknown executor kind"):
+            ServeConfig(executor="gpu")
+
+    def test_bad_worker_count(self):
+        with pytest.raises(ScenarioError, match="workers"):
+            ServeConfig(workers=0)
+
+    def test_bad_mapped_fraction(self):
+        with pytest.raises(ScenarioError, match="min_mapped_fraction"):
+            ReuseConfig(min_mapped_fraction=1.5)
+
+    def test_section_type_enforced(self):
+        with pytest.raises(ScenarioError, match="section 'sampling'"):
+            ClientConfig(sampling=ServeConfig())  # type: ignore[arg-type]
+
+    def test_serve_enabled_semantics(self):
+        assert not ServeConfig().enabled
+        assert ServeConfig(workers=2).enabled
+        assert ServeConfig(shards=4).enabled
+        assert ServeConfig(executor="inline").enabled
+        assert not CacheConfig().enabled
+        assert CacheConfig(dir="/tmp/x").enabled
+
+
+class TestProphetConfigValidation:
+    """The legacy flat config rejects bad knobs at construction now too."""
+
+    def test_unknown_sampling_backend(self):
+        with pytest.raises(ScenarioError, match="unknown sampling backend"):
+            ProphetConfig(sampling_backend="turbo")
+
+    def test_negative_basis_cap(self):
+        with pytest.raises(ScenarioError, match="basis_cap"):
+            ProphetConfig(basis_cap=-3)
+
+    def test_negative_basis_byte_cap(self):
+        with pytest.raises(ScenarioError, match="basis_byte_cap"):
+            ProphetConfig(basis_byte_cap=-1)
+
+    def test_nonpositive_worlds(self):
+        with pytest.raises(ScenarioError, match="n_worlds"):
+            ProphetConfig(n_worlds=0)
+
+
+class TestFlatShim:
+    def test_default_client_config_derives_default_engine_config(self):
+        assert ClientConfig().engine_config() == ProphetConfig()
+
+    def test_every_knob_travels(self):
+        config = ClientConfig(
+            sampling=SamplingConfig(
+                n_worlds=60,
+                base_seed=7,
+                backend="loop",
+                refinement_first=10,
+                refinement_growth=3.0,
+            ),
+            reuse=ReuseConfig(
+                fingerprint_seeds=4,
+                correlation_tolerance=1e-5,
+                min_mapped_fraction=0.2,
+                enable_stats_cache=False,
+            ),
+            store=StoreConfig(basis_cap=16, basis_byte_cap=1 << 20, basis_dir="/x"),
+        )
+        flat = config.engine_config()
+        assert flat == ProphetConfig(
+            n_worlds=60,
+            base_seed=7,
+            fingerprint_seeds=4,
+            correlation_tolerance=1e-5,
+            min_mapped_fraction=0.2,
+            refinement_first=10,
+            refinement_growth=3.0,
+            enable_stats_cache=False,
+            basis_cap=16,
+            basis_byte_cap=1 << 20,
+            basis_dir="/x",
+            sampling_backend="loop",
+        )
+
+    def test_lift_is_lossless(self):
+        flat = ProphetConfig(n_worlds=33, base_seed=5, basis_cap=8)
+        assert ClientConfig.from_engine_config(flat).engine_config() == flat
+
+
+class TestMappingRoundTrips:
+    CONFIG = ClientConfig(
+        sampling=SamplingConfig(n_worlds=48, backend="loop"),
+        store=StoreConfig(basis_cap=4, basis_dir="/spill"),
+        serve=ServeConfig(workers=2, shards=3, executor="process"),
+        cache=CacheConfig(dir="/cache"),
+    )
+
+    def test_plain_round_trip(self):
+        assert ClientConfig.from_mapping(self.CONFIG.to_mapping()) == self.CONFIG
+
+    def test_portable_round_trip_through_json(self):
+        payload = json.dumps(self.CONFIG.to_mapping(portable=True))
+        assert ClientConfig.from_mapping(json.loads(payload)) == self.CONFIG
+
+    def test_default_round_trip(self):
+        assert ClientConfig.from_mapping(ClientConfig().to_mapping()) == ClientConfig()
+
+    def test_partial_mapping_fills_defaults(self):
+        config = ClientConfig.from_mapping({"sampling": {"n_worlds": 12}})
+        assert config.sampling.n_worlds == 12
+        assert config.reuse == ReuseConfig()
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown config section"):
+            ClientConfig.from_mapping({"smapling": {}})
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown key"):
+            ClientConfig.from_mapping({"sampling": {"worlds": 10}})
+
+    def test_values_validated_on_load(self):
+        with pytest.raises(ScenarioError, match="unknown sampling backend"):
+            ClientConfig.from_mapping({"sampling": {"backend": "turbo"}})
+
+
+class TestReplaceSection:
+    def test_replace_returns_new_validated_config(self):
+        config = ClientConfig().replace_section("sampling", n_worlds=99)
+        assert config.sampling.n_worlds == 99
+        assert ClientConfig().sampling.n_worlds == 200  # original untouched
+
+    def test_replace_validates(self):
+        with pytest.raises(ScenarioError, match="unknown sampling backend"):
+            ClientConfig().replace_section("sampling", backend="turbo")
+
+    def test_replace_unknown_section(self):
+        with pytest.raises(ScenarioError, match="unknown config section"):
+            ClientConfig().replace_section("storage", basis_cap=1)

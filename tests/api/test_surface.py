@@ -1,0 +1,78 @@
+"""The public-API surface contract.
+
+Locks ``repro.api.__all__`` to an explicit snapshot — an accidental export
+addition or removal fails here, in CI, instead of silently changing the
+public surface — and pins the deprecation behavior of the legacy
+top-level spellings.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro
+import repro.api
+
+#: THE public surface. Changing it is an API decision: update this
+#: snapshot deliberately, in the same commit, with a changelog entry.
+SURFACE_SNAPSHOT = (
+    "CacheConfig",
+    "ClientConfig",
+    "InteractiveHandle",
+    "OptimizeHandle",
+    "ProphetClient",
+    "ReuseConfig",
+    "SamplingConfig",
+    "ServeConfig",
+    "StatsReport",
+    "StoreConfig",
+    "SweepHandle",
+    "SweepResult",
+)
+
+
+class TestApiSurface:
+    def test_all_matches_snapshot(self):
+        assert tuple(sorted(repro.api.__all__)) == SURFACE_SNAPSHOT
+
+    def test_every_export_resolves(self):
+        for name in repro.api.__all__:
+            assert getattr(repro.api, name) is not None
+
+    def test_no_private_leaks(self):
+        assert not [name for name in repro.api.__all__ if name.startswith("_")]
+
+
+class TestTopLevelSurface:
+    def test_client_surface_reexported_without_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            for name in repro.api.__all__:
+                assert getattr(repro, name) is getattr(repro.api, name)
+
+    def test_parse_scenario_not_deprecated(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert repro.parse_scenario is not None
+
+    def test_legacy_spelling_warns_and_resolves(self):
+        from repro.core import OnlineSession
+
+        with pytest.warns(DeprecationWarning, match="repro.OnlineSession"):
+            assert repro.OnlineSession is OnlineSession
+
+    def test_every_legacy_spelling_resolves_with_warning(self):
+        for name in repro._LEGACY_EXPORTS:
+            with pytest.warns(DeprecationWarning, match=f"repro.{name}"):
+                assert getattr(repro, name) is not None
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            repro.NoSuchThing
+
+    def test_dir_covers_legacy_names(self):
+        listing = dir(repro)
+        assert "OnlineSession" in listing
+        assert "ProphetClient" in listing

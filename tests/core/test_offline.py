@@ -78,6 +78,25 @@ class TestOfflineOptimizer:
         with pytest.raises(OptimizationError, match="OPTIMIZE"):
             OfflineOptimizer(scenario, library, CONFIG)
 
+    def test_engine_for_other_scenario_rejected(self):
+        from repro.core.engine import ProphetEngine
+
+        scenario, library = build_risk_vs_cost(purchase_step=16)
+        other_scenario, other_library = build_risk_vs_cost(purchase_step=16)
+        engine = ProphetEngine(other_scenario, other_library, CONFIG)
+        with pytest.raises(OptimizationError, match="different scenario"):
+            OfflineOptimizer(scenario, library, engine=engine)
+
+    def test_engine_config_conflict_rejected(self):
+        from repro.core.engine import ProphetEngine
+
+        scenario, library = build_risk_vs_cost(purchase_step=16)
+        engine = ProphetEngine(scenario, library, CONFIG)
+        with pytest.raises(OptimizationError, match="config= conflicts"):
+            OfflineOptimizer(
+                scenario, library, ProphetConfig(n_worlds=5), engine=engine
+            )
+
     def test_sweep_covers_grid(self):
         optimizer = make_optimizer()
         result = optimizer.run()
