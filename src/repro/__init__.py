@@ -48,6 +48,7 @@ from repro.api import (
     InteractiveHandle,
     OptimizeHandle,
     ProphetClient,
+    ResilienceConfig,
     ReuseConfig,
     SamplingConfig,
     ServeConfig,
@@ -130,6 +131,7 @@ __all__ = [
     "ReuseConfig",
     "StoreConfig",
     "ServeConfig",
+    "ResilienceConfig",
     "CacheConfig",
     "InteractiveHandle",
     "SweepHandle",

@@ -4,10 +4,10 @@ Everything a caller needs lives here and only here:
 
 * :class:`ProphetClient` — ``open(scenario, library, config=...)`` plus the
   fluent ``with_serving`` / ``with_cache`` / ``with_basis_store`` /
-  ``with_sampling`` helpers;
+  ``with_sampling`` / ``with_resilience`` helpers;
 * the typed layered configuration — :class:`ClientConfig` composing
   :class:`SamplingConfig`, :class:`ReuseConfig`, :class:`StoreConfig`,
-  :class:`ServeConfig`, :class:`CacheConfig`;
+  :class:`ServeConfig`, :class:`ResilienceConfig`, :class:`CacheConfig`;
 * the three uniform handles — :class:`InteractiveHandle`,
   :class:`SweepHandle` (streaming :class:`SweepResult` iterator),
   :class:`OptimizeHandle`;
@@ -21,6 +21,7 @@ from repro.api.client import ProphetClient
 from repro.api.config import (
     CacheConfig,
     ClientConfig,
+    ResilienceConfig,
     ReuseConfig,
     SamplingConfig,
     ServeConfig,
@@ -40,6 +41,7 @@ __all__ = [
     "InteractiveHandle",
     "OptimizeHandle",
     "ProphetClient",
+    "ResilienceConfig",
     "ReuseConfig",
     "SamplingConfig",
     "ServeConfig",

@@ -204,6 +204,35 @@ class ProphetClient:
             changes["base_seed"] = base_seed
         return self.with_config(self.config.replace_section("sampling", **changes))
 
+    def with_resilience(
+        self,
+        *,
+        shard_timeout: Optional[float] = None,
+        shard_retries: Optional[int] = None,
+        retry_backoff: Optional[float] = None,
+        inline_rescue: Optional[bool] = None,
+        job_retries: Optional[int] = None,
+    ) -> "ProphetClient":
+        """Tune the fault-tolerance ladder (deadlines, retries, rescue).
+
+        Only the knobs actually passed are changed — chained calls
+        accumulate instead of resetting each other. Any non-default
+        resilience section routes evaluations through the serve backend,
+        where the shard dispatcher lives.
+        """
+        changes: dict[str, Any] = {}
+        if shard_timeout is not None:
+            changes["shard_timeout"] = shard_timeout
+        if shard_retries is not None:
+            changes["shard_retries"] = shard_retries
+        if retry_backoff is not None:
+            changes["retry_backoff"] = retry_backoff
+        if inline_rescue is not None:
+            changes["inline_rescue"] = inline_rescue
+        if job_retries is not None:
+            changes["job_retries"] = job_retries
+        return self.with_config(self.config.replace_section("resilience", **changes))
+
     def _require_unbuilt(self, method: str) -> None:
         if self._engine is not None or self._service is not None:
             raise ScenarioError(
@@ -262,6 +291,7 @@ class ProphetClient:
                 cache_dir=self.config.cache.dir,
                 min_shard_worlds=serve.min_shard_worlds,
                 share_bases=serve.share_bases,
+                resilience=self.config.resilience,
             )
         else:
             engine = ProphetEngine(self.scenario, self.library, engine_config)
@@ -272,6 +302,7 @@ class ProphetClient:
                 cache_dir=self.config.cache.dir,
                 min_shard_worlds=serve.min_shard_worlds,
                 share_bases=serve.share_bases,
+                resilience=self.config.resilience,
             )
         self._scheduler = Scheduler(self._service)
 
@@ -286,7 +317,9 @@ class ProphetClient:
         if self._scheduler is None:
             self._ensure_backend()
             if self._scheduler is None:
-                self._service = EvaluationService(engine=self._engine)
+                self._service = EvaluationService(
+                    engine=self._engine, resilience=self.config.resilience
+                )
                 self._scheduler = Scheduler(self._service)
         return self._scheduler
 

@@ -1,8 +1,9 @@
 """Typed, layered client configuration.
 
 One :class:`ClientConfig` replaces the constructor sprawl of the four
-legacy entrypoints: five frozen section dataclasses — sampling, reuse,
-basis store, serving, result cache — compose into one validated object.
+legacy entrypoints: six frozen section dataclasses — sampling, reuse,
+basis store, serving, resilience, result cache — compose into one
+validated object.
 Every knob that used to live in the flat :class:`~repro.core.engine.
 ProphetConfig` (or in ``EvaluationService``/CLI keyword arguments) has
 exactly one home here, and :meth:`ClientConfig.engine_config` derives the
@@ -29,6 +30,7 @@ from repro.core.argcodec import decode_value, encode_value
 from repro.core.engine import ProphetConfig
 from repro.core.sampling import SAMPLING_BACKENDS
 from repro.errors import ScenarioError
+from repro.serve.resilience import ResilienceConfig
 
 #: Executor kinds the serving section accepts (see repro.serve.executors).
 EXECUTOR_KINDS: tuple[str, ...] = ("auto", "process", "inline")
@@ -171,6 +173,7 @@ _SECTIONS: dict[str, type] = {
     "reuse": ReuseConfig,
     "store": StoreConfig,
     "serve": ServeConfig,
+    "resilience": ResilienceConfig,
     "cache": CacheConfig,
 }
 
@@ -179,15 +182,19 @@ _SECTIONS: dict[str, type] = {
 class ClientConfig:
     """The one configuration object behind a :class:`~repro.api.ProphetClient`.
 
-    Composes the five sections; backends — in-process engine vs sharded
-    service, loop vs batched sampling, tiered store, result cache — are
-    pure configuration here, never separate constructor dialects.
+    Composes the six sections; backends — in-process engine vs sharded
+    service, loop vs batched sampling, tiered store, fault-tolerance
+    ladder, result cache — are pure configuration here, never separate
+    constructor dialects. The resilience section is defined next to the
+    machinery it configures (:mod:`repro.serve.resilience`) and composed
+    here like any other.
     """
 
     sampling: SamplingConfig = field(default_factory=SamplingConfig)
     reuse: ReuseConfig = field(default_factory=ReuseConfig)
     store: StoreConfig = field(default_factory=StoreConfig)
     serve: ServeConfig = field(default_factory=ServeConfig)
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     cache: CacheConfig = field(default_factory=CacheConfig)
 
     def __post_init__(self) -> None:
@@ -230,6 +237,7 @@ class ClientConfig:
         config: ProphetConfig,
         *,
         serve: Optional[ServeConfig] = None,
+        resilience: Optional[ResilienceConfig] = None,
         cache: Optional[CacheConfig] = None,
     ) -> "ClientConfig":
         """Lift a legacy flat config into the layered form (lossless)."""
@@ -253,6 +261,7 @@ class ClientConfig:
                 basis_dir=config.basis_dir,
             ),
             serve=serve or ServeConfig(),
+            resilience=resilience or ResilienceConfig(),
             cache=cache or CacheConfig(),
         )
 
@@ -325,8 +334,17 @@ class ClientConfig:
         return replace(self, **{name: replace(getattr(self, name), **changes)})
 
     def wants_service(self) -> bool:
-        """Does this config require the serve backend (vs a bare engine)?"""
-        return self.serve.enabled or self.cache.enabled
+        """Does this config require the serve backend (vs a bare engine)?
+
+        A non-default resilience section counts: deadlines, retry budgets,
+        and rescue semantics only exist in the service's shard dispatcher,
+        so asking for them is asking for the service.
+        """
+        return (
+            self.serve.enabled
+            or self.cache.enabled
+            or self.resilience != ResilienceConfig()
+        )
 
 
 def _plain_value(value: Any) -> Any:

@@ -86,6 +86,7 @@ class StatsReport:
         if scheduler is not None:
             scheduler_dict = {
                 "jobs_completed": scheduler.jobs_completed,
+                "jobs_retried": scheduler.jobs_retried,
                 "dedup_hits": scheduler.dedup_hits,
             }
         return cls(
@@ -165,10 +166,15 @@ class StatsReport:
             f"({sv['snapshot_bases_shipped']} snapshot bases shipped)",
             f"  shard sampling: {sv['sampled_batched']} worlds batched / "
             f"{sv['sampled_fallback']} worlds per-world loop",
+            f"  resilience: {sv['shard_retries']} shard retries / "
+            f"{sv['shard_timeouts']} timeouts / "
+            f"{sv['pool_rebuilds']} pool rebuilds / "
+            f"{sv['inline_rescues']} inline rescues",
         ]
         if self.scheduler is not None:
             lines.append(
                 f"  scheduler: {sc['jobs_completed']} jobs, "
+                f"{sc['jobs_retried']} retried, "
                 f"{sc['dedup_hits']} deduplicated"
             )
         return lines

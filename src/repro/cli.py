@@ -31,6 +31,7 @@ from repro.api import (
     CacheConfig,
     ClientConfig,
     ProphetClient,
+    ResilienceConfig,
     SamplingConfig,
     ServeConfig,
     StoreConfig,
@@ -138,6 +139,21 @@ def build_parser() -> argparse.ArgumentParser:
             choices=("auto", "process", "inline"),
             help="shard executor backend (auto: process pool when workers > 1)",
         )
+        sub.add_argument(
+            "--shard-timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="per-shard result deadline; a shard that misses it is "
+            "retried and the worker pool is healed (default: wait forever)",
+        )
+        sub.add_argument(
+            "--shard-retries",
+            type=int,
+            default=None,
+            help="extra submission rounds a transiently-failed shard gets "
+            "before inline rescue (default: 2)",
+        )
 
     optimize = subparsers.add_parser(
         "optimize", help="run the scenario's OPTIMIZE block over the full grid"
@@ -205,6 +221,14 @@ def _parse_assignment(text: str) -> tuple[str, Any]:
 
 def _client_config(args: argparse.Namespace) -> ClientConfig:
     """One typed layered config from the flat CLI flags."""
+    # Only flags the user actually passed touch the resilience section, so
+    # an untouched section stays equal to the default and does not force
+    # the serve backend by itself (wants_service()).
+    resilience_changes: dict[str, Any] = {}
+    if getattr(args, "shard_timeout", None) is not None:
+        resilience_changes["shard_timeout"] = args.shard_timeout
+    if getattr(args, "shard_retries", None) is not None:
+        resilience_changes["shard_retries"] = args.shard_retries
     return ClientConfig(
         sampling=SamplingConfig(
             n_worlds=args.worlds,
@@ -220,6 +244,7 @@ def _client_config(args: argparse.Namespace) -> ClientConfig:
             shards=getattr(args, "shards", None),
             executor=getattr(args, "executor", "auto"),
         ),
+        resilience=ResilienceConfig(**resilience_changes),
         cache=CacheConfig(dir=getattr(args, "cache_dir", None)),
     )
 

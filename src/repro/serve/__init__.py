@@ -21,6 +21,12 @@ Reuse layers, in the order they fire for one evaluation request:
    requested slice;
 5. **sharded fresh sampling** — whatever survives all reuse is sharded
    across workers, deterministically, and merged bit-identically.
+
+Every shard fan-out goes through the fault-tolerance ladder in
+:mod:`repro.serve.resilience` — per-shard deadlines, bounded deterministic
+retries, pool self-healing, and inline rescue as the last rung — so a
+faulty substrate costs time, never answers; :mod:`repro.serve.faults`
+provides the deterministic chaos harness that proves it.
 """
 
 from repro.serve.cache import CachedResult, ResultCache, result_key, scenario_fingerprint
@@ -29,6 +35,13 @@ from repro.serve.executors import (
     ProcessExecutor,
     create_executor,
 )
+from repro.serve.faults import (
+    FaultInjected,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.serve.resilience import ResilienceConfig, ShardCall, ShardDispatcher
 from repro.serve.scheduler import Job, JobQueue, Scheduler, SweepJob
 from repro.serve.service import EvaluationService, ServiceStats
 from repro.serve.sharding import WorldShard, plan_shards
@@ -44,6 +57,10 @@ __all__ = [
     "BasisSnapshot",
     "CachedResult",
     "EngineSpec",
+    "FaultInjected",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
     "ShardSample",
     "EvaluationService",
     "InlineExecutor",
@@ -51,10 +68,13 @@ __all__ = [
     "JobQueue",
     "LIBRARY_BUILDERS",
     "ProcessExecutor",
+    "ResilienceConfig",
     "ResultCache",
     "SCENARIO_BUILDERS",
     "Scheduler",
     "ServiceStats",
+    "ShardCall",
+    "ShardDispatcher",
     "SweepJob",
     "WorldShard",
     "create_executor",

@@ -34,6 +34,21 @@ from repro.vg.library import VGLibrary
 _ZIP_EPOCH = (1980, 1, 1, 0, 0, 0)
 
 
+def _pid_alive(pid: int) -> bool:
+    """Is a process with this pid currently running?
+
+    Signal 0 probes without touching the target; ``EPERM`` means it exists
+    but belongs to someone else — still alive for our purposes.
+    """
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True
+    return True
+
+
 def scenario_fingerprint(scenario: Scenario, library: VGLibrary) -> str:
     """Content hash of a scenario + VG library pairing.
 
@@ -154,6 +169,9 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: Stale ``.tmp.<pid>`` files removed at init (crash-recovery
+        #: observability; see :meth:`_sweep_stale_tmp`).
+        self.tmp_swept = self._sweep_stale_tmp()
 
     # -- paths -------------------------------------------------------------
 
@@ -250,11 +268,55 @@ class ResultCache:
         self.stores += 1
         return payload
 
+    def _sweep_stale_tmp(self) -> int:
+        """Remove tmp files orphaned by a writer that crashed mid-write.
+
+        ``_atomic_write`` stages every payload as ``<path>.tmp.<pid>``; a
+        process killed between staging and ``os.replace`` leaves the tmp
+        file behind forever (its key is content-addressed, so no later
+        write reuses the exact name for long). Swept at init: a tmp file
+        whose writer pid is no longer alive — or is *this* process, which
+        cannot have a write in flight during construction — is garbage.
+        Tmp files of live foreign writers are left alone.
+        """
+        swept = 0
+        for name in os.listdir(self.directory):
+            if ".tmp." not in name:
+                continue
+            pid_text = name.rsplit(".tmp.", 1)[1]
+            try:
+                pid = int(pid_text)
+            except ValueError:
+                pid = None  # malformed suffix: nobody owns it
+            if pid is not None and pid != os.getpid() and _pid_alive(pid):
+                continue
+            try:
+                os.unlink(os.path.join(self.directory, name))
+                swept += 1
+            except OSError:
+                pass  # raced with the owner finishing; either way it's gone
+        return swept
+
     def _atomic_write(self, path: str, payload: bytes) -> None:
         tmp = f"{path}.tmp.{os.getpid()}"
         with open(tmp, "wb") as handle:
             handle.write(payload)
+            handle.flush()
+            # fsync before the rename: os.replace is atomic in the
+            # namespace but says nothing about the *data* — a crash after
+            # the rename could otherwise leave the final name pointing at
+            # a truncated payload.
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
+        try:
+            # Persist the rename itself (the directory entry).
+            dir_fd = os.open(self.directory, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+        except OSError:
+            pass  # not supported on this platform/filesystem; best effort
 
     # -- observability -----------------------------------------------------
 

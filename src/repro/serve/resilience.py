@@ -1,0 +1,329 @@
+"""Fault tolerance for the shard fan-out: deadlines, retries, self-healing.
+
+The serving plane's availability contract is that a faulty substrate may
+cost *time*, never *answers*: shards are pure functions of
+``(spec, point, world slice, snapshot)``, so any shard that failed — a
+crashed worker, a missed deadline, a mangled payload — can be re-run
+anywhere, including inline on the coordinator, and produce the bit-identical
+rows. :class:`ShardDispatcher` turns that purity into a recovery ladder,
+applied round by round to a fan-out:
+
+1. **deadline** — each shard result is awaited with a per-shard timeout
+   (``shard_timeout``), so a hung worker costs one deadline, not the
+   session;
+2. **bounded retries** — shards that failed transiently (timeout, crash,
+   broken pool, injected fault, garbage payload) are re-submitted for up
+   to ``shard_retries`` further rounds, with deterministic exponential
+   backoff between rounds;
+3. **pool self-healing** — a round that saw a timeout or a
+   ``BrokenProcessPool`` recycles the process pool (terminating stuck
+   workers) before the next round, so one bad worker cannot poison every
+   subsequent submission;
+4. **inline rescue** — when retries are exhausted, surviving failures are
+   re-run synchronously on the coordinator (``inline_rescue``), degrading
+   the fan-out to sequential speed for those shards but never to a wrong
+   or missing answer.
+
+Permanent errors — anything not in the :class:`~repro.errors.
+TransientServeError` branch, a broken pool, or a timeout — are *not*
+retried: a deterministic bug recurs identically, so the dispatcher
+collects every outstanding future (no leaked in-flight work) and
+re-raises immediately.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import (
+    RetryExhaustedError,
+    ScenarioError,
+    ShardPayloadError,
+    ShardTimeoutError,
+    TransientServeError,
+)
+from repro.serve.faults import FaultInjector
+from repro.serve.worker import ShardSample
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ScenarioError(message)
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Every knob of the fault-tolerance ladder, in one frozen section.
+
+    The defaults are active — bounded retries, pool self-healing, and
+    inline rescue all apply out of the box — but change nothing on a
+    healthy substrate: with no deadline configured and no fault occurring,
+    the dispatcher is a plain submit-and-collect loop.
+
+    ``shard_timeout``
+        Seconds to wait for one shard result before declaring it hung
+        (``None`` = wait forever, the pre-resilience behavior).
+    ``shard_retries``
+        How many additional submission rounds a transiently-failed shard
+        gets before the rescue ladder's last rung.
+    ``retry_backoff``
+        Base seconds slept between rounds, doubling each round —
+        deterministic (no jitter), so chaos runs are reproducible.
+    ``inline_rescue``
+        Re-run still-failing shards synchronously on the coordinator after
+        retries are exhausted. Bit-identical by shard purity; turning it
+        off surfaces :class:`~repro.errors.RetryExhaustedError` instead.
+    ``job_retries``
+        How many times the :class:`~repro.serve.scheduler.Scheduler`
+        re-runs a whole job that failed with a *transient* error
+        (permanent failures surface as ``FAILED`` immediately).
+    """
+
+    shard_timeout: Optional[float] = None
+    shard_retries: int = 2
+    retry_backoff: float = 0.05
+    inline_rescue: bool = True
+    job_retries: int = 1
+
+    def __post_init__(self) -> None:
+        _require(
+            self.shard_timeout is None or self.shard_timeout > 0,
+            f"shard_timeout must be > 0 or None, got {self.shard_timeout}",
+        )
+        _require(
+            self.shard_retries >= 0,
+            f"shard_retries must be >= 0, got {self.shard_retries}",
+        )
+        _require(
+            self.retry_backoff >= 0,
+            f"retry_backoff must be >= 0, got {self.retry_backoff}",
+        )
+        _require(
+            self.job_retries >= 0,
+            f"job_retries must be >= 0, got {self.job_retries}",
+        )
+
+
+@dataclass
+class ShardCall:
+    """One shard's unit of work, as the dispatcher sees it.
+
+    ``fn(*args)`` is what goes to the executor (module-level and picklable
+    for process pools); ``rescue()`` re-runs the same pure computation
+    synchronously on the coordinator — the caller guarantees both produce
+    the bit-identical :class:`~repro.serve.worker.ShardSample`.
+    ``expected_rows`` lets the dispatcher validate payload shape without
+    knowing anything else about the computation.
+    """
+
+    fn: Callable[..., Any]
+    args: tuple[Any, ...]
+    rescue: Callable[[], ShardSample]
+    expected_rows: int
+    expected_components: Optional[int] = None
+    #: Assigned by the dispatcher: the global fault-plan sequence number.
+    seq: int = field(default=-1, repr=False)
+
+
+class ShardDispatcher:
+    """Dispatch shard fan-outs with deadlines, retries, healing, rescue.
+
+    One per :class:`~repro.serve.service.EvaluationService`; mutates the
+    service's :class:`~repro.serve.service.ServiceStats` counters
+    (``shard_retries`` / ``shard_timeouts`` / ``pool_rebuilds`` /
+    ``inline_rescues``) so every recovery is observable. The executor is
+    held by reference and recycled *in place* (see
+    :meth:`~repro.serve.executors.ProcessExecutor.recycle`), so the service
+    and the dispatcher always agree on the live pool.
+    """
+
+    def __init__(
+        self,
+        executor: Any,
+        stats: Any,
+        config: ResilienceConfig,
+        injector: Optional[FaultInjector] = None,
+    ) -> None:
+        self.executor = executor
+        self.stats = stats
+        self.config = config
+        self.injector = injector
+
+    # -- public entrypoint --------------------------------------------------
+
+    def dispatch(self, calls: Sequence[ShardCall]) -> list[ShardSample]:
+        """Run every call to completion; results in call order.
+
+        Raises the first *permanent* error encountered (after collecting
+        every outstanding future of the round, so no in-flight work is
+        leaked); transient failures walk the retry → heal → rescue ladder.
+        """
+        for call in calls:
+            call.seq = self.injector.assign_seq() if self.injector else -1
+        results: list[Optional[ShardSample]] = [None] * len(calls)
+        reasons: dict[int, BaseException] = {}
+        pending = list(range(len(calls)))
+        attempt = 0
+        while True:
+            failed, permanent = self._run_round(
+                calls, pending, attempt, results, reasons
+            )
+            if permanent is not None:
+                raise permanent
+            if not failed:
+                return results  # type: ignore[return-value]
+            if attempt < self.config.shard_retries:
+                self.stats.shard_retries += len(failed)
+                self._backoff(attempt)
+                pending = failed
+                attempt += 1
+                continue
+            return self._rescue(calls, failed, results, reasons)
+
+    # -- one submission round ----------------------------------------------
+
+    def _run_round(
+        self,
+        calls: Sequence[ShardCall],
+        pending: Sequence[int],
+        attempt: int,
+        results: list[Optional[ShardSample]],
+        reasons: dict[int, BaseException],
+    ) -> tuple[list[int], Optional[BaseException]]:
+        """Submit ``pending`` calls, collect *every* future, classify.
+
+        Returns (transiently-failed indices, first permanent error). All
+        futures are always collected before returning — the error path may
+        not leave work in flight (a leaked future would keep a pool slot
+        busy and its result would arrive into nothing).
+        """
+        futures = [(index, self._submit(calls[index], attempt)) for index in pending]
+        failed: list[int] = []
+        permanent: Optional[BaseException] = None
+        needs_heal = False
+        for index, future in futures:
+            try:
+                payload = future.result(timeout=self.config.shard_timeout)
+            except FuturesTimeoutError:
+                self.stats.shard_timeouts += 1
+                reasons[index] = ShardTimeoutError(
+                    f"shard missed its {self.config.shard_timeout}s deadline"
+                )
+                failed.append(index)
+                needs_heal = True  # the worker may be hung in its slot
+                continue
+            except BrokenProcessPool as error:
+                reasons[index] = error
+                failed.append(index)
+                needs_heal = True
+                continue
+            except TransientServeError as error:
+                reasons[index] = error
+                failed.append(index)
+                continue
+            except Exception as error:  # permanent: collect the rest, then raise
+                if permanent is None:
+                    permanent = error
+                continue
+            problem = self._payload_problem(calls[index], payload)
+            if problem is not None:
+                # Coordinator-side classification: a mangled payload is a
+                # substrate fault (bit rot, a confused worker), transient
+                # by the same purity argument as a crash.
+                reasons[index] = ShardPayloadError(problem)
+                failed.append(index)
+                continue
+            results[index] = payload
+        if needs_heal:
+            self._heal_pool()
+        return failed, permanent
+
+    def _submit(self, call: ShardCall, attempt: int) -> Any:
+        fn, args = call.fn, call.args
+        if self.injector is not None:
+            fn, args = self.injector.wrap(
+                call.seq, attempt, self.executor.kind == "process", fn, args
+            )
+        try:
+            return self.executor.submit(fn, *args)
+        except BrokenProcessPool:
+            # A pool broken by an earlier dispatch (e.g. rescue ran without
+            # a final heal) refuses new work at submit time; heal once and
+            # resubmit.
+            self._heal_pool()
+            return self.executor.submit(fn, *args)
+
+    # -- the recovery ladder -------------------------------------------------
+
+    def _heal_pool(self) -> None:
+        if self.executor.kind != "process":
+            return
+        self.executor.recycle()
+        self.stats.pool_rebuilds += 1
+
+    def _backoff(self, attempt: int) -> None:
+        if self.config.retry_backoff > 0:
+            time.sleep(self.config.retry_backoff * (2**attempt))
+
+    def _rescue(
+        self,
+        calls: Sequence[ShardCall],
+        failed: Sequence[int],
+        results: list[Optional[ShardSample]],
+        reasons: dict[int, BaseException],
+    ) -> list[ShardSample]:
+        if not self.config.inline_rescue:
+            last = reasons.get(failed[-1])
+            raise RetryExhaustedError(
+                f"{len(failed)} shard(s) still failing after "
+                f"{self.config.shard_retries + 1} attempt(s) and inline "
+                f"rescue is disabled (last failure: {last})"
+            )
+        for index in failed:
+            # The rescue closure re-runs the pure shard computation on the
+            # coordinator, outside the fault injector and the executor —
+            # bit-identical by construction, sequential by necessity.
+            results[index] = calls[index].rescue()
+            self.stats.inline_rescues += 1
+        return results  # type: ignore[return-value]
+
+    # -- payload validation --------------------------------------------------
+
+    @staticmethod
+    def _payload_problem(call: ShardCall, payload: Any) -> Optional[str]:
+        """Why this payload is unusable, or ``None`` if it is sound."""
+        if not isinstance(payload, ShardSample):
+            return f"expected a ShardSample, got {type(payload).__name__}"
+        samples = np.asarray(payload.samples)
+        if samples.ndim != 2 or samples.shape[0] != call.expected_rows:
+            return (
+                f"shard payload has shape {samples.shape}, expected "
+                f"({call.expected_rows}, n_components)"
+            )
+        if (
+            call.expected_components is not None
+            and samples.shape[1] != call.expected_components
+        ):
+            return (
+                f"shard payload has {samples.shape[1]} components, "
+                f"expected {call.expected_components}"
+            )
+        if not np.issubdtype(samples.dtype, np.number):
+            return f"shard payload dtype {samples.dtype} is not numeric"
+        return None
+
+
+#: Re-exported for callers that want to raise it themselves.
+__all__ = [
+    "ResilienceConfig",
+    "ShardCall",
+    "ShardDispatcher",
+    "ShardPayloadError",
+    "ShardTimeoutError",
+]

@@ -31,7 +31,7 @@ from typing import Any, Iterable, Mapping, Optional, Sequence
 
 from repro.core.aggregator import MergeableAxisStats
 from repro.core.engine import PointEvaluation
-from repro.errors import ServeError
+from repro.errors import ServeError, TransientServeError
 from repro.serve.service import EvaluationService
 
 #: Job lifecycle states.
@@ -59,6 +59,10 @@ class Job:
     #: id of the identical in-flight job this one coalesced onto, if any.
     coalesced_with: Optional[int] = None
     elapsed_seconds: float = 0.0
+    #: How many times this job was re-run after a transient serve failure
+    #: (the error taxonomy in :mod:`repro.errors`; permanent failures are
+    #: never retried).
+    attempts: int = 0
 
     @property
     def done(self) -> bool:
@@ -157,9 +161,22 @@ class Scheduler:
     results hold full sample matrices) are archived in a ring so a
     long-lived scheduler serving interactive sessions does not grow
     without bound. ``jobs_completed`` counts them all.
+
+    ``job_retries`` is the job-level rung of the fault-tolerance ladder:
+    an evaluation that failed with a *transient* error (the
+    :class:`~repro.errors.TransientServeError` taxonomy — crashed pool,
+    deadline expiry, retry exhaustion with rescue off) is re-run up to
+    this many times before the job is marked ``FAILED``; permanent errors
+    surface as ``FAILED`` immediately, first time. Defaults to the
+    service's :class:`~repro.serve.resilience.ResilienceConfig`.
     """
 
-    def __init__(self, service: EvaluationService, history_limit: int = 256) -> None:
+    def __init__(
+        self,
+        service: EvaluationService,
+        history_limit: int = 256,
+        job_retries: Optional[int] = None,
+    ) -> None:
         self.service = service
         self.queue = JobQueue()
         self._ids = itertools.count(1)
@@ -167,6 +184,13 @@ class Scheduler:
         self.completed: deque[Job] = deque(maxlen=history_limit)
         self.jobs_completed = 0
         self.dedup_hits = 0
+        self.job_retries = (
+            service.resilience.job_retries if job_retries is None else job_retries
+        )
+        if self.job_retries < 0:
+            raise ServeError(f"job_retries must be >= 0, got {self.job_retries}")
+        #: Total transient re-runs across all jobs (fleet observability).
+        self.jobs_retried = 0
 
     # -- submission --------------------------------------------------------
 
@@ -240,15 +264,30 @@ class Scheduler:
         if job is None:
             return None
         started = time.perf_counter()
-        try:
-            job.result = self.service.evaluate(
-                job.point, worlds=job.worlds, reuse=job.reuse
-            )
-            job.status = DONE
-        except Exception as error:
-            job.status = FAILED
-            job.error = str(error)
-            job.exception = error
+        while True:
+            try:
+                job.result = self.service.evaluate(
+                    job.point, worlds=job.worlds, reuse=job.reuse
+                )
+                job.status = DONE
+            except TransientServeError as error:
+                # The substrate failed, not the question: re-running the
+                # whole evaluation is bit-identical by shard purity, and
+                # the pool underneath was healed by the dispatcher.
+                if job.attempts < self.job_retries:
+                    job.attempts += 1
+                    self.jobs_retried += 1
+                    continue
+                job.status = FAILED
+                job.error = str(error)
+                job.exception = error
+            except Exception as error:
+                # Permanent (deterministic) failures surface immediately:
+                # retrying would only repeat them.
+                job.status = FAILED
+                job.error = str(error)
+                job.exception = error
+            break
         job.elapsed_seconds = time.perf_counter() - started
         self.queue.finish(job)
         for follower in self._followers.pop(job.id, ()):
@@ -283,6 +322,7 @@ class Scheduler:
         tier = engine.storage.tier
         return {
             "jobs_completed": self.jobs_completed,
+            "jobs_retried": self.jobs_retried,
             "dedup_hits": self.dedup_hits,
             "result_cache_hits": stats.cache_hits,
             "result_cache_misses": stats.cache_misses,
@@ -299,6 +339,10 @@ class Scheduler:
             "snapshot_bases_shipped": stats.snapshot_bases_shipped,
             "sampled_batched": stats.sampled_batched,
             "sampled_fallback": stats.sampled_fallback,
+            "shard_retries": stats.shard_retries,
+            "shard_timeouts": stats.shard_timeouts,
+            "pool_rebuilds": stats.pool_rebuilds,
+            "inline_rescues": stats.inline_rescues,
         }
 
     def evaluate(

@@ -51,6 +51,8 @@ from repro.core.storage import BasisEntry, ReuseReport
 from repro.errors import ServeError
 from repro.serve.cache import ResultCache, result_key, scenario_fingerprint
 from repro.serve.executors import InlineExecutor, create_executor
+from repro.serve.faults import FaultInjector, FaultPlan
+from repro.serve.resilience import ResilienceConfig, ShardCall, ShardDispatcher
 from repro.serve.sharding import plan_shards
 from repro.serve.worker import (
     BasisSnapshot,
@@ -91,6 +93,16 @@ class ServiceStats:
     #: even when it happens inside a worker process.
     sampled_batched: int = 0
     sampled_fallback: int = 0
+    #: The fault-tolerance ladder (see :mod:`repro.serve.resilience`): how
+    #: many shard submissions were retried after a transient failure, how
+    #: many missed their deadline, how many times the process pool was
+    #: rebuilt to heal a crash or hang, and how many shards were re-run
+    #: inline on the coordinator as the last resort. All zero on a healthy
+    #: substrate.
+    shard_retries: int = 0
+    shard_timeouts: int = 0
+    pool_rebuilds: int = 0
+    inline_rescues: int = 0
 
     def cache_hit_rate(self) -> float:
         total = self.cache_hits + self.cache_misses
@@ -119,6 +131,10 @@ class ServiceStats:
             "snapshot_bases_shipped": self.snapshot_bases_shipped,
             "sampled_batched": self.sampled_batched,
             "sampled_fallback": self.sampled_fallback,
+            "shard_retries": self.shard_retries,
+            "shard_timeouts": self.shard_timeouts,
+            "pool_rebuilds": self.pool_rebuilds,
+            "inline_rescues": self.inline_rescues,
         }
 
 
@@ -136,6 +152,8 @@ class EvaluationService:
         cache_dir: Optional[str] = None,
         min_shard_worlds: int = 8,
         share_bases: bool = True,
+        resilience: Optional[ResilienceConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if spec is None and engine is None:
             raise ServeError("EvaluationService needs a spec= or an engine=")
@@ -182,6 +200,16 @@ class EvaluationService:
         self.scenario = self.engine.scenario
         self._scenario_hash = scenario_fingerprint(self.scenario, self.engine.library)
         self.stats = ServiceStats()
+        #: The fault-tolerance ladder applied to every shard fan-out
+        #: (deadlines, bounded retries, pool self-healing, inline rescue).
+        self.resilience = resilience if resilience is not None else ResilienceConfig()
+        #: Deterministic chaos harness: a fault plan wraps every dispatched
+        #: shard task (coordinator-side for inline executors, inside the
+        #: worker for process pools). ``None`` in production.
+        self.injector = FaultInjector(fault_plan) if fault_plan is not None else None
+        self._dispatcher = ShardDispatcher(
+            self.executor, self.stats, self.resilience, self.injector
+        )
         self._reuse_active = True
         self._cache_writes_enabled = True
 
@@ -443,47 +471,32 @@ class EvaluationService:
             # One seeded store per sampling request, shared by its shards —
             # mirroring the worker-side per-version snapshot cache.
             inline_store = build_snapshot_store(self.engine, snapshot)
-        futures = []
-        for shard in shards:
-            if use_process and snapshot is not None:
-                future = self.executor.submit(
-                    acquire_shard_task,
-                    self.spec,
-                    output.alias,
-                    point_items,
-                    shard.worlds,
-                    snapshot,
-                )
-            elif use_process:
-                future = self.executor.submit(
-                    sample_shard_task,
-                    self.spec,
-                    output.alias,
-                    point_items,
-                    shard.worlds,
-                )
-            elif snapshot is not None:
-                future = self.executor.submit(
-                    acquire_shard,
-                    self.engine,
-                    inline_store,
-                    output.alias,
-                    point_dict,
-                    shard.worlds,
-                )
-            else:
-                future = self.executor.submit(
-                    fresh_shard,
-                    self.engine,
-                    output.alias,
-                    point_dict,
-                    shard.worlds,
-                )
-            futures.append(future)
+        n_components = self.engine.library.get(output.vg_name).n_components
+        calls = [
+            self._shard_call(
+                output, shard, snapshot, inline_store, use_process,
+                point_items, point_dict, n_components,
+            )
+            for shard in shards
+        ]
+        # Counters are committed at dispatch time, before any result (or
+        # failure) comes back, so an error mid-fan-out cannot leave them
+        # understating the work that was actually submitted.
+        self.stats.shard_tasks += len(shards)
+        if snapshot is not None:
+            self.stats.snapshots_shipped += 1
+            self.stats.snapshot_bases_shipped += len(snapshot.entries)
+        try:
+            # The dispatcher walks the fault-tolerance ladder: deadlines,
+            # bounded retries, pool self-healing, inline rescue. On a
+            # permanent error it collects every outstanding future before
+            # re-raising — no in-flight work is leaked.
+            shard_samples = self._dispatcher.dispatch(calls)
+        finally:
+            self.stats.parallel_seconds += time.perf_counter() - started
         parts: list[np.ndarray] = []
         any_shard_reuse = False
-        for future in futures:
-            result: ShardSample = future.result()
+        for result in shard_samples:
             self._count_shard_sample(result)
             any_shard_reuse = any_shard_reuse or result.source != "fresh"
             parts.append(np.asarray(result.samples, dtype=float))
@@ -498,15 +511,78 @@ class EvaluationService:
                     tuple(output.model_arg_values(batch.point_dict)),
                 )
             )
-        if snapshot is not None:
-            self.stats.snapshots_shipped += 1
-            self.stats.snapshot_bases_shipped += len(snapshot.entries)
-        self.stats.shard_tasks += len(shards)
-        self.stats.parallel_seconds += time.perf_counter() - started
         # The shard bases shipped back in ``parts`` merge here, in shard
         # order; the engine stores the merged entry in its tiered store,
         # where the next snapshot (and every other session) can reuse it.
         return np.vstack(parts)
+
+    def _shard_call(
+        self,
+        output: VGOutput,
+        shard,
+        snapshot: Optional[BasisSnapshot],
+        inline_store,
+        use_process: bool,
+        point_items: tuple,
+        point_dict: dict[str, Any],
+        n_components: int,
+    ) -> ShardCall:
+        """One shard's dispatcher call: executor task + inline rescue twin.
+
+        The rescue closure re-runs the *same pure function* on the
+        coordinator — same snapshot store contents, same worlds, same seeds
+        — so a rescued shard is bit-identical to what a healthy worker
+        would have returned.
+        """
+        if use_process and snapshot is not None:
+            fn, args = acquire_shard_task, (
+                self.spec, output.alias, point_items, shard.worlds, snapshot,
+            )
+        elif use_process:
+            fn, args = sample_shard_task, (
+                self.spec, output.alias, point_items, shard.worlds,
+            )
+        elif snapshot is not None:
+            fn, args = acquire_shard, (
+                self.engine, inline_store, output.alias, point_dict, shard.worlds,
+            )
+        else:
+            fn, args = fresh_shard, (
+                self.engine, output.alias, point_dict, shard.worlds,
+            )
+
+        if snapshot is not None:
+            def rescue(worlds=shard.worlds) -> ShardSample:
+                store = (
+                    inline_store
+                    if inline_store is not None
+                    else self._rescue_store_for(snapshot)
+                )
+                return acquire_shard(
+                    self.engine, store, output.alias, point_dict, worlds
+                )
+        else:
+            def rescue(worlds=shard.worlds) -> ShardSample:
+                return fresh_shard(self.engine, output.alias, point_dict, worlds)
+
+        return ShardCall(
+            fn=fn,
+            args=args,
+            rescue=rescue,
+            expected_rows=len(shard.worlds),
+            expected_components=n_components,
+        )
+
+    def _rescue_store_for(self, snapshot: BasisSnapshot):
+        """A coordinator-side snapshot store for inline rescue of process
+        shards — seeded lazily, cached per snapshot version (rescue is the
+        rare path; most evaluations never build one)."""
+        cached = getattr(self, "_rescue_store_cache", None)
+        if cached is not None and cached[0] == snapshot.version:
+            return cached[1]
+        store = build_snapshot_store(self.engine, snapshot)
+        self._rescue_store_cache = (snapshot.version, store)
+        return store
 
     def _count_shard_sample(self, sample: ShardSample) -> None:
         if sample.source == "exact":

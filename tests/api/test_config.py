@@ -9,6 +9,7 @@ import pytest
 from repro.api import (
     CacheConfig,
     ClientConfig,
+    ResilienceConfig,
     ReuseConfig,
     SamplingConfig,
     ServeConfig,
@@ -175,3 +176,37 @@ class TestReplaceSection:
     def test_replace_unknown_section(self):
         with pytest.raises(ScenarioError, match="unknown config section"):
             ClientConfig().replace_section("storage", basis_cap=1)
+
+
+class TestResilienceSection:
+    def test_default_section_does_not_force_the_service(self):
+        assert not ClientConfig().wants_service()
+
+    def test_nondefault_section_forces_the_service(self):
+        config = ClientConfig().replace_section("resilience", shard_timeout=5.0)
+        assert config.wants_service()
+
+    def test_round_trips_with_the_other_sections(self):
+        config = ClientConfig(
+            resilience=ResilienceConfig(
+                shard_timeout=2.5,
+                shard_retries=4,
+                retry_backoff=0.0,
+                inline_rescue=False,
+                job_retries=3,
+            )
+        )
+        payload = json.dumps(config.to_mapping(portable=True))
+        assert ClientConfig.from_mapping(json.loads(payload)) == config
+
+    def test_validation_happens_at_construction(self):
+        with pytest.raises(ScenarioError, match="shard_retries"):
+            ClientConfig.from_mapping({"resilience": {"shard_retries": -1}})
+
+    def test_from_engine_config_accepts_resilience(self):
+        flat = ProphetConfig(n_worlds=33)
+        lifted = ClientConfig.from_engine_config(
+            flat, resilience=ResilienceConfig(job_retries=2)
+        )
+        assert lifted.resilience.job_retries == 2
+        assert lifted.engine_config() == flat

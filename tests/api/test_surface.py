@@ -23,6 +23,7 @@ SURFACE_SNAPSHOT = (
     "InteractiveHandle",
     "OptimizeHandle",
     "ProphetClient",
+    "ResilienceConfig",
     "ReuseConfig",
     "SamplingConfig",
     "ServeConfig",

@@ -140,3 +140,48 @@ class TestResultCache:
         assert "k" in cache and len(cache) == 1
         cache.clear()
         assert len(cache) == 0
+
+
+class TestStaleTmpSweep:
+    """Crash recovery: ``.tmp.<pid>`` files orphaned by a killed writer."""
+
+    #: Larger than any real pid (pid_max is 4194304 on Linux), so the
+    #: liveness probe always says "dead" without racing a real process.
+    DEAD_PID = 99999999
+
+    def _plant(self, tmp_path, name: str) -> None:
+        (tmp_path / name).write_bytes(b"partial payload")
+
+    def test_dead_writer_tmp_is_swept(self, tmp_path):
+        self._plant(tmp_path, f"abc123.npz.tmp.{self.DEAD_PID}")
+        cache = ResultCache(str(tmp_path))
+        assert cache.tmp_swept == 1
+        assert not (tmp_path / f"abc123.npz.tmp.{self.DEAD_PID}").exists()
+
+    def test_own_pid_tmp_is_swept(self, tmp_path):
+        import os
+
+        self._plant(tmp_path, f"abc123.npz.tmp.{os.getpid()}")
+        # This process cannot have a write in flight while constructing the
+        # cache, so a tmp file bearing its own pid is a previous-life orphan.
+        cache = ResultCache(str(tmp_path))
+        assert cache.tmp_swept == 1
+
+    def test_live_foreign_writer_tmp_is_kept(self, tmp_path):
+        self._plant(tmp_path, "abc123.npz.tmp.1")  # pid 1 is always alive
+        cache = ResultCache(str(tmp_path))
+        assert cache.tmp_swept == 0
+        assert (tmp_path / "abc123.npz.tmp.1").exists()
+
+    def test_malformed_suffix_is_swept(self, tmp_path):
+        self._plant(tmp_path, "abc123.npz.tmp.notapid")
+        cache = ResultCache(str(tmp_path))
+        assert cache.tmp_swept == 1
+
+    def test_regular_entries_survive_the_sweep(self, tmp_path):
+        first = ResultCache(str(tmp_path))
+        first.put("k", _stats())
+        self._plant(tmp_path, f"zzz.npz.tmp.{self.DEAD_PID}")
+        second = ResultCache(str(tmp_path))
+        assert second.tmp_swept == 1
+        assert second.get("k") is not None

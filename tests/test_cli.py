@@ -230,3 +230,41 @@ class TestBatch:
         assert "service stats:" in output
         assert "result cache:" in output
         assert "shard sampling: 16 worlds batched / 0 worlds per-world loop" in output
+
+
+class TestResilienceFlags:
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            ["batch", "-", "--shard-timeout", "2.5", "--shard-retries", "3"]
+        )
+        assert args.shard_timeout == 2.5
+        assert args.shard_retries == 3
+
+    def test_flags_plumb_into_client_config(self):
+        from repro.cli import _client_config
+
+        args = build_parser().parse_args(
+            ["optimize", "-", "--shard-timeout", "1.5", "--shard-retries", "4"]
+        )
+        config = _client_config(args)
+        assert config.resilience.shard_timeout == 1.5
+        assert config.resilience.shard_retries == 4
+
+    def test_absent_flags_keep_the_default_section(self):
+        from repro.api import ResilienceConfig
+        from repro.cli import _client_config
+
+        args = build_parser().parse_args(["batch", "-"])
+        config = _client_config(args)
+        assert config.resilience == ResilienceConfig()
+        assert not config.wants_service()  # resilience alone stays default
+
+    def test_batch_stats_show_resilience_counters(self, scenario_file, capsys):
+        code = main(
+            ["batch", scenario_file, "--worlds", "8", "--executor", "inline",
+             "--shard-retries", "3",
+             "--point", "purchase1=0,purchase2=0,feature=12", "--stats"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "resilience: 0 shard retries / 0 timeouts" in output
