@@ -1,0 +1,279 @@
+#!/usr/bin/env python
+"""The perf-trajectory runner: one command, one ``BENCH_<pr>.json``.
+
+Runs the paper-shaped benchmark suite through the public client façade and
+emits a machine-readable result file (wall-clock, speedup ratios, reuse and
+cache hit rates, worlds/sec) so each PR commits a point on the performance
+curve instead of only holding a guard floor. Re-anchors diff the
+``BENCH_*.json`` sequence at the repo root to see the trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py                 # full run
+    PYTHONPATH=src python benchmarks/run_all.py --smoke         # CI-sized
+    PYTHONPATH=src python benchmarks/run_all.py --output BENCH_7.json \
+        --trace bench_trace.json
+
+The emitted document validates against :mod:`benchmarks.bench_schema`
+(hand-rolled — no external jsonschema dependency)::
+
+    python benchmarks/bench_schema.py BENCH_7.json
+
+Numbers are wall-clock and vary by host; the *shape* (speedups >= 1 where
+reuse applies, hit rates, parity booleans) is the stable, comparable part.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Optional
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import (  # noqa: E402  (sys.path bootstrap above)
+    CacheConfig,
+    ClientConfig,
+    ProphetClient,
+    SamplingConfig,
+)
+
+#: The PR number this harness stamps into the output (and the filename).
+PR_NUMBER = 7
+
+#: Schema identity checked by benchmarks/bench_schema.py.
+SCHEMA_VERSION = 1
+
+#: The Figure-2-shaped scenario every measurement runs: a 3 x 3 x 2 sweep
+#: grid over two VG models and a derived output — the same shape the
+#: serve/api/obs parity suites pin.
+BENCH_DSL = """
+DECLARE PARAMETER @current AS RANGE 0 TO 52 STEP BY 1;
+DECLARE PARAMETER @purchase1 AS RANGE 0 TO 52 STEP BY 26;
+DECLARE PARAMETER @purchase2 AS RANGE 0 TO 52 STEP BY 26;
+DECLARE PARAMETER @feature AS SET (12, 36);
+SELECT DemandModel(@current, @feature) AS demand,
+       CapacityModel(@current, @purchase1, @purchase2) AS capacity,
+       CASE WHEN capacity < demand THEN 1 ELSE 0 END AS overload
+INTO results;
+GRAPH OVER @current EXPECT overload WITH red;
+OPTIMIZE SELECT @purchase1, @purchase2 FROM results
+WHERE MAX(EXPECT overload) < 0.5
+FOR MAX @purchase1, MAX @purchase2
+"""
+
+
+def _client(n_worlds: int, *, backend: str = "batched", cache_dir: Optional[str] = None) -> ProphetClient:
+    config = ClientConfig(
+        sampling=SamplingConfig(n_worlds=n_worlds, refinement_first=max(1, n_worlds // 2), backend=backend),
+        cache=CacheConfig(dir=cache_dir),
+    )
+    return ProphetClient.open(BENCH_DSL, "demo", config=config)
+
+
+def _sweep_points(client: ProphetClient, limit: Optional[int]) -> list[dict[str, Any]]:
+    points = [dict(p) for p in client.scenario.sweep_space.grid()]
+    return points[:limit] if limit is not None else points
+
+
+def _timed_sweep(client: ProphetClient, points: list[dict[str, Any]]) -> tuple[float, list[Any]]:
+    started = time.perf_counter()
+    results = list(client.sweep(points))
+    elapsed = time.perf_counter() - started
+    failures = [r.error for r in results if not r.ok]
+    if failures:
+        raise RuntimeError(f"sweep failed: {failures}")
+    return elapsed, results
+
+
+def _statistics_digest(results: list[Any]) -> bytes:
+    """Concatenated expectation bytes of every result, for parity checks."""
+    chunks = []
+    for result in results:
+        stats = result.statistics
+        for alias in sorted(stats.aliases()):
+            chunks.append(stats.expectation(alias).tobytes())
+    return b"".join(chunks)
+
+
+def _rate(hits: int, total: int) -> float:
+    return hits / total if total else 0.0
+
+
+def bench_fresh_and_reuse(
+    n_worlds: int, points_limit: Optional[int], trace_file: Optional[str]
+) -> tuple[dict[str, Any], dict[str, Any], dict[str, Any], bytes]:
+    """Cold sweep, warm re-sweep on the same client, plan-cache rates.
+
+    The warm pass re-submits the identical grid: the fingerprint-driven
+    reuse plane (basis store + stats cache) should make it dramatically
+    cheaper — that ratio is the paper's headline mechanism, tracked here
+    per PR.
+    """
+    client = _client(n_worlds)
+    if trace_file is not None:
+        client = client.with_observability(trace_file=trace_file)
+    points = _sweep_points(client, points_limit)
+
+    fresh_seconds, results = _timed_sweep(client, points)
+    fresh = {
+        "wall_seconds": round(fresh_seconds, 4),
+        "points": len(points),
+        "n_worlds": n_worlds,
+        "worlds_per_second": round(len(points) * n_worlds / fresh_seconds, 2),
+    }
+
+    warm_seconds, _ = _timed_sweep(client, points)
+    counters = json.loads(client.stats().to_json())
+    basis = counters["basis"]
+    basis_hits = basis["exact_hits"] + basis["mapped_hits"]
+    memo = counters["week_memo"]
+    reuse = {
+        "wall_seconds": round(warm_seconds, 4),
+        "speedup_vs_fresh": round(fresh_seconds / warm_seconds, 2),
+        "basis_hit_rate": round(_rate(basis_hits, basis_hits + basis["misses"]), 4),
+        "exact_hits": basis["exact_hits"],
+        "mapped_hits": basis["mapped_hits"],
+        "misses": basis["misses"],
+        "stats_memo_hit_rate": round(_rate(memo["hits"], memo["hits"] + memo["misses"]), 4),
+    }
+
+    execution = counters["execution"]
+    plan_total = execution["plan_cache_hits"] + execution["plan_cache_misses"]
+    plan_cache = {
+        "hits": execution["plan_cache_hits"],
+        "misses": execution["plan_cache_misses"],
+        "hit_rate": round(_rate(execution["plan_cache_hits"], plan_total), 4),
+    }
+
+    if trace_file is not None:
+        client.export_trace()
+    client.close()
+    return fresh, reuse, plan_cache, _statistics_digest(results)
+
+
+def bench_batched_vs_loop(n_worlds: int, points_limit: Optional[int], batched_digest: bytes) -> dict[str, Any]:
+    """The vectorized sampling plane against the per-world loop, plus parity."""
+    timings = {}
+    digests = {}
+    for backend in ("batched", "loop"):
+        client = _client(n_worlds, backend=backend)
+        points = _sweep_points(client, points_limit)
+        timings[backend], results = _timed_sweep(client, points)
+        digests[backend] = _statistics_digest(results)
+        client.close()
+    return {
+        "batched_seconds": round(timings["batched"], 4),
+        "loop_seconds": round(timings["loop"], 4),
+        "speedup": round(timings["loop"] / timings["batched"], 2),
+        "parity": digests["batched"] == digests["loop"] == batched_digest,
+    }
+
+
+def bench_result_cache(n_worlds: int, points_limit: Optional[int]) -> dict[str, Any]:
+    """A persistent-cache cold run vs a fresh client warm rerun."""
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache_dir:
+        cold_client = _client(n_worlds, cache_dir=cache_dir)
+        points = _sweep_points(cold_client, points_limit)
+        cold_seconds, _ = _timed_sweep(cold_client, points)
+        cold_client.close()
+
+        warm_client = _client(n_worlds, cache_dir=cache_dir)
+        warm_seconds, _ = _timed_sweep(warm_client, points)
+        service = json.loads(warm_client.stats().to_json())["service"]
+        warm_client.close()
+    hits, misses = service["cache_hits"], service["cache_misses"]
+    return {
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "speedup": round(cold_seconds / warm_seconds, 2),
+        "hit_rate": round(_rate(hits, hits + misses), 4),
+    }
+
+
+def run(mode: str, trace_file: Optional[str]) -> dict[str, Any]:
+    smoke = mode == "smoke"
+    n_worlds = 20 if smoke else 100
+    points_limit = 6 if smoke else None
+
+    fresh, reuse, plan_cache, digest = bench_fresh_and_reuse(
+        n_worlds, points_limit, trace_file
+    )
+    batched_vs_loop = bench_batched_vs_loop(n_worlds, points_limit, digest)
+    result_cache = bench_result_cache(n_worlds, points_limit)
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "pr": PR_NUMBER,
+        "mode": mode,
+        "scenario": {
+            "n_worlds": n_worlds,
+            "sweep_points": fresh["points"],
+        },
+        "benchmarks": {
+            "fresh_sweep": fresh,
+            "reuse_sweep": reuse,
+            "batched_vs_loop": batched_vs_loop,
+            "result_cache": result_cache,
+            "plan_cache": plan_cache,
+        },
+    }
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized run: fewer worlds and sweep points, same measurements",
+    )
+    parser.add_argument(
+        "--output",
+        default=f"BENCH_{PR_NUMBER}.json",
+        help="where to write the result document (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--trace",
+        dest="trace_file",
+        metavar="FILE",
+        default=None,
+        help="also export a Chrome trace of the fresh+reuse sweeps",
+    )
+    args = parser.parse_args(argv)
+
+    document = run("smoke" if args.smoke else "full", args.trace_file)
+    Path(args.output).write_text(json.dumps(document, indent=2) + "\n")
+
+    bench = document["benchmarks"]
+    print(f"wrote {args.output} (mode: {document['mode']})")
+    print(
+        f"  fresh sweep: {bench['fresh_sweep']['wall_seconds']}s, "
+        f"{bench['fresh_sweep']['worlds_per_second']} worlds/sec"
+    )
+    print(
+        f"  reuse re-sweep: {bench['reuse_sweep']['speedup_vs_fresh']}x, "
+        f"basis hit rate {bench['reuse_sweep']['basis_hit_rate']:.1%}"
+    )
+    print(
+        f"  batched vs loop: {bench['batched_vs_loop']['speedup']}x "
+        f"(parity: {bench['batched_vs_loop']['parity']})"
+    )
+    print(
+        f"  result cache warm rerun: {bench['result_cache']['speedup']}x, "
+        f"hit rate {bench['result_cache']['hit_rate']:.1%}"
+    )
+    print(f"  plan cache hit rate: {bench['plan_cache']['hit_rate']:.1%}")
+    if args.trace_file:
+        print(f"  trace written to {args.trace_file}")
+    if not bench["batched_vs_loop"]["parity"]:
+        print("error: batched vs loop parity FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

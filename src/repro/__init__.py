@@ -46,6 +46,7 @@ from repro.api import (
     CacheConfig,
     ClientConfig,
     InteractiveHandle,
+    ObsConfig,
     OptimizeHandle,
     ProphetClient,
     ResilienceConfig,
@@ -56,6 +57,7 @@ from repro.api import (
     StoreConfig,
     SweepHandle,
     SweepResult,
+    TimingReport,
 )
 from repro.dsl import parse_scenario
 
@@ -133,11 +135,13 @@ __all__ = [
     "ServeConfig",
     "ResilienceConfig",
     "CacheConfig",
+    "ObsConfig",
     "InteractiveHandle",
     "SweepHandle",
     "SweepResult",
     "OptimizeHandle",
     "StatsReport",
+    "TimingReport",
     # the DSL front door
     "parse_scenario",
     "__version__",

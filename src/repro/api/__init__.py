@@ -7,11 +7,13 @@ Everything a caller needs lives here and only here:
   ``with_sampling`` / ``with_resilience`` helpers;
 * the typed layered configuration — :class:`ClientConfig` composing
   :class:`SamplingConfig`, :class:`ReuseConfig`, :class:`StoreConfig`,
-  :class:`ServeConfig`, :class:`ResilienceConfig`, :class:`CacheConfig`;
+  :class:`ServeConfig`, :class:`ResilienceConfig`, :class:`CacheConfig`,
+  :class:`ObsConfig`;
 * the three uniform handles — :class:`InteractiveHandle`,
   :class:`SweepHandle` (streaming :class:`SweepResult` iterator),
   :class:`OptimizeHandle`;
-* the one stats surface — :class:`StatsReport`.
+* the one stats surface — :class:`StatsReport`, carrying the wall-clock
+  :class:`TimingReport` separately from its byte-stable counter JSON.
 
 ``__all__`` is the public contract: the API surface snapshot test pins it,
 so accidental export changes fail CI instead of shipping.
@@ -34,11 +36,13 @@ from repro.api.handles import (
     SweepResult,
 )
 from repro.api.stats import StatsReport
+from repro.obs import ObsConfig, TimingReport
 
 __all__ = [
     "CacheConfig",
     "ClientConfig",
     "InteractiveHandle",
+    "ObsConfig",
     "OptimizeHandle",
     "ProphetClient",
     "ResilienceConfig",
@@ -49,4 +53,5 @@ __all__ = [
     "StoreConfig",
     "SweepHandle",
     "SweepResult",
+    "TimingReport",
 ]

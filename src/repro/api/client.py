@@ -35,6 +35,7 @@ from repro.core.online import OnlineSession
 from repro.core.scenario import Scenario
 from repro.dsl import parse_scenario
 from repro.errors import ScenarioError, ServeError
+from repro.obs import NULL_TRACER, EngineProfiler, Tracer
 from repro.serve.executors import create_executor
 from repro.serve.scheduler import Scheduler
 from repro.serve.service import EvaluationService
@@ -71,6 +72,9 @@ class ProphetClient:
         self._engine: Optional[ProphetEngine] = None
         self._service: Optional[EvaluationService] = None
         self._scheduler: Optional[Scheduler] = None
+        self._tracer: Any = NULL_TRACER
+        self._profiler: Optional[EngineProfiler] = None
+        self._trace_exported = False
 
     # -- construction --------------------------------------------------------
 
@@ -233,6 +237,35 @@ class ProphetClient:
             changes["job_retries"] = job_retries
         return self.with_config(self.config.replace_section("resilience", **changes))
 
+    def with_observability(
+        self,
+        *,
+        trace: Optional[bool] = None,
+        trace_file: Optional[str] = None,
+        profile: Optional[bool] = None,
+        profile_top: Optional[int] = None,
+    ) -> "ProphetClient":
+        """Turn on span tracing and/or cProfile around evaluations.
+
+        Only the knobs actually passed are changed — chained calls
+        accumulate instead of resetting each other. ``trace_file`` implies
+        tracing and is exported (Chrome trace format) on :meth:`close`.
+        Observability never changes which backend is built, and the stable
+        counter JSON (:meth:`StatsReport.to_json`) stays byte-identical
+        with it on or off — wall-clock only ever travels in the separate
+        :class:`~repro.obs.TimingReport`.
+        """
+        changes: dict[str, Any] = {}
+        if trace is not None:
+            changes["trace"] = trace
+        if trace_file is not None:
+            changes["trace_file"] = trace_file
+        if profile is not None:
+            changes["profile"] = profile
+        if profile_top is not None:
+            changes["profile_top"] = profile_top
+        return self.with_config(self.config.replace_section("obs", **changes))
+
     def _require_unbuilt(self, method: str) -> None:
         if self._engine is not None or self._service is not None:
             raise ScenarioError(
@@ -258,6 +291,28 @@ class ProphetClient:
             self._engine = ProphetEngine(
                 self.scenario, self.library, self.config.engine_config()
             )
+        self._attach_observability()
+
+    def _attach_observability(self) -> None:
+        """Wire the configured tracer/profiler into the built backend.
+
+        Idempotent: the sweep scheduler's lazily-built inline service calls
+        it again to pick up the same tracer instance.
+        """
+        obs = self.config.obs
+        if obs.tracing:
+            if self._tracer is NULL_TRACER:
+                self._tracer = Tracer()
+            if self._service is not None:
+                self._service.set_tracer(self._tracer)
+            elif self._engine is not None:
+                self._engine.set_tracer(self._tracer)
+            if self._scheduler is not None:
+                self._scheduler.tracer = self._tracer
+        if obs.profile and self._engine is not None:
+            if self._profiler is None:
+                self._profiler = EngineProfiler()
+            self._engine.profiler = self._profiler
 
     def _build_service(self) -> None:
         serve = self.config.serve
@@ -321,6 +376,7 @@ class ProphetClient:
                     engine=self._engine, resilience=self.config.resilience
                 )
                 self._scheduler = Scheduler(self._service)
+                self._attach_observability()
         return self._scheduler
 
     # -- handles -------------------------------------------------------------
@@ -413,16 +469,70 @@ class ProphetClient:
         return f"{self._service.executor.kind} x{self._service.executor.workers}"
 
     def stats(self) -> StatsReport:
-        """One merged report over every backend layer's counters."""
+        """One merged report over every backend layer's counters.
+
+        Wall-clock rides along as ``report.timing`` (a
+        :class:`~repro.obs.TimingReport`); the byte-stable counter JSON
+        (``report.to_json()``) never includes it.
+        """
         self._ensure_backend()
         return StatsReport.gather(
-            self._engine, service=self._service, scheduler=self._scheduler
+            self._engine,
+            service=self._service,
+            scheduler=self._scheduler,
+            tracer=self._tracer,
+        )
+
+    # -- observability -------------------------------------------------------
+
+    @property
+    def tracer(self) -> Any:
+        """The live tracer (the shared no-op instance when tracing is off)."""
+        return self._tracer
+
+    def export_trace(self, path: Optional[str] = None) -> str:
+        """Write the collected spans as a Chrome-loadable trace file.
+
+        Defaults to the configured ``ObsConfig.trace_file``; returns the
+        path written. Loads in ``chrome://tracing`` / Perfetto.
+        """
+        target = path if path is not None else self.config.obs.trace_file
+        if target is None:
+            raise ScenarioError(
+                "no trace destination: pass export_trace(path=...) or "
+                "configure with_observability(trace_file=...)"
+            )
+        if not self._tracer.enabled:
+            raise ScenarioError(
+                "tracing is off: enable it with with_observability(trace=True)"
+                " or with_observability(trace_file=...) before evaluating"
+            )
+        self._tracer.export_chrome(target)
+        self._trace_exported = True
+        return target
+
+    def profile_summary(self, top: Optional[int] = None) -> str:
+        """The accumulated cProfile's top-N cumulative-time table."""
+        if self._profiler is None:
+            raise ScenarioError(
+                "profiling is off: enable it with "
+                "with_observability(profile=True) before evaluating"
+            )
+        return self._profiler.summary(
+            top if top is not None else self.config.obs.profile_top
         )
 
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
-        """Shut down the serve backend's executor, if one was built."""
+        """Shut down the serve backend's executor, if one was built; export
+        the trace to the configured ``trace_file`` if not already written."""
+        if (
+            self.config.obs.trace_file is not None
+            and self._tracer.enabled
+            and not self._trace_exported
+        ):
+            self.export_trace()
         if self._service is not None:
             self._service.close()
 

@@ -1,9 +1,9 @@
 """Typed, layered client configuration.
 
 One :class:`ClientConfig` replaces the constructor sprawl of the four
-legacy entrypoints: six frozen section dataclasses — sampling, reuse,
-basis store, serving, resilience, result cache — compose into one
-validated object.
+legacy entrypoints: seven frozen section dataclasses — sampling, reuse,
+basis store, serving, resilience, result cache, observability — compose
+into one validated object.
 Every knob that used to live in the flat :class:`~repro.core.engine.
 ProphetConfig` (or in ``EvaluationService``/CLI keyword arguments) has
 exactly one home here, and :meth:`ClientConfig.engine_config` derives the
@@ -30,6 +30,7 @@ from repro.core.argcodec import decode_value, encode_value
 from repro.core.engine import ProphetConfig
 from repro.core.sampling import SAMPLING_BACKENDS
 from repro.errors import ScenarioError
+from repro.obs.config import ObsConfig
 from repro.serve.resilience import ResilienceConfig
 
 #: Executor kinds the serving section accepts (see repro.serve.executors).
@@ -175,6 +176,7 @@ _SECTIONS: dict[str, type] = {
     "serve": ServeConfig,
     "resilience": ResilienceConfig,
     "cache": CacheConfig,
+    "obs": ObsConfig,
 }
 
 
@@ -182,7 +184,7 @@ _SECTIONS: dict[str, type] = {
 class ClientConfig:
     """The one configuration object behind a :class:`~repro.api.ProphetClient`.
 
-    Composes the six sections; backends — in-process engine vs sharded
+    Composes the seven sections; backends — in-process engine vs sharded
     service, loop vs batched sampling, tiered store, fault-tolerance
     ladder, result cache — are pure configuration here, never separate
     constructor dialects. The resilience section is defined next to the
@@ -196,6 +198,7 @@ class ClientConfig:
     serve: ServeConfig = field(default_factory=ServeConfig)
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     cache: CacheConfig = field(default_factory=CacheConfig)
+    obs: ObsConfig = field(default_factory=ObsConfig)
 
     def __post_init__(self) -> None:
         for name, section_type in _SECTIONS.items():
@@ -338,7 +341,9 @@ class ClientConfig:
 
         A non-default resilience section counts: deadlines, retry budgets,
         and rescue semantics only exist in the service's shard dispatcher,
-        so asking for them is asking for the service.
+        so asking for them is asking for the service. The obs section never
+        counts — observability attaches to whichever backend the rest of
+        the config selects.
         """
         return (
             self.serve.enabled

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.core.engine import ProphetEngine
+from repro.obs.report import TimingReport
 
 
 @dataclass(frozen=True)
@@ -28,6 +29,11 @@ class StatsReport:
 
     ``service`` and ``scheduler`` are ``None`` for clients running on a
     bare in-process engine that never built a serve backend.
+
+    ``timing`` is the wall-clock side (:class:`~repro.obs.TimingReport`):
+    it rides on the report for rendering but is deliberately **excluded**
+    from :meth:`to_dict` / :meth:`to_json`, which stay counters-only and
+    byte-stable.
     """
 
     execution: dict[str, Any]
@@ -36,6 +42,7 @@ class StatsReport:
     week_memo: dict[str, Any]
     service: Optional[dict[str, Any]] = None
     scheduler: Optional[dict[str, Any]] = None
+    timing: Optional[TimingReport] = None
 
     @classmethod
     def gather(
@@ -43,6 +50,7 @@ class StatsReport:
         engine: ProphetEngine,
         service: Any = None,
         scheduler: Any = None,
+        tracer: Any = None,
     ) -> "StatsReport":
         """Snapshot the counters of one engine (plus serve layers, if any)."""
         stats = engine.executor.stats
@@ -81,6 +89,12 @@ class StatsReport:
             service_dict = {
                 "executor_kind": service.executor.kind,
                 "executor_workers": service.executor.workers,
+                # Stale-tmp files swept when the result cache opened — a
+                # deterministic counter (a clean run sweeps zero), safe for
+                # the byte-stable JSON.
+                "cache_tmp_swept": (
+                    service.cache.tmp_swept if service.cache is not None else 0
+                ),
                 **service.stats.as_dict(),
             }
         if scheduler is not None:
@@ -96,12 +110,18 @@ class StatsReport:
             week_memo=week_memo,
             service=service_dict,
             scheduler=scheduler_dict,
+            timing=TimingReport.gather(engine, service=service, tracer=tracer),
         )
 
     # -- serialization -------------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
-        """Nested plain dict; absent serve layers are omitted, not null."""
+        """Nested plain dict; absent serve layers are omitted, not null.
+
+        ``timing`` is never included — wall-clock would break the
+        byte-stability contract. Serialize it separately via
+        ``report.timing.to_dict()`` when you want it.
+        """
         payload: dict[str, Any] = {
             "execution": dict(self.execution),
             "sampling": dict(self.sampling),
@@ -147,6 +167,8 @@ class StatsReport:
         ]
         if self.service is not None:
             lines.extend(self._render_service())
+        if self.timing is not None:
+            lines.append(self.timing.render())
         return "\n".join(lines)
 
     def _render_service(self) -> list[str]:
@@ -157,7 +179,8 @@ class StatsReport:
         lines = [
             "service stats:",
             f"  result cache: {sv['cache_hits']} hits / "
-            f"{sv['cache_misses']} misses ({cache_rate:.1%})",
+            f"{sv['cache_misses']} misses ({cache_rate:.1%}), "
+            f"{sv.get('cache_tmp_swept', 0)} stale tmp swept",
             f"  shards: {sv['shard_tasks']} tasks over "
             f"{sv['sampled_worlds']} sampled worlds "
             f"({sv['executor_kind']} x{sv['executor_workers']})",

@@ -30,6 +30,7 @@ from typing import Any, Sequence
 from repro.api import (
     CacheConfig,
     ClientConfig,
+    ObsConfig,
     ProphetClient,
     ResilienceConfig,
     SamplingConfig,
@@ -91,6 +92,20 @@ def build_parser() -> argparse.ArgumentParser:
             "slice per generated statement (default); 'loop' executes one "
             "INSERT per world (the bit-identical reference path)",
         )
+        sub.add_argument(
+            "--trace",
+            dest="trace_file",
+            default=None,
+            metavar="FILE",
+            help="record spans across every stage and write a Chrome-trace "
+            "JSON file here (load it in chrome://tracing or Perfetto)",
+        )
+        sub.add_argument(
+            "--profile",
+            action="store_true",
+            help="run cProfile around point evaluation and print the top "
+            "functions by cumulative time",
+        )
 
     info = subparsers.add_parser("info", help="parse and describe a scenario")
     add_common(info)
@@ -111,6 +126,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="print execution statistics (plan cache, vectorization, reuse)",
+    )
+    run.add_argument(
+        "--stats-json",
+        action="store_true",
+        help="print the byte-stable counter JSON (StatsReport.to_json())",
     )
 
     def add_serve(sub: argparse.ArgumentParser) -> None:
@@ -173,6 +193,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print execution statistics (plan cache, vectorization, reuse)",
     )
+    optimize.add_argument(
+        "--stats-json",
+        action="store_true",
+        help="print the byte-stable counter JSON (StatsReport.to_json())",
+    )
     add_serve(optimize)
 
     batch = subparsers.add_parser(
@@ -192,6 +217,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="print execution statistics (plan cache, vectorization, reuse)",
+    )
+    batch.add_argument(
+        "--stats-json",
+        action="store_true",
+        help="print the byte-stable counter JSON (StatsReport.to_json())",
     )
     add_serve(batch)
     return parser
@@ -246,6 +276,10 @@ def _client_config(args: argparse.Namespace) -> ClientConfig:
         ),
         resilience=ResilienceConfig(**resilience_changes),
         cache=CacheConfig(dir=getattr(args, "cache_dir", None)),
+        obs=ObsConfig(
+            trace_file=getattr(args, "trace_file", None),
+            profile=bool(getattr(args, "profile", False)),
+        ),
     )
 
 
@@ -257,6 +291,18 @@ def _open_client(args: argparse.Namespace) -> ProphetClient:
         config=_client_config(args),
         name="cli_scenario",
     )
+
+
+def _emit_observability(client: ProphetClient, args: argparse.Namespace) -> None:
+    """Post-command observability output: --stats-json, --profile, --trace."""
+    if getattr(args, "stats_json", False):
+        print(client.stats().to_json())
+    if getattr(args, "profile", False):
+        print()
+        print(client.profile_summary())
+    if getattr(args, "trace_file", None):
+        path = client.export_trace()
+        print(f"trace written to {path} ({len(client.tracer)} spans)")
 
 
 def command_info(args: argparse.Namespace) -> int:
@@ -323,6 +369,7 @@ def command_run(args: argparse.Namespace) -> int:
         if args.stats:
             print()
             print(client.stats().render())
+        _emit_observability(client, args)
         return 0
 
 
@@ -345,6 +392,7 @@ def command_optimize(args: argparse.Namespace) -> int:
         if args.stats:
             print()
             print(client.stats().render())
+        _emit_observability(client, args)
         if result.best is None:
             print("no feasible point satisfies the constraint")
             return 1
@@ -423,6 +471,7 @@ def command_batch(args: argparse.Namespace) -> int:
         if args.stats:
             print()
             print(report.render())
+        _emit_observability(client, args)
         return 1 if failed else 0
 
 

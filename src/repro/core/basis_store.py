@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.core.argcodec import decode_args, encode_args
 from repro.errors import FingerprintError
+from repro.obs.trace import NULL_TRACER
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (storage imports us)
     from repro.core.storage import BasisEntry
@@ -117,6 +118,9 @@ class TieredBasisStore:
         self._tainted: set[StoreKey] = set()
         self._resident_bytes = 0
         self.stats = BasisTierStats()
+        #: Observability: replaced by the engine's ``set_tracer``; spill
+        #: writes and disk faults show up as "spill" / "fault" spans.
+        self.tracer = NULL_TRACER
         if self.spill_dir is not None:
             os.makedirs(self.spill_dir, exist_ok=True)
             self._index_spill_dir()
@@ -157,11 +161,15 @@ class TieredBasisStore:
         record = self._spilled.get(key)
         if record is None:
             return None
-        entry = self._read_spill(record)
-        if entry is None:
-            del self._spilled[key]
-            self.stats.failed_faults += 1
-            return None
+        with self.tracer.span(
+            "fault", vg=str(key[0]), bytes=record.n_bytes
+        ) as span:
+            entry = self._read_spill(record)
+            if entry is None:
+                del self._spilled[key]
+                self.stats.failed_faults += 1
+                span.set(failed=True)
+                return None
         self.stats.faults += 1
         self._insert(key, entry, clean=True)
         return entry
@@ -289,7 +297,10 @@ class TieredBasisStore:
                 pass  # disk copy is current; nothing to write
             elif self.spill_dir is not None:
                 try:
-                    self._spilled[key] = self._write_spill(key, entry)
+                    with self.tracer.span(
+                        "spill", vg=str(key[0]), bytes=entry.samples.nbytes
+                    ):
+                        self._spilled[key] = self._write_spill(key, entry)
                     self.stats.spills += 1
                 except Exception:
                     # Disk full, dir gone, unencodable args: the write path

@@ -23,13 +23,13 @@ The cycle (stage names match Figure 1):
 from __future__ import annotations
 
 import hashlib
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import ScenarioError
+from repro.obs.trace import NULL_TRACER
 from repro.core.aggregator import AxisStatistics, ResultAggregator
 from repro.core.fingerprint.correlation import CorrelationPolicy
 from repro.core.fingerprint.fingerprint import FingerprintSpec
@@ -204,6 +204,10 @@ class ProphetEngine:
             spill_dir=self.config.basis_dir,
         )
         self.aggregator = ResultAggregator(scenario.output_aliases)
+        #: Observability is strictly opt-in: the shared no-op tracer and no
+        #: profiler until :meth:`set_tracer` / the API layer installs them.
+        self.tracer = NULL_TRACER
+        self.profiler = None
         self.total_timings = StageTimings()
         self.points_evaluated = 0
         self._stats_cache: dict[tuple, PointEvaluation] = {}
@@ -216,6 +220,18 @@ class ProphetEngine:
         self._derived_params = self._collect_derived_params()
         self.week_stats_hits = 0
         self.week_stats_misses = 0
+
+    # -- observability -------------------------------------------------------
+
+    def set_tracer(self, tracer: Any) -> None:
+        """Install one tracer across the engine and its planes.
+
+        The sampling plane and the basis tier record their own spans; they
+        must share the engine's tracer so the trace is one timeline.
+        """
+        self.tracer = tracer
+        self.sampling.tracer = tracer
+        self.storage.tier.tracer = tracer
 
     # -- public API ----------------------------------------------------------
 
@@ -244,6 +260,22 @@ class ProphetEngine:
         memo — runs unchanged on the merged samples. Sharded evaluation is
         therefore bit-identical to sequential by construction.
         """
+        profiler = self.profiler
+        if profiler is None:
+            with self.tracer.span("evaluate") as span:
+                return self._evaluate_point(point, worlds, reuse, sampler, span)
+        with profiler:
+            with self.tracer.span("evaluate") as span:
+                return self._evaluate_point(point, worlds, reuse, sampler, span)
+
+    def _evaluate_point(
+        self,
+        point: Mapping[str, Any],
+        worlds: Optional[Sequence[int]],
+        reuse: bool,
+        sampler: Optional["FreshSampler"],
+        span: Any,
+    ) -> PointEvaluation:
         sweep_space = self.scenario.sweep_space
         validated = self.scenario.validate_sweep_point(point)
         chosen_worlds = tuple(worlds) if worlds is not None else tuple(range(self.config.n_worlds))
@@ -253,6 +285,7 @@ class ProphetEngine:
             cached = self._stats_cache.get(cache_key)
             if cached is not None:
                 self.points_evaluated += 1
+                span.set(stats_cache_hit=True, n_worlds=cached.n_worlds)
                 # Re-label the reuse reports: this serving is a pure cache
                 # hit, regardless of how the cached evaluation was produced.
                 hit_reports = tuple(
@@ -293,6 +326,7 @@ class ProphetEngine:
         )
         self.total_timings.add(timings)
         self.points_evaluated += 1
+        span.set(stats_cache_hit=False, n_worlds=len(chosen_worlds))
         evaluation = PointEvaluation(
             point=validated,
             statistics=statistics,
@@ -306,7 +340,11 @@ class ProphetEngine:
         return evaluation
 
     def sample_fresh(
-        self, alias: str, point: Mapping[str, Any], worlds: Sequence[int]
+        self,
+        alias: str,
+        point: Mapping[str, Any],
+        worlds: Sequence[int],
+        timings: Optional[StageTimings] = None,
     ) -> np.ndarray:
         """Fresh-sample one VG output over a world slice (shard worker entry).
 
@@ -316,12 +354,17 @@ class ProphetEngine:
         matrix rows are identical to what any other engine with the same
         scenario and config would produce for those worlds, which is what
         makes sharded sampling safe to merge.
+
+        ``timings`` lets the caller keep the stage attribution (shard
+        workers ship it back to the coordinator inside the ShardSample).
         """
         output = self.scenario.vg_output(alias)
         validated = self.scenario.validate_sweep_point(point)
         _require_worlds(worlds, "sample_fresh")
         batch = InstanceBatch.at_point(validated, tuple(worlds), self.config.base_seed)
-        return self._sql_sample(output, batch, StageTimings())
+        return self._sql_sample(
+            output, batch, timings if timings is not None else StageTimings()
+        )
 
     def invocation_count(self) -> int:
         """Total real VG invocations so far (probes included)."""
@@ -351,11 +394,11 @@ class ProphetEngine:
         # Extend a same-args basis that covers only some requested worlds.
         # validated_entry expels adopted bases simulated under a different
         # base seed — they must never be merged with this engine's samples.
-        started = time.perf_counter()
-        existing = self.storage.validated_entry(
-            function, args, self.config.base_seed
-        )
-        timings.storage += time.perf_counter() - started
+        tracer = self.tracer
+        with tracer.stage("reuse", timings, attr="storage", alias=output.alias):
+            existing = self.storage.validated_entry(
+                function, args, self.config.base_seed
+            )
         if existing is not None:
             missing = [w for w in worlds if w not in set(existing.worlds)]
             if missing:
@@ -366,42 +409,43 @@ class ProphetEngine:
                 # another basis before falling back to fresh simulation.
                 fresh = None
                 if reuse:
-                    started = time.perf_counter()
-                    fresh, _ = self.storage.acquire(
-                        function,
-                        args,
-                        missing_batch.worlds,
-                        missing_batch.seeds,
-                        reuse=True,
-                        min_mapped_fraction=self.config.min_mapped_fraction,
-                    )
-                    timings.storage += time.perf_counter() - started
+                    with tracer.stage("reuse", timings, attr="storage"):
+                        fresh, _ = self.storage.acquire(
+                            function,
+                            args,
+                            missing_batch.worlds,
+                            missing_batch.seeds,
+                            reuse=True,
+                            min_mapped_fraction=self.config.min_mapped_fraction,
+                        )
                 if fresh is None:
                     fresh = self._fresh_samples(output, missing_batch, timings, sampler)
                 merged_worlds = existing.worlds + tuple(missing)
                 merged_seeds = existing.seeds + missing_batch.seeds
                 merged = np.vstack([existing.samples, fresh])
-                started = time.perf_counter()
-                self.storage.store(function, args, merged, merged_worlds, merged_seeds)
-                timings.storage += time.perf_counter() - started
+                with tracer.stage("reuse", timings, attr="storage"):
+                    self.storage.store(
+                        function, args, merged, merged_worlds, merged_seeds
+                    )
 
-        started = time.perf_counter()
-        samples, report = self.storage.acquire(
-            function,
-            args,
-            worlds,
-            seeds,
-            reuse=reuse,
-            min_mapped_fraction=self.config.min_mapped_fraction,
-        )
-        timings.storage += time.perf_counter() - started
+        with tracer.stage(
+            "reuse", timings, attr="storage", alias=output.alias
+        ) as stage:
+            samples, report = self.storage.acquire(
+                function,
+                args,
+                worlds,
+                seeds,
+                reuse=reuse,
+                min_mapped_fraction=self.config.min_mapped_fraction,
+            )
+            stage.set(source=report.source)
         if samples is not None:
             return samples, report
 
         samples = self._fresh_samples(output, batch, timings, sampler)
-        started = time.perf_counter()
-        self.storage.store(function, args, samples, worlds, seeds)
-        timings.storage += time.perf_counter() - started
+        with tracer.stage("reuse", timings, attr="storage"):
+            self.storage.store(function, args, samples, worlds, seeds)
         return samples, report
 
     def _fresh_samples(
@@ -414,9 +458,11 @@ class ProphetEngine:
         """Fresh samples via the generated-SQL path or a caller's sampler."""
         if sampler is None:
             return self._sql_sample(output, batch, timings)
-        started = time.perf_counter()
-        samples = np.asarray(sampler(output, batch), dtype=float)
-        timings.sql += time.perf_counter() - started
+        with self.tracer.stage(
+            "sample", timings, attr="sql", alias=output.alias,
+            worlds=len(batch), backend="sampler",
+        ):
+            samples = np.asarray(sampler(output, batch), dtype=float)
         expected = (len(batch), self.library.get(output.vg_name).n_components)
         if samples.shape != expected:
             raise ScenarioError(
@@ -455,24 +501,24 @@ class ProphetEngine:
         SQL still does all combining and aggregation).
         """
         table_name = self.querygen.samples_table(output.alias)
-        started = time.perf_counter()
-        self.executor.execute(self.querygen.drop_samples_table_sql(output.alias))
-        self.executor.execute(self.querygen.create_samples_table_sql(output.alias))
-        timings.sql += time.perf_counter() - started
+        with self.tracer.stage("sql", timings, stats=self.executor.stats):
+            self.executor.execute(self.querygen.drop_samples_table_sql(output.alias))
+            self.executor.execute(self.querygen.create_samples_table_sql(output.alias))
 
-        started = time.perf_counter()
-        table = self.catalog.table(table_name)
-        # Column-major bulk load: (world-major, week-minor) row order, same
-        # as the row loop this replaces, but without any Python tuples.
-        worlds = np.asarray(batch.worlds, dtype=np.int64)
-        week_arr = np.asarray(list(weeks), dtype=np.int64)
-        world_col = np.repeat(worlds, len(week_arr))
-        t_col = np.tile(week_arr, len(worlds))
-        value_col = np.ascontiguousarray(
-            matrix[:, week_arr], dtype=np.float64
-        ).reshape(-1)
-        table.load_columnar([world_col, t_col, value_col])
-        timings.storage += time.perf_counter() - started
+        with self.tracer.stage(
+            "reuse", timings, attr="storage", alias=output.alias, weeks=len(weeks)
+        ):
+            table = self.catalog.table(table_name)
+            # Column-major bulk load: (world-major, week-minor) row order, same
+            # as the row loop this replaces, but without any Python tuples.
+            worlds = np.asarray(batch.worlds, dtype=np.int64)
+            week_arr = np.asarray(list(weeks), dtype=np.int64)
+            world_col = np.repeat(worlds, len(week_arr))
+            t_col = np.tile(week_arr, len(worlds))
+            value_col = np.ascontiguousarray(
+                matrix[:, week_arr], dtype=np.float64
+            ).reshape(-1)
+            table.load_columnar([world_col, t_col, value_col])
 
     def _collect_derived_params(self) -> tuple[str, ...]:
         """Parameters read by derived expressions (part of the week memo key)."""
@@ -508,57 +554,60 @@ class ProphetEngine:
         use_week_memo: bool = True,
     ) -> AxisStatistics:
         n_components = next(iter(matrices.values())).shape[1]
-        started = time.perf_counter()
-        week_keys = [
-            self._week_key(week, point, batch, matrices) for week in range(n_components)
-        ]
-        if use_week_memo:
-            missing = [
-                week for week, key in enumerate(week_keys)
-                if key not in self._week_stats_cache
+        tracer = self.tracer
+        with tracer.stage("aggregate", timings) as memo_stage:
+            week_keys = [
+                self._week_key(week, point, batch, matrices)
+                for week in range(n_components)
             ]
-        else:
-            missing = list(range(n_components))
-        self.week_stats_hits += n_components - len(missing)
-        self.week_stats_misses += len(missing)
-        timings.aggregate += time.perf_counter() - started
+            if use_week_memo:
+                missing = [
+                    week for week, key in enumerate(week_keys)
+                    if key not in self._week_stats_cache
+                ]
+            else:
+                missing = list(range(n_components))
+            self.week_stats_hits += n_components - len(missing)
+            self.week_stats_misses += len(missing)
+            memo_stage.set(
+                week_memo_hits=n_components - len(missing),
+                week_memo_misses=len(missing),
+            )
 
         if missing:
             for output in self.scenario.vg_outputs:
                 self._land_samples(
                     output, batch, matrices[output.alias.lower()], missing, timings
                 )
-            started = time.perf_counter()
-            # Parameterized combine: the statement text is constant per
-            # scenario (plan-cache friendly); the point binds at execution.
-            combine = self.querygen.combine_sql_template()
-            aggregate = self.querygen.aggregate_sql()
-            timings.querygen += time.perf_counter() - started
+            with tracer.stage("querygen", timings):
+                # Parameterized combine: the statement text is constant per
+                # scenario (plan-cache friendly); the point binds at execution.
+                combine = self.querygen.combine_sql_template()
+                aggregate = self.querygen.aggregate_sql()
 
-            started = time.perf_counter()
-            self.executor.execute(combine, point)
-            result = self.executor.execute(aggregate)
-            timings.sql += time.perf_counter() - started
+            with tracer.stage("sql", timings, stats=self.executor.stats):
+                self.executor.execute(combine, point)
+                result = self.executor.execute(aggregate)
 
-            started = time.perf_counter()
-            position = {name: i for i, name in enumerate(result.column_names)}
-            for row in result.rows:
-                week = int(row[position["t"]])
-                self._week_stats_cache[week_keys[week]] = tuple(row)
-            timings.aggregate += time.perf_counter() - started
+            with tracer.stage("aggregate", timings):
+                position = {name: i for i, name in enumerate(result.column_names)}
+                for row in result.rows:
+                    week = int(row[position["t"]])
+                    self._week_stats_cache[week_keys[week]] = tuple(row)
 
-        started = time.perf_counter()
-        rows = [self._week_stats_cache[key] for key in week_keys]
-        columns = [Column("t", SqlType.INTEGER)]
-        for alias in self.scenario.output_aliases:
-            columns.append(Column(f"e_{alias}", SqlType.FLOAT))
-            columns.append(Column(f"sd_{alias}", SqlType.FLOAT))
-        result_set = ResultSet(schema=TableSchema(tuple(columns)), rows=list(rows))
-        # Rows carry the original week in column 0; rebuild it in axis order.
-        ordered = [
-            (week,) + tuple(row[1:]) for week, row in enumerate(rows)
-        ]
-        result_set.rows = ordered
-        statistics = self.aggregator.from_aggregate_result(result_set, n_worlds=len(batch))
-        timings.aggregate += time.perf_counter() - started
+        with tracer.stage("aggregate", timings):
+            rows = [self._week_stats_cache[key] for key in week_keys]
+            columns = [Column("t", SqlType.INTEGER)]
+            for alias in self.scenario.output_aliases:
+                columns.append(Column(f"e_{alias}", SqlType.FLOAT))
+                columns.append(Column(f"sd_{alias}", SqlType.FLOAT))
+            result_set = ResultSet(schema=TableSchema(tuple(columns)), rows=list(rows))
+            # Rows carry the original week in column 0; rebuild it in axis order.
+            ordered = [
+                (week,) + tuple(row[1:]) for week, row in enumerate(rows)
+            ]
+            result_set.rows = ordered
+            statistics = self.aggregator.from_aggregate_result(
+                result_set, n_worlds=len(batch)
+            )
         return statistics

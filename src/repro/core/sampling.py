@@ -29,12 +29,12 @@ observable.
 
 from __future__ import annotations
 
-import time
 from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from repro.errors import ScenarioError
+from repro.obs.trace import NULL_TRACER
 from repro.sqldb.pdbext import BATCH_FORM_SUFFIX
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
@@ -86,6 +86,9 @@ class SamplingPlane:
         #: Backend that served the most recent :meth:`sample` call
         #: ("batched" or "loop"); shard workers report it upstream.
         self.last_backend: str = backend
+        #: Observability: the engine's :meth:`~repro.core.engine.
+        #: ProphetEngine.set_tracer` replaces this shared no-op tracer.
+        self.tracer = NULL_TRACER
 
     # -- public API ---------------------------------------------------------
 
@@ -108,10 +111,16 @@ class SamplingPlane:
         if self.backend == "batched" and self._batch_form_available(output):
             self.last_backend = "batched"
             stats.sampled_batched += len(batch)
-            return self._sample_batched(output, batch, sink)
+            with self.tracer.span(
+                "sample", alias=output.alias, backend="batched", worlds=len(batch)
+            ):
+                return self._sample_batched(output, batch, sink)
         self.last_backend = "loop"
         stats.sampled_fallback += len(batch)
-        return self._sample_loop(output, batch, sink)
+        with self.tracer.span(
+            "sample", alias=output.alias, backend="loop", worlds=len(batch)
+        ):
+            return self._sample_loop(output, batch, sink)
 
     # -- backends -----------------------------------------------------------
 
@@ -122,54 +131,53 @@ class SamplingPlane:
 
     def _sample_batched(self, output, batch, timings) -> np.ndarray:
         """One statement lands the entire world slice."""
-        started = time.perf_counter()
-        drop = self.querygen.drop_samples_table_sql(output.alias)
-        create = self.querygen.create_samples_table_sql(output.alias)
-        insert = self.querygen.insert_batch_template(output)
-        timings.querygen += time.perf_counter() - started
+        with self.tracer.stage("querygen", timings):
+            drop = self.querygen.drop_samples_table_sql(output.alias)
+            create = self.querygen.create_samples_table_sql(output.alias)
+            insert = self.querygen.insert_batch_template(output)
 
-        started = time.perf_counter()
-        self.executor.execute(drop)
-        self.executor.execute(create)
-        self.executor.execute(
-            insert,
-            self.querygen.batch_variables(batch.worlds, batch.seeds, batch.point_dict),
-        )
-        timings.sql += time.perf_counter() - started
+        with self.tracer.stage("sql", timings, stats=self.executor.stats):
+            self.executor.execute(drop)
+            self.executor.execute(create)
+            self.executor.execute(
+                insert,
+                self.querygen.batch_variables(
+                    batch.worlds, batch.seeds, batch.point_dict
+                ),
+            )
         return self._read_back(output, batch, timings)
 
     def _sample_loop(self, output, batch, timings) -> np.ndarray:
         """The per-world parameterized INSERT loop (bit-identity reference)."""
-        started = time.perf_counter()
-        drop = self.querygen.drop_samples_table_sql(output.alias)
-        create = self.querygen.create_samples_table_sql(output.alias)
-        insert = self.querygen.insert_world_template(output)
-        timings.querygen += time.perf_counter() - started
+        with self.tracer.stage("querygen", timings):
+            drop = self.querygen.drop_samples_table_sql(output.alias)
+            create = self.querygen.create_samples_table_sql(output.alias)
+            insert = self.querygen.insert_world_template(output)
 
-        started = time.perf_counter()
-        self.executor.execute(drop)
-        self.executor.execute(create)
-        point = batch.point_dict
-        for instance in batch:
-            self.executor.execute(
-                insert,
-                self.querygen.world_variables(instance.world, instance.seed, point),
-            )
-        timings.sql += time.perf_counter() - started
+        with self.tracer.stage("sql", timings, stats=self.executor.stats):
+            self.executor.execute(drop)
+            self.executor.execute(create)
+            point = batch.point_dict
+            for instance in batch:
+                self.executor.execute(
+                    insert,
+                    self.querygen.world_variables(
+                        instance.world, instance.seed, point
+                    ),
+                )
         return self._read_back(output, batch, timings)
 
     def _read_back(self, output, batch, timings) -> np.ndarray:
         """Read the landed samples back into matrix form (shared tail)."""
-        started = time.perf_counter()
-        readback = (
-            f"SELECT world, t, value FROM {self.querygen.samples_table(output.alias)} "
-            f"ORDER BY world, t"
-        )
-        timings.querygen += time.perf_counter() - started
+        with self.tracer.stage("querygen", timings):
+            readback = (
+                f"SELECT world, t, value "
+                f"FROM {self.querygen.samples_table(output.alias)} "
+                f"ORDER BY world, t"
+            )
 
-        started = time.perf_counter()
-        result = self.executor.execute(readback)
-        timings.sql += time.perf_counter() - started
+        with self.tracer.stage("sql", timings, stats=self.executor.stats):
+            result = self.executor.execute(readback)
 
         n_components = self.library.get(output.vg_name).n_components
         n_worlds = len(batch)

@@ -1,0 +1,36 @@
+"""``repro.obs`` — the unified tracing, metrics & profiling plane.
+
+Latency is a first-class correctness property of an *interactive* Monte
+Carlo engine, so this package gives the stack one measurement substrate:
+
+* :class:`Tracer` / :data:`NULL_TRACER` — span-based tracing with stage
+  tags and counters-as-attributes, Chrome-trace / JSONL export, zero
+  overhead when off (:mod:`repro.obs.trace`);
+* :class:`ObsConfig` — the ``ClientConfig`` section that turns it on
+  (:mod:`repro.obs.config`);
+* :class:`TimingReport` — wall-clock attribution surfaced by
+  ``client.stats()``, strictly separate from the byte-stable counter JSON
+  (:mod:`repro.obs.report`);
+* :class:`EngineProfiler` — accumulated cProfile around
+  ``evaluate_point`` with a top-N cumulative summary
+  (:mod:`repro.obs.profiler`).
+
+The package is a leaf: it imports only the stdlib and
+:mod:`repro.errors`, so every layer (core, serve, api) can depend on it
+without cycles.
+"""
+
+from repro.obs.config import ObsConfig
+from repro.obs.profiler import EngineProfiler
+from repro.obs.report import TimingReport
+from repro.obs.trace import NULL_TRACER, NullTracer, SpanRecord, Tracer
+
+__all__ = [
+    "EngineProfiler",
+    "NULL_TRACER",
+    "NullTracer",
+    "ObsConfig",
+    "SpanRecord",
+    "TimingReport",
+    "Tracer",
+]

@@ -48,6 +48,7 @@ from repro.errors import (
     ShardTimeoutError,
     TransientServeError,
 )
+from repro.obs.trace import NULL_TRACER
 from repro.serve.faults import FaultInjector
 from repro.serve.worker import ShardSample
 
@@ -154,6 +155,10 @@ class ShardDispatcher:
         self.stats = stats
         self.config = config
         self.injector = injector
+        #: Observability: the service's ``set_tracer`` replaces this no-op.
+        #: Worker-side shard wall-clock (shipped back in each ShardSample)
+        #: becomes worker-track "shard" events with attempt attribution.
+        self.tracer = NULL_TRACER
 
     # -- public entrypoint --------------------------------------------------
 
@@ -240,6 +245,7 @@ class ShardDispatcher:
                 failed.append(index)
                 continue
             results[index] = payload
+            self._record_shard(index, attempt, payload, rescued=False)
         if needs_heal:
             self._heal_pool()
         return failed, permanent
@@ -289,9 +295,29 @@ class ShardDispatcher:
             # The rescue closure re-runs the pure shard computation on the
             # coordinator, outside the fault injector and the executor —
             # bit-identical by construction, sequential by necessity.
-            results[index] = calls[index].rescue()
+            payload = calls[index].rescue()
+            results[index] = payload
             self.stats.inline_rescues += 1
+            self._record_shard(
+                index, self.config.shard_retries, payload, rescued=True
+            )
         return results  # type: ignore[return-value]
+
+    def _record_shard(
+        self, index: int, attempt: int, payload: ShardSample, *, rescued: bool
+    ) -> None:
+        """Turn a shard's worker-side timing into a worker-track event."""
+        if not self.tracer.enabled:
+            return
+        attrs: dict[str, Any] = {
+            "shard": index,
+            "attempt": attempt,
+            "source": payload.source,
+            "rescued": rescued,
+        }
+        for stage, seconds in payload.timing:
+            attrs[f"{stage}_seconds"] = round(seconds, 6)
+        self.tracer.event("shard", payload.elapsed_seconds, **attrs)
 
     # -- payload validation --------------------------------------------------
 

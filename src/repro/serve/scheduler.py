@@ -32,6 +32,7 @@ from typing import Any, Iterable, Mapping, Optional, Sequence
 from repro.core.aggregator import MergeableAxisStats
 from repro.core.engine import PointEvaluation
 from repro.errors import ServeError, TransientServeError
+from repro.obs.trace import NULL_TRACER
 from repro.serve.service import EvaluationService
 
 #: Job lifecycle states.
@@ -191,6 +192,9 @@ class Scheduler:
             raise ServeError(f"job_retries must be >= 0, got {self.job_retries}")
         #: Total transient re-runs across all jobs (fleet observability).
         self.jobs_retried = 0
+        #: Observability: job lifecycle spans; the API client replaces this
+        #: shared no-op when tracing is configured.
+        self.tracer = NULL_TRACER
 
     # -- submission --------------------------------------------------------
 
@@ -264,30 +268,32 @@ class Scheduler:
         if job is None:
             return None
         started = time.perf_counter()
-        while True:
-            try:
-                job.result = self.service.evaluate(
-                    job.point, worlds=job.worlds, reuse=job.reuse
-                )
-                job.status = DONE
-            except TransientServeError as error:
-                # The substrate failed, not the question: re-running the
-                # whole evaluation is bit-identical by shard purity, and
-                # the pool underneath was healed by the dispatcher.
-                if job.attempts < self.job_retries:
-                    job.attempts += 1
-                    self.jobs_retried += 1
-                    continue
-                job.status = FAILED
-                job.error = str(error)
-                job.exception = error
-            except Exception as error:
-                # Permanent (deterministic) failures surface immediately:
-                # retrying would only repeat them.
-                job.status = FAILED
-                job.error = str(error)
-                job.exception = error
-            break
+        with self.tracer.span("job", job=job.id, session=job.session) as span:
+            while True:
+                try:
+                    job.result = self.service.evaluate(
+                        job.point, worlds=job.worlds, reuse=job.reuse
+                    )
+                    job.status = DONE
+                except TransientServeError as error:
+                    # The substrate failed, not the question: re-running the
+                    # whole evaluation is bit-identical by shard purity, and
+                    # the pool underneath was healed by the dispatcher.
+                    if job.attempts < self.job_retries:
+                        job.attempts += 1
+                        self.jobs_retried += 1
+                        continue
+                    job.status = FAILED
+                    job.error = str(error)
+                    job.exception = error
+                except Exception as error:
+                    # Permanent (deterministic) failures surface immediately:
+                    # retrying would only repeat them.
+                    job.status = FAILED
+                    job.error = str(error)
+                    job.exception = error
+                break
+            span.set(status=job.status, attempts=job.attempts)
         job.elapsed_seconds = time.perf_counter() - started
         self.queue.finish(job)
         for follower in self._followers.pop(job.id, ()):

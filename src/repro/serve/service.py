@@ -49,6 +49,7 @@ from repro.core.instance import InstanceBatch
 from repro.core.scenario import VGOutput
 from repro.core.storage import BasisEntry, ReuseReport
 from repro.errors import ServeError
+from repro.obs.trace import NULL_TRACER
 from repro.serve.cache import ResultCache, result_key, scenario_fingerprint
 from repro.serve.executors import InlineExecutor, create_executor
 from repro.serve.faults import FaultInjector, FaultPlan
@@ -103,6 +104,12 @@ class ServiceStats:
     shard_timeouts: int = 0
     pool_rebuilds: int = 0
     inline_rescues: int = 0
+    #: Wall-clock measured *inside* shard executions (worker processes or
+    #: the inline executor) and shipped back in each ShardSample. Like
+    #: ``parallel_seconds`` it is excluded from :meth:`as_dict` — timing is
+    #: surfaced through :class:`repro.obs.TimingReport`, never the stable
+    #: counter JSON.
+    worker_seconds: float = 0.0
 
     def cache_hit_rate(self) -> float:
         total = self.cache_hits + self.cache_misses
@@ -212,6 +219,14 @@ class EvaluationService:
         )
         self._reuse_active = True
         self._cache_writes_enabled = True
+        #: Observability: :meth:`set_tracer` replaces this shared no-op.
+        self.tracer = NULL_TRACER
+
+    def set_tracer(self, tracer: Any) -> None:
+        """Attach one tracer across the service, dispatcher and engine."""
+        self.tracer = tracer
+        self._dispatcher.tracer = tracer
+        self.engine.set_tracer(tracer)
 
     # -- public API --------------------------------------------------------
 
@@ -491,30 +506,41 @@ class EvaluationService:
             # bounded retries, pool self-healing, inline rescue. On a
             # permanent error it collects every outstanding future before
             # re-raising — no in-flight work is leaked.
-            shard_samples = self._dispatcher.dispatch(calls)
+            with self.tracer.span(
+                "dispatch",
+                alias=output.alias,
+                shards=len(shards),
+                worlds=len(worlds),
+                executor=self.executor.kind,
+                snapshot_bases=len(snapshot.entries) if snapshot else 0,
+            ):
+                shard_samples = self._dispatcher.dispatch(calls)
         finally:
             self.stats.parallel_seconds += time.perf_counter() - started
-        parts: list[np.ndarray] = []
-        any_shard_reuse = False
-        for result in shard_samples:
-            self._count_shard_sample(result)
-            any_shard_reuse = any_shard_reuse or result.source != "fresh"
-            parts.append(np.asarray(result.samples, dtype=float))
-        if any_shard_reuse:
-            # The merged matrix the engine is about to store mixes shard-
-            # reused (geometry-dependent) rows in; taint the key before the
-            # store happens so the entry can never spill or persist. Taint
-            # is sticky across put(), so the ordering is race-free.
-            self.engine.storage.tier.taint(
-                (
-                    self.engine.library.get(output.vg_name).name.lower(),
-                    tuple(output.model_arg_values(batch.point_dict)),
+        with self.tracer.span(
+            "merge", alias=output.alias, shards=len(shard_samples)
+        ):
+            parts: list[np.ndarray] = []
+            any_shard_reuse = False
+            for result in shard_samples:
+                self._count_shard_sample(result)
+                any_shard_reuse = any_shard_reuse or result.source != "fresh"
+                parts.append(np.asarray(result.samples, dtype=float))
+            if any_shard_reuse:
+                # The merged matrix the engine is about to store mixes shard-
+                # reused (geometry-dependent) rows in; taint the key before
+                # the store happens so the entry can never spill or persist.
+                # Taint is sticky across put(), so the ordering is race-free.
+                self.engine.storage.tier.taint(
+                    (
+                        self.engine.library.get(output.vg_name).name.lower(),
+                        tuple(output.model_arg_values(batch.point_dict)),
+                    )
                 )
-            )
-        # The shard bases shipped back in ``parts`` merge here, in shard
-        # order; the engine stores the merged entry in its tiered store,
-        # where the next snapshot (and every other session) can reuse it.
-        return np.vstack(parts)
+            # The shard bases shipped back in ``parts`` merge here, in shard
+            # order; the engine stores the merged entry in its tiered store,
+            # where the next snapshot (and every other session) can reuse it.
+            return np.vstack(parts)
 
     def _shard_call(
         self,
@@ -593,3 +619,4 @@ class EvaluationService:
             self.stats.shard_fresh += 1
         self.stats.sampled_batched += sample.sampled_batched
         self.stats.sampled_fallback += sample.sampled_fallback
+        self.stats.worker_seconds += sample.elapsed_seconds

@@ -32,12 +32,13 @@ from __future__ import annotations
 
 import hashlib
 import json
+import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Optional
 
 import numpy as np
 
-from repro.core.engine import ProphetConfig, ProphetEngine
+from repro.core.engine import ProphetConfig, ProphetEngine, StageTimings
 from repro.core.fingerprint.fingerprint import Fingerprint
 from repro.core.fingerprint.registry import FingerprintRegistry
 from repro.core.storage import BasisEntry, StorageManager
@@ -195,6 +196,12 @@ class ShardSample:
     the sampling-plane backend that produced them (worker-side engines keep
     their own :class:`~repro.sqldb.executor.ExecutionStats`, so the counts
     ride back with the shard for the coordinator's ServiceStats).
+
+    ``elapsed_seconds``/``timing`` are worker-side wall-clock, measured in
+    the worker process and shipped back for coordinator-side observability
+    (workers never hold a tracer; the dispatcher turns these into worker
+    -track trace events). ``timing`` is a pickle-friendly tuple of
+    ``(stage_name, seconds)`` pairs.
     """
 
     samples: np.ndarray
@@ -204,6 +211,8 @@ class ShardSample:
     components_recomputed: int = 0
     sampled_batched: int = 0
     sampled_fallback: int = 0
+    elapsed_seconds: float = 0.0
+    timing: tuple[tuple[str, float], ...] = ()
 
 
 def build_snapshot_store(engine: ProphetEngine, snapshot: BasisSnapshot) -> StorageManager:
@@ -249,13 +258,18 @@ def fresh_shard(
     :class:`ShardSample` carries which backend the plane used (batched vs
     per-world loop) so coordinators can observe worker-side fallback.
     """
-    samples = engine.sample_fresh(alias, point, worlds)
+    timings = StageTimings()
+    started = time.perf_counter()
+    samples = engine.sample_fresh(alias, point, worlds, timings=timings)
+    elapsed = time.perf_counter() - started
     batched = engine.sampling.last_backend == "batched"
     return ShardSample(
         samples=np.asarray(samples, dtype=float),
         source="fresh",
         sampled_batched=len(worlds) if batched else 0,
         sampled_fallback=0 if batched else len(worlds),
+        elapsed_seconds=elapsed,
+        timing=(("querygen", timings.querygen), ("sql", timings.sql)),
     )
 
 
@@ -274,6 +288,7 @@ def acquire_shard(
     (:meth:`~repro.core.scenario.Scenario.validate_sweep_point`), so shard
     reuse keys cannot drift from the coordinator's.
     """
+    started = time.perf_counter()
     output = engine.scenario.vg_output(alias)
     validated = engine.scenario.validate_sweep_point(point)
     function = engine.library.get(output.vg_name)
@@ -287,14 +302,22 @@ def acquire_shard(
         reuse=True,
         min_mapped_fraction=engine.config.min_mapped_fraction,
     )
+    acquire_elapsed = time.perf_counter() - started
     if samples is None:
-        return fresh_shard(engine, alias, validated, worlds)
+        sample = fresh_shard(engine, alias, validated, worlds)
+        return replace(
+            sample,
+            elapsed_seconds=time.perf_counter() - started,
+            timing=(("reuse", acquire_elapsed),) + sample.timing,
+        )
     return ShardSample(
         samples=np.asarray(samples, dtype=float),
         source=report.source,
         basis_args=report.basis_args,
         mapped_fraction=report.mapped_fraction,
         components_recomputed=report.components_recomputed,
+        elapsed_seconds=acquire_elapsed,
+        timing=(("reuse", acquire_elapsed),),
     )
 
 

@@ -21,6 +21,7 @@ SURFACE_SNAPSHOT = (
     "CacheConfig",
     "ClientConfig",
     "InteractiveHandle",
+    "ObsConfig",
     "OptimizeHandle",
     "ProphetClient",
     "ResilienceConfig",
@@ -31,6 +32,7 @@ SURFACE_SNAPSHOT = (
     "StoreConfig",
     "SweepHandle",
     "SweepResult",
+    "TimingReport",
 )
 
 

@@ -1,0 +1,19 @@
+"""Shared fixtures for the observability tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import ProphetConfig
+from repro.serve import EngineSpec
+from obs_testutil import OBS_DSL
+
+
+@pytest.fixture(scope="session")
+def obs_config() -> ProphetConfig:
+    return ProphetConfig(n_worlds=16, refinement_first=8)
+
+
+@pytest.fixture(scope="session")
+def obs_spec(obs_config: ProphetConfig) -> EngineSpec:
+    return EngineSpec.from_dsl(OBS_DSL, config=obs_config)

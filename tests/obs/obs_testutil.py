@@ -1,0 +1,37 @@
+"""Shared scenario text and assertions for the observability tests."""
+
+from __future__ import annotations
+
+#: The compact 3 x 3 x 2 sweep-grid scenario the serve/api suites also pin
+#: parity on: two VG models plus a derived output.
+OBS_DSL = """
+DECLARE PARAMETER @current AS RANGE 0 TO 52 STEP BY 1;
+DECLARE PARAMETER @purchase1 AS RANGE 0 TO 52 STEP BY 26;
+DECLARE PARAMETER @purchase2 AS RANGE 0 TO 52 STEP BY 26;
+DECLARE PARAMETER @feature AS SET (12, 36);
+SELECT DemandModel(@current, @feature) AS demand,
+       CapacityModel(@current, @purchase1, @purchase2) AS capacity,
+       CASE WHEN capacity < demand THEN 1 ELSE 0 END AS overload
+INTO results;
+GRAPH OVER @current EXPECT overload WITH red;
+OPTIMIZE SELECT @purchase1, @purchase2 FROM results
+WHERE MAX(EXPECT overload) < 0.5
+FOR MAX @purchase1, MAX @purchase2
+"""
+
+POINT = {"purchase1": 0, "purchase2": 26, "feature": 12}
+
+
+def assert_stats_identical(actual, expected) -> None:
+    """Bit-for-bit equality of two AxisStatistics."""
+    assert actual.axis_values == expected.axis_values
+    assert actual.n_worlds == expected.n_worlds
+    assert sorted(actual.aliases()) == sorted(expected.aliases())
+    for alias in expected.aliases():
+        assert (
+            actual.expectation(alias).tobytes()
+            == expected.expectation(alias).tobytes()
+        ), f"expectation of {alias!r} differs"
+        assert (
+            actual.stddev(alias).tobytes() == expected.stddev(alias).tobytes()
+        ), f"stddev of {alias!r} differs"
