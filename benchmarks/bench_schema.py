@@ -76,8 +76,26 @@ BENCH_SCHEMA: dict[str, Any] = {
             "misses": _COUNT,
             "hit_rate": _RATE,
         },
+        "adaptive_sweep": {
+            "points": _POSITIVE,
+            "n_worlds": _POSITIVE,
+            "target_ci": _POSITIVE,
+            "fixed_seconds": _POSITIVE,
+            "adaptive_seconds": _POSITIVE,
+            "worlds_budgeted": _COUNT,
+            "worlds_spent": _COUNT,
+            "worlds_saved": _COUNT,
+            "saving_fraction": _RATE,
+            "points_retired_early": _COUNT,
+            "parity_ok": (bool, lambda v: v is True, "parity_ok must be true"),
+        },
     },
 }
+
+#: Sections newer harness versions emit that older committed trajectory
+#: points (e.g. BENCH_7.json, pre-adaptive) legitimately lack. A missing
+#: optional section is fine; a present one is validated in full.
+OPTIONAL_SECTIONS = frozenset({"benchmarks.adaptive_sweep"})
 
 
 def _walk(spec: dict[str, Any], payload: Any, path: str, errors: list[str]) -> None:
@@ -90,7 +108,8 @@ def _walk(spec: dict[str, Any], payload: Any, path: str, errors: list[str]) -> N
     for key, rule in spec.items():
         here = f"{path}{key}"
         if key not in payload:
-            errors.append(f"{here}: missing")
+            if here not in OPTIONAL_SECTIONS:
+                errors.append(f"{here}: missing")
             continue
         value = payload[key]
         if isinstance(rule, dict):

@@ -11,13 +11,13 @@ Usage::
 
     PYTHONPATH=src python benchmarks/run_all.py                 # full run
     PYTHONPATH=src python benchmarks/run_all.py --smoke         # CI-sized
-    PYTHONPATH=src python benchmarks/run_all.py --output BENCH_7.json \
+    PYTHONPATH=src python benchmarks/run_all.py --output BENCH_8.json \
         --trace bench_trace.json
 
 The emitted document validates against :mod:`benchmarks.bench_schema`
 (hand-rolled — no external jsonschema dependency)::
 
-    python benchmarks/bench_schema.py BENCH_7.json
+    python benchmarks/bench_schema.py BENCH_8.json
 
 Numbers are wall-clock and vary by host; the *shape* (speedups >= 1 where
 reuse applies, hit rates, parity booleans) is the stable, comparable part.
@@ -41,9 +41,10 @@ from repro.api import (  # noqa: E402  (sys.path bootstrap above)
     ProphetClient,
     SamplingConfig,
 )
+from repro.core.rounds import max_ci_halfwidth  # noqa: E402
 
 #: The PR number this harness stamps into the output (and the filename).
-PR_NUMBER = 7
+PR_NUMBER = 8
 
 #: Schema identity checked by benchmarks/bench_schema.py.
 SCHEMA_VERSION = 1
@@ -67,12 +68,19 @@ FOR MAX @purchase1, MAX @purchase2
 """
 
 
-def _client(n_worlds: int, *, backend: str = "batched", cache_dir: Optional[str] = None) -> ProphetClient:
+#: The adaptive-sweep grid: same shape, a denser @feature axis — 3 x 3 x 4
+#: = 36 points, the sweep the adaptive budget allocator is measured on.
+ADAPTIVE_DSL = BENCH_DSL.replace(
+    "@feature AS SET (12, 36)", "@feature AS SET (0, 12, 24, 36)"
+)
+
+
+def _client(n_worlds: int, *, backend: str = "batched", cache_dir: Optional[str] = None, dsl: str = BENCH_DSL) -> ProphetClient:
     config = ClientConfig(
         sampling=SamplingConfig(n_worlds=n_worlds, refinement_first=max(1, n_worlds // 2), backend=backend),
         cache=CacheConfig(dir=cache_dir),
     )
-    return ProphetClient.open(BENCH_DSL, "demo", config=config)
+    return ProphetClient.open(dsl, "demo", config=config)
 
 
 def _sweep_points(client: ProphetClient, limit: Optional[int]) -> list[dict[str, Any]]:
@@ -195,6 +203,58 @@ def bench_result_cache(n_worlds: int, points_limit: Optional[int]) -> dict[str, 
     }
 
 
+def bench_adaptive_sweep(n_worlds: int, points_limit: Optional[int]) -> dict[str, Any]:
+    """Worlds saved by CI-targeted adaptive sampling, at equal confidence.
+
+    A fixed-budget sweep of the denser 36-point grid sets the baseline and
+    the confidence yardstick: the target half-width is derived from the
+    *worst* full-budget CI (x1.25), so every point provably converges at or
+    before its full budget — the saving measured here is pure early
+    retirement, not looser answers. The parity leg re-runs with an
+    unreachable target and must reproduce the fixed-budget bytes exactly.
+    """
+    min_worlds = max(1, n_worlds // 8)
+
+    fixed_client = _client(n_worlds, dsl=ADAPTIVE_DSL)
+    points = _sweep_points(fixed_client, points_limit)
+    fixed_seconds, fixed_results = _timed_sweep(fixed_client, points)
+    fixed_digest = _statistics_digest(fixed_results)
+    target_ci = round(
+        max(max_ci_halfwidth(r.statistics) for r in fixed_results) * 1.25, 6
+    )
+    fixed_client.close()
+
+    adaptive_client = _client(n_worlds, dsl=ADAPTIVE_DSL).with_adaptive(
+        target_ci=target_ci, min_worlds=min_worlds
+    )
+    adaptive_seconds, _ = _timed_sweep(adaptive_client, points)
+    scheduler = json.loads(adaptive_client.stats().to_json())["scheduler"]
+    adaptive_client.close()
+
+    parity_client = _client(n_worlds, dsl=ADAPTIVE_DSL).with_adaptive(
+        target_ci=1e-12, min_worlds=min_worlds
+    )
+    _, parity_results = _timed_sweep(parity_client, points)
+    parity_ok = _statistics_digest(parity_results) == fixed_digest
+    parity_client.close()
+
+    budgeted = scheduler["worlds_budgeted"]
+    spent = scheduler["worlds_spent"]
+    return {
+        "points": len(points),
+        "n_worlds": n_worlds,
+        "target_ci": target_ci,
+        "fixed_seconds": round(fixed_seconds, 4),
+        "adaptive_seconds": round(adaptive_seconds, 4),
+        "worlds_budgeted": budgeted,
+        "worlds_spent": spent,
+        "worlds_saved": budgeted - spent,
+        "saving_fraction": round(_rate(budgeted - spent, budgeted), 4),
+        "points_retired_early": scheduler["jobs_retired_early"],
+        "parity_ok": parity_ok,
+    }
+
+
 def run(mode: str, trace_file: Optional[str]) -> dict[str, Any]:
     smoke = mode == "smoke"
     n_worlds = 20 if smoke else 100
@@ -205,6 +265,7 @@ def run(mode: str, trace_file: Optional[str]) -> dict[str, Any]:
     )
     batched_vs_loop = bench_batched_vs_loop(n_worlds, points_limit, digest)
     result_cache = bench_result_cache(n_worlds, points_limit)
+    adaptive_sweep = bench_adaptive_sweep(n_worlds, points_limit)
 
     return {
         "schema_version": SCHEMA_VERSION,
@@ -220,6 +281,7 @@ def run(mode: str, trace_file: Optional[str]) -> dict[str, Any]:
             "batched_vs_loop": batched_vs_loop,
             "result_cache": result_cache,
             "plan_cache": plan_cache,
+            "adaptive_sweep": adaptive_sweep,
         },
     }
 
@@ -267,10 +329,20 @@ def main(argv: Optional[list[str]] = None) -> int:
         f"hit rate {bench['result_cache']['hit_rate']:.1%}"
     )
     print(f"  plan cache hit rate: {bench['plan_cache']['hit_rate']:.1%}")
+    adaptive = bench["adaptive_sweep"]
+    print(
+        f"  adaptive sweep: {adaptive['worlds_saved']} of "
+        f"{adaptive['worlds_budgeted']} worlds saved "
+        f"({adaptive['saving_fraction']:.1%} at target_ci="
+        f"{adaptive['target_ci']}; parity: {adaptive['parity_ok']})"
+    )
     if args.trace_file:
         print(f"  trace written to {args.trace_file}")
     if not bench["batched_vs_loop"]["parity"]:
         print("error: batched vs loop parity FAILED", file=sys.stderr)
+        return 1
+    if not adaptive["parity_ok"]:
+        print("error: adaptive vs fixed parity FAILED", file=sys.stderr)
         return 1
     return 0
 

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Adaptive anytime sampling: spend worlds only where the CI needs them.
+
+Runs the same risk-vs-cost sweep twice — once with the fixed world budget,
+once with ``with_adaptive(target_ci=...)`` — and compares the spend. With
+adaptive sampling on, every point evaluates in growing world-prefix rounds
+and *retires* the moment all of its 95% confidence half-widths are at or
+below the target; the worlds it never spent go back into the pool for
+points that still need them. Most points on this scenario resolve after
+the first rounds, so the adaptive sweep finishes the grid on a fraction of
+the fixed budget while answering to the same tolerance.
+
+    python examples/adaptive_sweep.py          # after: pip install -e .
+    PYTHONPATH=src python examples/adaptive_sweep.py   # without installing
+"""
+
+import sys
+
+from repro.api import ProphetClient
+from repro.models import build_risk_vs_cost
+
+N_WORLDS = 120
+TARGET_CI = 400.0  # absolute half-width, on this scenario's demand scale
+
+
+def main() -> None:
+    print("=== Adaptive sweep: CI-targeted world budgets ===\n")
+    scenario, library = build_risk_vs_cost(purchase_step=16)
+    total = scenario.space.grid_size(exclude=[scenario.axis])
+
+    # Fixed budget: every point gets all N_WORLDS worlds, no questions asked.
+    fixed = ProphetClient.open(scenario, library).with_sampling(
+        n_worlds=N_WORLDS
+    )
+    with fixed:
+        fixed.sweep().run()
+        fixed_worlds = total * N_WORLDS
+    print(f"fixed budget : {total} points x {N_WORLDS} worlds = "
+          f"{fixed_worlds} worlds\n")
+
+    # Adaptive: same grid, same per-point cap, but points retire as soon as
+    # every series' CI half-width is at or below TARGET_CI.
+    scenario2, library2 = build_risk_vs_cost(purchase_step=16)
+    client = (
+        ProphetClient.open(scenario2, library2)
+        .with_sampling(n_worlds=N_WORLDS)
+        .with_adaptive(target_ci=TARGET_CI)
+    )
+    with client:
+        retired = 0
+        for result in client.sweep():  # streaming: one line per point
+            retired += bool(result.retired_early)
+            flag = "retired" if result.retired_early else "full   "
+            sys.stdout.write(
+                f"\r[{result.index + 1:3d}/{total}] {flag} "
+                f"worlds={result.worlds_spent:4d} rounds={result.rounds} "
+                f"max_ci={result.max_ci:8.1f}"
+            )
+            sys.stdout.flush()
+        print("\n")
+        report = client.stats()
+        scheduler = report.scheduler
+        spent = scheduler["worlds_spent"]
+        budgeted = scheduler["worlds_budgeted"]
+        print(
+            f"adaptive     : {retired}/{total} points retired early; "
+            f"{spent} of {budgeted} budgeted worlds spent "
+            f"({1 - spent / budgeted:.0%} saved at target_ci={TARGET_CI})"
+        )
+        print()
+        print(report.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -43,6 +43,8 @@ import importlib
 import warnings
 
 from repro.api import (
+    AdaptiveConfig,
+    AdaptiveSweepHandle,
     CacheConfig,
     ClientConfig,
     InteractiveHandle,

@@ -4,13 +4,14 @@ Everything a caller needs lives here and only here:
 
 * :class:`ProphetClient` — ``open(scenario, library, config=...)`` plus the
   fluent ``with_serving`` / ``with_cache`` / ``with_basis_store`` /
-  ``with_sampling`` / ``with_resilience`` helpers;
+  ``with_sampling`` / ``with_adaptive`` / ``with_resilience`` helpers;
 * the typed layered configuration — :class:`ClientConfig` composing
   :class:`SamplingConfig`, :class:`ReuseConfig`, :class:`StoreConfig`,
   :class:`ServeConfig`, :class:`ResilienceConfig`, :class:`CacheConfig`,
-  :class:`ObsConfig`;
-* the three uniform handles — :class:`InteractiveHandle`,
-  :class:`SweepHandle` (streaming :class:`SweepResult` iterator),
+  :class:`AdaptiveConfig`, :class:`ObsConfig`;
+* the uniform handles — :class:`InteractiveHandle`, :class:`SweepHandle`
+  and :class:`AdaptiveSweepHandle` (streaming :class:`SweepResult`
+  iterators; the adaptive one retires points as their CI target resolves),
   :class:`OptimizeHandle`;
 * the one stats surface — :class:`StatsReport`, carrying the wall-clock
   :class:`TimingReport` separately from its byte-stable counter JSON.
@@ -21,6 +22,7 @@ so accidental export changes fail CI instead of shipping.
 
 from repro.api.client import ProphetClient
 from repro.api.config import (
+    AdaptiveConfig,
     CacheConfig,
     ClientConfig,
     ResilienceConfig,
@@ -30,6 +32,7 @@ from repro.api.config import (
     StoreConfig,
 )
 from repro.api.handles import (
+    AdaptiveSweepHandle,
     InteractiveHandle,
     OptimizeHandle,
     SweepHandle,
@@ -39,6 +42,8 @@ from repro.api.stats import StatsReport
 from repro.obs import ObsConfig, TimingReport
 
 __all__ = [
+    "AdaptiveConfig",
+    "AdaptiveSweepHandle",
     "CacheConfig",
     "ClientConfig",
     "InteractiveHandle",

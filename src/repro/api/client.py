@@ -27,7 +27,12 @@ from __future__ import annotations
 from typing import Any, Iterable, Mapping, Optional, Sequence, Union
 
 from repro.api.config import CacheConfig, ClientConfig
-from repro.api.handles import InteractiveHandle, OptimizeHandle, SweepHandle
+from repro.api.handles import (
+    AdaptiveSweepHandle,
+    InteractiveHandle,
+    OptimizeHandle,
+    SweepHandle,
+)
 from repro.api.stats import StatsReport
 from repro.core.engine import PointEvaluation, ProphetEngine
 from repro.core.offline import OfflineOptimizer
@@ -207,6 +212,42 @@ class ProphetClient:
         if base_seed is not None:
             changes["base_seed"] = base_seed
         return self.with_config(self.config.replace_section("sampling", **changes))
+
+    def with_adaptive(
+        self,
+        *,
+        target_ci: Optional[float] = None,
+        min_worlds: Optional[int] = None,
+        max_worlds: Optional[int] = None,
+        round_growth: Optional[float] = None,
+    ) -> "ProphetClient":
+        """Turn on adaptive anytime sampling (the round protocol).
+
+        ``target_ci`` is the switch: sweeps then run in growing world-prefix
+        rounds, retire points whose worst CI half-width is at most the
+        target, and reassign the unspent budget to unresolved points.
+        ``min_worlds`` / ``max_worlds`` / ``round_growth`` bound the round
+        ladder; left unset they fall back to the sampling section
+        (``max_worlds`` to ``n_worlds``, the others to the legacy
+        ``refinement_first`` / ``refinement_growth`` spellings they
+        deprecate). Only the knobs actually passed are changed — chained
+        calls accumulate instead of resetting each other.
+
+        Stopping decisions are pure functions of accumulated statistics,
+        so adaptive runs are deterministic; with ``max_worlds`` equal to
+        ``n_worlds`` and an unreachable target the run is bitwise identical
+        to the fixed-budget sweep.
+        """
+        changes: dict[str, Any] = {}
+        if target_ci is not None:
+            changes["target_ci"] = target_ci
+        if min_worlds is not None:
+            changes["min_worlds"] = min_worlds
+        if max_worlds is not None:
+            changes["max_worlds"] = max_worlds
+        if round_growth is not None:
+            changes["round_growth"] = round_growth
+        return self.with_config(self.config.replace_section("adaptive", **changes))
 
     def with_resilience(
         self,
@@ -411,14 +452,35 @@ class ProphetClient:
         worlds: Optional[Sequence[int]] = None,
         reuse: bool = True,
         session_name: str = "sweep",
-    ) -> SweepHandle:
+    ) -> Union[SweepHandle, AdaptiveSweepHandle]:
         """A streaming sweep over ``points`` (default: the full grid).
 
         Returns immediately with every job queued (identical points
         coalesced); iterate the handle to run them one at a time and
         consume each :class:`~repro.api.SweepResult` as it completes.
+
+        With adaptive sampling on (:meth:`with_adaptive`) the sweep runs
+        through the scheduler's CI budget allocator instead and returns an
+        :class:`AdaptiveSweepHandle` — same streaming surface, but points
+        retire as their confidence target resolves. An explicit ``worlds``
+        slice contradicts adaptive stopping and raises.
         """
         scheduler = self._sweep_scheduler()
+        if self.config.adaptive.enabled:
+            if worlds is not None:
+                raise ScenarioError(
+                    "an explicit worlds= slice is incompatible with adaptive "
+                    "sampling (the round protocol chooses world prefixes); "
+                    "drop worlds= or turn off with_adaptive()"
+                )
+            adaptive = scheduler.submit_adaptive(
+                points,
+                target_ci=self.config.adaptive.target_ci,
+                plan=self.config.round_plan(),
+                session=session_name,
+                reuse=reuse,
+            )
+            return AdaptiveSweepHandle(scheduler, adaptive)
         sweep = scheduler.submit_sweep(
             points, worlds=worlds, session=session_name, reuse=reuse
         )
@@ -454,7 +516,28 @@ class ProphetClient:
         Goes straight to the service (result cache + sharded engine cycle),
         not through the scheduler's job queue — an evaluate() call mid-sweep
         must not drain jobs a streaming :class:`SweepHandle` has pending.
+
+        With adaptive sampling on (and no explicit ``worlds`` slice) the
+        point instead runs the round ladder to its confidence target
+        through the scheduler — each round is a queued job, so this path
+        *does* drain the queue; avoid it mid-sweep.
         """
+        if self.config.adaptive.enabled and worlds is None:
+            scheduler = self._sweep_scheduler()
+            sweep = scheduler.submit_adaptive(
+                [point],
+                target_ci=self.config.adaptive.target_ci,
+                plan=self.config.round_plan(),
+                session="evaluate",
+                reuse=reuse,
+            )
+            scheduler.run_adaptive(sweep)
+            state = sweep.states[0]
+            if state.failed:
+                if state.exception is not None:
+                    raise state.exception
+                raise ServeError(f"adaptive evaluation failed: {state.error}")
+            return state.evaluator.result
         self._ensure_backend()
         if self._service is not None:
             return self._service.evaluate(point, worlds=worlds, reuse=reuse)

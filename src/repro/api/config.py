@@ -1,9 +1,9 @@
 """Typed, layered client configuration.
 
 One :class:`ClientConfig` replaces the constructor sprawl of the four
-legacy entrypoints: seven frozen section dataclasses — sampling, reuse,
-basis store, serving, resilience, result cache, observability — compose
-into one validated object.
+legacy entrypoints: eight frozen section dataclasses — sampling, reuse,
+basis store, serving, resilience, result cache, adaptive sampling,
+observability — compose into one validated object.
 Every knob that used to live in the flat :class:`~repro.core.engine.
 ProphetConfig` (or in ``EvaluationService``/CLI keyword arguments) has
 exactly one home here, and :meth:`ClientConfig.engine_config` derives the
@@ -168,6 +168,54 @@ class CacheConfig:
         return self.dir is not None
 
 
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Adaptive anytime sampling: the round protocol's stopping rule.
+
+    Setting ``target_ci`` turns adaptive sampling on: sweep points run in
+    growing world-prefix rounds and retire once every output series'
+    confidence half-width is at most ``target_ci``; the budget allocator
+    reassigns their unspent worlds to unresolved points. Stopping is a pure
+    function of accumulated statistics — never wall-clock — so adaptive
+    runs are deterministic and shard-geometry independent.
+
+    ``min_worlds`` / ``max_worlds`` / ``round_growth`` bound the round
+    ladder (first round, fixed per-point budget, geometric growth). They
+    absorb — and are the preferred spellings over — the flat
+    ``refinement_first`` / ``refinement_growth`` knobs on
+    :class:`SamplingConfig`, which they default to when left ``None``
+    (``max_worlds`` defaults to ``n_worlds``).
+    """
+
+    target_ci: Optional[float] = None
+    min_worlds: Optional[int] = None
+    max_worlds: Optional[int] = None
+    round_growth: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        _require(
+            self.target_ci is None or self.target_ci > 0.0,
+            f"target_ci must be > 0 or None, got {self.target_ci}",
+        )
+        _require(
+            self.min_worlds is None or self.min_worlds >= 1,
+            f"min_worlds must be >= 1 or None, got {self.min_worlds}",
+        )
+        _require(
+            self.max_worlds is None or self.max_worlds >= 1,
+            f"max_worlds must be >= 1 or None, got {self.max_worlds}",
+        )
+        _require(
+            self.round_growth is None or self.round_growth > 1.0,
+            f"round_growth must be > 1 or None, got {self.round_growth}",
+        )
+
+    @property
+    def enabled(self) -> bool:
+        """Adaptive stopping is on exactly when a target is set."""
+        return self.target_ci is not None
+
+
 #: Section name -> section dataclass, in rendering order.
 _SECTIONS: dict[str, type] = {
     "sampling": SamplingConfig,
@@ -176,6 +224,7 @@ _SECTIONS: dict[str, type] = {
     "serve": ServeConfig,
     "resilience": ResilienceConfig,
     "cache": CacheConfig,
+    "adaptive": AdaptiveConfig,
     "obs": ObsConfig,
 }
 
@@ -184,7 +233,7 @@ _SECTIONS: dict[str, type] = {
 class ClientConfig:
     """The one configuration object behind a :class:`~repro.api.ProphetClient`.
 
-    Composes the seven sections; backends — in-process engine vs sharded
+    Composes the eight sections; backends — in-process engine vs sharded
     service, loop vs batched sampling, tiered store, fault-tolerance
     ladder, result cache — are pure configuration here, never separate
     constructor dialects. The resilience section is defined next to the
@@ -198,6 +247,7 @@ class ClientConfig:
     serve: ServeConfig = field(default_factory=ServeConfig)
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     cache: CacheConfig = field(default_factory=CacheConfig)
+    adaptive: AdaptiveConfig = field(default_factory=AdaptiveConfig)
     obs: ObsConfig = field(default_factory=ObsConfig)
 
     def __post_init__(self) -> None:
@@ -335,6 +385,36 @@ class ClientConfig:
             f"unknown config section {name!r} (known: {sorted(_SECTIONS)})",
         )
         return replace(self, **{name: replace(getattr(self, name), **changes)})
+
+    def round_plan(self) -> "RoundPlan":
+        """The adaptive section's round ladder, with sampling fallbacks.
+
+        ``max_worlds`` defaults to the fixed budget ``sampling.n_worlds``;
+        ``min_worlds`` / ``round_growth`` default to the legacy flat
+        ``refinement_first`` / ``refinement_growth`` spellings they absorb.
+        """
+        from repro.core.rounds import RoundPlan
+
+        n_worlds = (
+            self.adaptive.max_worlds
+            if self.adaptive.max_worlds is not None
+            else self.sampling.n_worlds
+        )
+        first = (
+            self.adaptive.min_worlds
+            if self.adaptive.min_worlds is not None
+            else min(self.sampling.refinement_first, n_worlds)
+        )
+        growth = (
+            self.adaptive.round_growth
+            if self.adaptive.round_growth is not None
+            else self.sampling.refinement_growth
+        )
+        _require(
+            first <= n_worlds,
+            f"min_worlds ({first}) must not exceed max_worlds ({n_worlds})",
+        )
+        return RoundPlan(n_worlds=n_worlds, first=first, growth=growth)
 
     def wants_service(self) -> bool:
         """Does this config require the serve backend (vs a bare engine)?

@@ -23,12 +23,20 @@ from typing import Any, Callable, Iterator, Mapping, Optional
 
 import numpy as np
 
-from repro.core.aggregator import AxisStatistics, ConvergenceTracker
+from repro.core.aggregator import AxisStatistics
+from repro.core.rounds import ConvergenceTracker
 from repro.core.engine import PointEvaluation, ProphetEngine
 from repro.core.offline import OfflineOptimizer, OptimizationResult
 from repro.core.online import GraphView, InteractionLog, OnlineSession
 from repro.errors import ServeError
-from repro.serve.scheduler import DONE, FAILED, Job, Scheduler
+from repro.serve.scheduler import (
+    DONE,
+    FAILED,
+    AdaptivePointState,
+    AdaptiveSweepJob,
+    Job,
+    Scheduler,
+)
 
 
 class InteractiveHandle:
@@ -81,7 +89,11 @@ class InteractiveHandle:
 
 @dataclass(frozen=True)
 class SweepResult:
-    """One finished sweep point, yielded as soon as its job completes."""
+    """One finished sweep point, yielded as soon as its job completes.
+
+    The adaptive fields (``worlds_spent`` onward) are ``None`` on
+    fixed-budget sweeps and populated by :class:`AdaptiveSweepHandle`.
+    """
 
     index: int
     point: dict[str, Any]
@@ -90,6 +102,10 @@ class SweepResult:
     deduplicated: bool  #: coalesced onto an identical in-flight job
     error: Optional[str]
     elapsed_seconds: float
+    worlds_spent: Optional[int] = None
+    rounds: Optional[int] = None
+    max_ci: Optional[float] = None
+    retired_early: Optional[bool] = None
 
     @property
     def ok(self) -> bool:
@@ -165,6 +181,93 @@ class SweepHandle:
             if result.ok:
                 continue
             exception = self._jobs[result.index].exception
+            if exception is not None:
+                raise exception
+            raise ServeError(f"sweep point {index} failed: {result.error}")
+
+
+class AdaptiveSweepHandle:
+    """A streaming *adaptive* sweep: points retire as their CI resolves.
+
+    Mirrors :class:`SweepHandle` — iterate to run, one :class:`SweepResult`
+    per submitted point, in submission order — but the work underneath is
+    the scheduler's CI budget allocator: each pump runs one round, points
+    whose target half-width is met retire early (freeing budget for
+    unresolved points), and the yielded results carry the adaptive fields
+    (``worlds_spent``, ``rounds``, ``max_ci``, ``retired_early``).
+
+    A point is yielded once its outcome is final: converged, failed, or
+    the allocator has spent everything it will ever spend on it. Points
+    that never converge therefore yield only when the whole sweep is done
+    — their budget could have grown until the very last reallocation.
+    """
+
+    def __init__(self, scheduler: Scheduler, sweep: AdaptiveSweepJob) -> None:
+        self._scheduler = scheduler
+        self._sweep = sweep
+        self._cursor = 0
+        self.results: list[SweepResult] = []
+
+    def __len__(self) -> int:
+        return len(self._sweep.states)
+
+    def __iter__(self) -> Iterator[SweepResult]:
+        return self
+
+    def __next__(self) -> SweepResult:
+        states = self._sweep.states
+        if self._cursor >= len(states):
+            raise StopIteration
+        state = states[self._cursor]
+        while not self._resolved(state):
+            if not self._scheduler.advance_adaptive(self._sweep):
+                break
+        evaluation = state.evaluator.result
+        result = SweepResult(
+            index=self._cursor,
+            point=dict(state.point),
+            statistics=evaluation.statistics if evaluation is not None else None,
+            evaluation=evaluation,
+            deduplicated=False,
+            error=state.error,
+            elapsed_seconds=0.0,
+            worlds_spent=state.evaluator.worlds_spent,
+            rounds=len(state.evaluator.rounds),
+            max_ci=state.evaluator.max_ci,
+            retired_early=state.retired_early,
+        )
+        self._cursor += 1
+        self.results.append(result)
+        return result
+
+    @staticmethod
+    def _resolved(state: AdaptivePointState) -> bool:
+        """Is this point's outcome final (no later round can change it)?"""
+        return state.finalized and (state.evaluator.converged or state.failed)
+
+    # -- conveniences --------------------------------------------------------
+
+    def run(self) -> list[SweepResult]:
+        """Drain the whole adaptive sweep (the non-streaming spelling)."""
+        for _ in self:
+            pass
+        return self.results
+
+    @property
+    def sweep(self) -> AdaptiveSweepJob:
+        """The scheduler-level sweep (escape hatch: budget, per-point state)."""
+        return self._sweep
+
+    @property
+    def failures(self) -> list[SweepResult]:
+        return [result for result in self.results if not result.ok]
+
+    def raise_failures(self) -> None:
+        """Re-raise the first failed point's original exception, if any."""
+        for index, result in enumerate(self.results):
+            if result.ok:
+                continue
+            exception = self._sweep.states[result.index].exception
             if exception is not None:
                 raise exception
             raise ServeError(f"sweep point {index} failed: {result.error}")

@@ -42,6 +42,10 @@ class StatsReport:
     week_memo: dict[str, Any]
     service: Optional[dict[str, Any]] = None
     scheduler: Optional[dict[str, Any]] = None
+    #: Per-point adaptive outcomes (worlds spent, rounds, CI half-widths).
+    #: Present only after an adaptive sweep ran — fixed-budget runs keep
+    #: their pre-adaptive JSON byte-identical.
+    adaptive: Optional[dict[str, Any]] = None
     timing: Optional[TimingReport] = None
 
     @classmethod
@@ -97,12 +101,17 @@ class StatsReport:
                 ),
                 **service.stats.as_dict(),
             }
+        adaptive_dict = None
         if scheduler is not None:
             scheduler_dict = {
                 "jobs_completed": scheduler.jobs_completed,
                 "jobs_retried": scheduler.jobs_retried,
                 "dedup_hits": scheduler.dedup_hits,
+                "jobs_retired_early": scheduler.jobs_retired_early,
+                "worlds_spent": scheduler.worlds_spent,
+                "worlds_budgeted": scheduler.worlds_budgeted,
             }
+            adaptive_dict = scheduler.adaptive_report()
         return cls(
             execution=execution,
             sampling=sampling,
@@ -110,6 +119,7 @@ class StatsReport:
             week_memo=week_memo,
             service=service_dict,
             scheduler=scheduler_dict,
+            adaptive=adaptive_dict,
             timing=TimingReport.gather(engine, service=service, tracer=tracer),
         )
 
@@ -132,6 +142,8 @@ class StatsReport:
             payload["service"] = dict(self.service)
         if self.scheduler is not None:
             payload["scheduler"] = dict(self.scheduler)
+        if self.adaptive is not None:
+            payload["adaptive"] = dict(self.adaptive)
         return payload
 
     def to_json(self) -> str:
@@ -199,5 +211,18 @@ class StatsReport:
                 f"  scheduler: {sc['jobs_completed']} jobs, "
                 f"{sc['jobs_retried']} retried, "
                 f"{sc['dedup_hits']} deduplicated"
+            )
+            if sc.get("worlds_budgeted", 0):
+                lines.append(
+                    f"  adaptive: {sc['jobs_retired_early']} points retired "
+                    f"early, {sc['worlds_spent']} worlds spent of "
+                    f"{sc['worlds_budgeted']} budgeted"
+                )
+        if self.adaptive is not None:
+            points = self.adaptive.get("points", [])
+            converged = sum(1 for p in points if p.get("converged"))
+            lines.append(
+                f"  adaptive points: {len(points)} swept, {converged} "
+                f"converged at target_ci={self.adaptive.get('target_ci')}"
             )
         return lines

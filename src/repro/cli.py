@@ -28,6 +28,7 @@ import time
 from typing import Any, Sequence
 
 from repro.api import (
+    AdaptiveConfig,
     CacheConfig,
     ClientConfig,
     ObsConfig,
@@ -91,6 +92,22 @@ def build_parser() -> argparse.ArgumentParser:
             help="fresh-sampling backend: 'batched' lands a whole world "
             "slice per generated statement (default); 'loop' executes one "
             "INSERT per world (the bit-identical reference path)",
+        )
+        sub.add_argument(
+            "--target-ci",
+            type=float,
+            default=None,
+            metavar="HALFWIDTH",
+            help="adaptive sampling: evaluate points in growing world-prefix "
+            "rounds and stop once every series' 95%% CI half-width is at or "
+            "below this target (default: fixed budget, no adaptivity)",
+        )
+        sub.add_argument(
+            "--max-worlds",
+            type=int,
+            default=None,
+            help="adaptive sampling: cap the per-point world budget "
+            "(default: --worlds)",
         )
         sub.add_argument(
             "--trace",
@@ -259,6 +276,13 @@ def _client_config(args: argparse.Namespace) -> ClientConfig:
         resilience_changes["shard_timeout"] = args.shard_timeout
     if getattr(args, "shard_retries", None) is not None:
         resilience_changes["shard_retries"] = args.shard_retries
+    # Likewise adaptive: without --target-ci the section stays at its
+    # default (disabled) and the run is byte-identical to fixed budget.
+    adaptive_changes: dict[str, Any] = {}
+    if getattr(args, "target_ci", None) is not None:
+        adaptive_changes["target_ci"] = args.target_ci
+    if getattr(args, "max_worlds", None) is not None:
+        adaptive_changes["max_worlds"] = args.max_worlds
     return ClientConfig(
         sampling=SamplingConfig(
             n_worlds=args.worlds,
@@ -276,6 +300,7 @@ def _client_config(args: argparse.Namespace) -> ClientConfig:
         ),
         resilience=ResilienceConfig(**resilience_changes),
         cache=CacheConfig(dir=getattr(args, "cache_dir", None)),
+        adaptive=AdaptiveConfig(**adaptive_changes),
         obs=ObsConfig(
             trace_file=getattr(args, "trace_file", None),
             profile=bool(getattr(args, "profile", False)),
@@ -339,9 +364,66 @@ def command_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _graph_series(scenario: Any, statistics: Any) -> dict[str, Any]:
+    """The GRAPH directive's series from bare statistics (adaptive path —
+    no :class:`GraphView` exists because no interactive session ran)."""
+    series: dict[str, Any] = {}
+    for spec in scenario.graph.series:
+        if spec.kind == "EXPECT":
+            series[f"E[{spec.alias}]"] = statistics.expectation(spec.alias)
+        else:
+            series[f"SD[{spec.alias}]"] = statistics.stddev(spec.alias)
+    return series
+
+
+def _run_adaptive(client: ProphetClient, args: argparse.Namespace) -> int:
+    """The adaptive spelling of ``repro run``: round ladder to --target-ci."""
+    point = client.scenario.sweep_space.default_point()
+    for assignment in args.assignments:
+        name, value = _parse_assignment(assignment)
+        point[name] = value
+    budget = client.config.round_plan().n_worlds
+    print(
+        f"point: {point}  (adaptive: target_ci="
+        f"{client.config.adaptive.target_ci}, up to {budget} worlds)"
+    )
+    evaluation = client.evaluate(point)
+    report = client.stats()
+    if report.adaptive is not None and report.adaptive["points"]:
+        outcome = report.adaptive["points"][0]
+        state = "converged" if outcome["converged"] else "budget exhausted"
+        print(
+            f"{state}: {outcome['worlds_spent']} worlds over "
+            f"{outcome['rounds']} rounds (max CI half-width "
+            f"{outcome['max_ci']:.4g})"
+        )
+    if client.scenario.graph and not args.no_chart:
+        print()
+        print(
+            render_chart(
+                _graph_series(client.scenario, evaluation.statistics),
+                title=f"{client.scenario.name}",
+            )
+        )
+    print()
+    for alias in evaluation.statistics.aliases():
+        series = evaluation.statistics.expectation(alias)
+        print(
+            f"E[{alias}]: min={series.min():.4g} max={series.max():.4g} "
+            f"mean={series.mean():.4g}"
+        )
+    if args.stats:
+        print()
+        print(report.render())
+    _emit_observability(client, args)
+    return 0
+
+
 def command_run(args: argparse.Namespace) -> int:
     client = _open_client(args)
     with client:
+        if client.config.adaptive.enabled:
+            return _run_adaptive(client, args)
         session = client.interactive(session_name="cli")
         for assignment in args.assignments:
             name, value = _parse_assignment(assignment)
@@ -452,6 +534,14 @@ def command_batch(args: argparse.Namespace) -> int:
             f"({hit_rate:.0%} hit rate), "
             f"{len(failed)} failed"
         )
+        scheduler = report.scheduler or {}
+        if scheduler.get("worlds_budgeted", 0):
+            print(
+                f"adaptive: {scheduler['jobs_retired_early']} of "
+                f"{len(primaries)} points retired early; "
+                f"{scheduler['worlds_spent']} worlds spent of "
+                f"{scheduler['worlds_budgeted']} budgeted"
+            )
         # Failed points are always listed in full; successes truncate.
         succeeded = [result for result in primaries if result.ok]
         shown = succeeded[: 5 if len(primaries) > 10 else len(succeeded)]

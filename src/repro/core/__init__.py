@@ -3,7 +3,6 @@ fingerprinting, and the online/offline exploration modes."""
 
 from repro.core.aggregator import (
     AxisStatistics,
-    ConvergenceTracker,
     ExactSum,
     MergeableAxisStats,
     MergeableMoments,
@@ -14,12 +13,20 @@ from repro.core.aggregator import (
 )
 from repro.core.engine import (
     PointEvaluation,
+    PointEvaluator,
     ProphetConfig,
     ProphetEngine,
+    RoundResult,
     StageTimings,
 )
-from repro.core.guide import GridGuide, PriorityGuide, RefinementPlan
+from repro.core.guide import GridGuide, PriorityGuide
 from repro.core.instance import InstanceBatch, WorldInstance
+from repro.core.rounds import (
+    ConvergenceTracker,
+    RoundPlan,
+    ci_converged,
+    max_ci_halfwidth,
+)
 from repro.core.offline import (
     ConstraintEvaluator,
     OfflineOptimizer,
@@ -50,6 +57,22 @@ from repro.core.risk import (
 )
 from repro.core.storage import BasisEntry, ReuseReport, StorageManager
 
+
+def __getattr__(name: str):
+    """Legacy spelling ``repro.core.RefinementPlan`` -> :class:`RoundPlan`."""
+    if name == "RefinementPlan":
+        import warnings
+
+        warnings.warn(
+            "repro.core.RefinementPlan is deprecated; use "
+            "repro.core.RoundPlan (same fields and pass semantics)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return RoundPlan
+    raise AttributeError(f"module 'repro.core' has no attribute {name!r}")
+
+
 __all__ = [
     "Parameter",
     "ParameterSpace",
@@ -64,7 +87,10 @@ __all__ = [
     "OptimizeObjective",
     "GridGuide",
     "PriorityGuide",
+    "RoundPlan",
     "RefinementPlan",
+    "ci_converged",
+    "max_ci_halfwidth",
     "QueryGenerator",
     "substitute",
     "StorageManager",
@@ -82,6 +108,8 @@ __all__ = [
     "ProphetEngine",
     "ProphetConfig",
     "PointEvaluation",
+    "PointEvaluator",
+    "RoundResult",
     "StageTimings",
     "OnlineSession",
     "GraphView",

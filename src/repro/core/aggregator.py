@@ -9,7 +9,7 @@ Guide's convergence decisions.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fractions import Fraction
 from typing import Any, Iterable, Mapping, Optional, Sequence
 
@@ -29,8 +29,14 @@ class SeriesStats:
     n_worlds: int
 
     def ci_halfwidth(self, z: float = 1.96) -> np.ndarray:
-        """Normal-approximation confidence half-width of the expectation."""
-        if self.n_worlds <= 0:
+        """Normal-approximation confidence half-width of the expectation.
+
+        With one world (or none) no variance estimate exists — the ddof=1
+        stddev is NaN — so the half-width is ``inf`` everywhere: an
+        undetermined estimate must never look converged to the round
+        protocol's stopping rule (:func:`repro.core.rounds.ci_converged`).
+        """
+        if self.n_worlds <= 1:
             return np.full_like(self.expectation, np.inf)
         return z * self.stddev / math.sqrt(self.n_worlds)
 
@@ -114,49 +120,29 @@ class ResultAggregator:
         )
 
 
-@dataclass
-class ConvergenceTracker:
-    """Detects when progressive refinement has stabilized.
+def __getattr__(name: str):
+    """Resolve the legacy ``ConvergenceTracker`` spelling, with a warning.
 
-    The online mode refines estimates in passes; the view is "accurate" once
-    the largest *relative* change between consecutive passes falls below
-    ``tolerance``. Each series' delta is normalized by that series' scale
-    (``max(|values|)``), so a capacity curve in the thousands and an overload
-    probability in [0, 1] converge on comparable terms. Used to measure the
-    paper's time-to-first-accurate-guess claim (C5).
+    The tracker was folded into the round/CI machinery in
+    :mod:`repro.core.rounds`. The warning is attributed to the caller
+    (``stacklevel=2``), so the CI ``deprecations`` job flags internal
+    callers while external code merely sees the notice (PR 5's policy).
     """
+    if name == "ConvergenceTracker":
+        import warnings
 
-    tolerance: float = 0.01
-    _previous: Optional[AxisStatistics] = field(default=None, repr=False)
-    history: list[float] = field(default_factory=list)
+        warnings.warn(
+            "repro.core.aggregator.ConvergenceTracker is deprecated; "
+            "import it from repro.core.rounds (the round/CI machinery)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.core.rounds import ConvergenceTracker
 
-    def update(self, statistics: AxisStatistics) -> float:
-        """Record a refinement pass; returns the max relative series delta."""
-        if self._previous is None:
-            self._previous = statistics
-            self.history.append(math.inf)
-            return math.inf
-        delta = 0.0
-        for alias in statistics.aliases():
-            current = statistics.expectation(alias)
-            previous = self._previous.expectation(alias)
-            if current.shape == previous.shape:
-                finite = np.isfinite(current) & np.isfinite(previous)
-                if finite.any():
-                    scale = max(float(np.max(np.abs(current[finite]))), 1e-12)
-                    change = float(np.max(np.abs(current[finite] - previous[finite])))
-                    delta = max(delta, change / scale)
-        self._previous = statistics
-        self.history.append(delta)
-        return delta
-
-    @property
-    def converged(self) -> bool:
-        return bool(self.history) and self.history[-1] <= self.tolerance
-
-    def reset(self) -> None:
-        self._previous = None
-        self.history.clear()
+        return ConvergenceTracker
+    raise AttributeError(
+        f"module 'repro.core.aggregator' has no attribute {name!r}"
+    )
 
 
 def error_against_reference(

@@ -30,13 +30,17 @@ import numpy as np
 
 from repro.errors import ScenarioError
 from repro.obs.trace import NULL_TRACER
-from repro.core.aggregator import AxisStatistics, ResultAggregator
+from repro.core.aggregator import (
+    AxisStatistics,
+    MergeableAxisStats,
+    ResultAggregator,
+)
 from repro.core.fingerprint.correlation import CorrelationPolicy
 from repro.core.fingerprint.fingerprint import FingerprintSpec
 from repro.core.fingerprint.registry import FingerprintRegistry
-from repro.core.guide import RefinementPlan
 from repro.core.instance import InstanceBatch
 from repro.core.querygen import QueryGenerator
+from repro.core.rounds import RoundPlan, max_ci_halfwidth
 from repro.core.sampling import SAMPLING_BACKENDS, SamplingPlane
 from repro.core.scenario import Scenario, VGOutput
 from repro.core.storage import ReuseReport, StorageManager
@@ -98,8 +102,8 @@ class ProphetConfig:
                 f"basis_byte_cap must be >= 0 or None, got {self.basis_byte_cap}"
             )
 
-    def plan(self) -> RefinementPlan:
-        return RefinementPlan(
+    def plan(self) -> RoundPlan:
+        return RoundPlan(
             n_worlds=self.n_worlds,
             first=min(self.refinement_first, self.n_worlds),
             growth=self.refinement_growth,
@@ -611,3 +615,188 @@ class ProphetEngine:
                 result_set, n_worlds=len(batch)
             )
         return statistics
+
+
+# -- the round protocol -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RoundResult:
+    """One completed round of a :class:`PointEvaluator`.
+
+    ``evaluation`` covers the whole world prefix ``[0, worlds_total)`` — not
+    just this round's increment — so its statistics are exact for every world
+    spent so far, and the final round's evaluation *is* the point's result.
+    """
+
+    index: int
+    worlds_total: int
+    worlds_added: int
+    evaluation: PointEvaluation
+    max_ci: float
+    converged: bool
+
+
+class PointEvaluator:
+    """Resumable round-based evaluation of one parameter point.
+
+    Evaluates the point in world-*prefix* rounds: round *r* covers worlds
+    ``[0, boundary_r)`` of the fixed seed sequence, where the boundaries come
+    from a :class:`~repro.core.rounds.RoundPlan` (or an explicit ``prefix``
+    passed to :meth:`step` — the serve scheduler's budget allocator uses that
+    to extend unresolved points with reallocated worlds). Because the engine's
+    basis-extend path fresh-samples only the worlds a previous round did not
+    cover, a round ladder costs the same fresh sampling as one-shot
+    evaluation, and the final full-prefix round is bitwise identical to it.
+
+    Stopping is the round protocol's pure CI rule
+    (:func:`repro.core.rounds.ci_converged` applied to each round's
+    statistics): once every output series' half-width is at most
+    ``target_ci``, the evaluator is converged and the remaining budget is
+    never spent. ``target_ci=None`` (default) runs the full ladder.
+
+    ``evaluate`` substitutes the engine's :meth:`ProphetEngine.evaluate_point`
+    with any callable of the same signature — the serve scheduler passes one
+    that routes each round through its job queue, so the dispatcher and
+    resilience ladder apply unchanged per round.
+
+    Alongside each round's (exact, SQL-produced) statistics the evaluator
+    Chan-merges each round's fresh sample *increment* into
+    :class:`~repro.core.aggregator.MergeableAxisStats` — the bit-exact
+    mergeable moments that let tests pin the round decomposition against
+    one-shot evaluation (``moments_complete`` goes ``False`` when a round's
+    samples were served from a result cache that strips matrices, in which
+    case ``moments`` is partial and only ``statistics`` is authoritative).
+    """
+
+    def __init__(
+        self,
+        engine: "ProphetEngine",
+        point: Mapping[str, Any],
+        *,
+        plan: Optional[RoundPlan] = None,
+        target_ci: Optional[float] = None,
+        z: float = 1.96,
+        reuse: bool = True,
+        evaluate: Optional[Callable[..., PointEvaluation]] = None,
+        tracer: Any = None,
+    ) -> None:
+        self.engine = engine
+        self.point = dict(point)
+        self.plan = plan if plan is not None else engine.config.plan()
+        self.target_ci = target_ci
+        self.z = z
+        self.reuse = reuse
+        self._evaluate = evaluate if evaluate is not None else engine.evaluate_point
+        self.tracer = tracer if tracer is not None else engine.tracer
+        self.rounds: list[RoundResult] = []
+        self.worlds_spent = 0
+        self.converged = False
+        self.moments: Optional[MergeableAxisStats] = None
+        self.moments_complete = True
+
+    # -- protocol -----------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        """Converged, or the plan's fixed world budget is exhausted."""
+        return self.converged or self.worlds_spent >= self.plan.n_worlds
+
+    @property
+    def result(self) -> Optional[PointEvaluation]:
+        """The latest round's full-prefix evaluation (None before round 0)."""
+        return self.rounds[-1].evaluation if self.rounds else None
+
+    @property
+    def max_ci(self) -> float:
+        """The latest round's worst CI half-width (inf before round 0)."""
+        return self.rounds[-1].max_ci if self.rounds else float("inf")
+
+    def step(self, prefix: Optional[int] = None) -> RoundResult:
+        """Evaluate one more round and return it.
+
+        Without ``prefix`` the next :class:`RoundPlan` boundary is used
+        (capped at ``plan.n_worlds``); an explicit ``prefix`` may exceed the
+        plan — that is how reallocated budget extends an unresolved point —
+        but must strictly grow the world prefix.
+        """
+        if self.converged:
+            raise ScenarioError(
+                f"point {self.point!r} already converged at "
+                f"{self.worlds_spent} worlds"
+            )
+        if prefix is None:
+            if self.worlds_spent >= self.plan.n_worlds:
+                raise ScenarioError(
+                    "round ladder exhausted; pass an explicit prefix to "
+                    "extend past the plan's world budget"
+                )
+            prefix = min(
+                self.plan.next_boundary(self.worlds_spent), self.plan.n_worlds
+            )
+        prefix = int(prefix)
+        if prefix <= self.worlds_spent:
+            raise ScenarioError(
+                f"round prefix must exceed the {self.worlds_spent} worlds "
+                f"already spent, got {prefix}"
+            )
+        previous = self.worlds_spent
+        index = len(self.rounds)
+        with self.tracer.span(
+            "round",
+            index=index,
+            worlds_total=prefix,
+            worlds_added=prefix - previous,
+        ) as span:
+            evaluation = self._evaluate(
+                self.point, worlds=range(prefix), reuse=self.reuse
+            )
+            self._accumulate_moments(evaluation, previous, prefix)
+            ci = max_ci_halfwidth(evaluation.statistics, self.z)
+            converged = self.target_ci is not None and ci <= self.target_ci
+            span.set(max_ci=ci, converged=converged)
+        self.worlds_spent = prefix
+        self.converged = converged
+        completed = RoundResult(
+            index=index,
+            worlds_total=prefix,
+            worlds_added=prefix - previous,
+            evaluation=evaluation,
+            max_ci=ci,
+            converged=converged,
+        )
+        self.rounds.append(completed)
+        return completed
+
+    def run(self) -> PointEvaluation:
+        """Step the round ladder until converged or the budget is spent."""
+        while not self.finished:
+            self.step()
+        return self.rounds[-1].evaluation
+
+    # -- mergeable moments --------------------------------------------------
+
+    def _accumulate_moments(
+        self, evaluation: PointEvaluation, previous: int, prefix: int
+    ) -> None:
+        """Chan-merge this round's sample increment ``[previous, prefix)``.
+
+        Result-cache hits ship statistics without sample matrices; such a
+        round cannot contribute its increment, so the accumulated moments
+        are marked incomplete rather than silently wrong.
+        """
+        if not evaluation.samples:
+            self.moments_complete = False
+            return
+        increment = {
+            alias: np.asarray(matrix)[previous:prefix]
+            for alias, matrix in evaluation.samples.items()
+        }
+        if any(matrix.shape[0] != prefix - previous for matrix in increment.values()):
+            self.moments_complete = False
+            return
+        stats = MergeableAxisStats.from_matrices(increment)
+        if self.moments is None:
+            self.moments = stats
+        else:
+            self.moments.merge(stats)

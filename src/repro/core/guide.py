@@ -10,60 +10,48 @@ worlds. Strategies:
   slider positions are speculatively explored, which is what the demo GUI's
   "values proactively being explored anticipating their future usage" grid
   shows).
-* :class:`RefinementPlan` — how many worlds per refinement pass, so the
-  online view can show a coarse answer quickly and sharpen it.
+
+The per-point world ladder lives in :class:`repro.core.rounds.RoundPlan`
+(the round protocol); the pre-round spelling ``RefinementPlan`` still
+resolves here, with a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Iterator, Mapping, Sequence
 
 from repro.core.instance import InstanceBatch
 from repro.core.parameters import ParameterSpace
+from repro.core.rounds import RoundPlan
 from repro.errors import ScenarioError
 
 
-@dataclass(frozen=True)
-class RefinementPlan:
-    """Split ``n_worlds`` into progressive passes.
+def __getattr__(name: str):
+    """Resolve the legacy ``RefinementPlan`` spelling, with a warning.
 
-    ``first`` worlds give the first (coarse) estimate; each later pass adds
-    ``growth`` times more until ``n_worlds`` is reached.
+    The plan was folded into the round protocol as
+    :class:`repro.core.rounds.RoundPlan` (same fields, same pass
+    semantics, plus the round-boundary helpers). The warning is attributed
+    to the caller (``stacklevel=2``) per PR 5's deprecation policy.
     """
+    if name == "RefinementPlan":
+        import warnings
 
-    n_worlds: int = 200
-    first: int = 25
-    growth: float = 2.0
-
-    def __post_init__(self) -> None:
-        if self.n_worlds < 1:
-            raise ScenarioError(f"n_worlds must be >= 1, got {self.n_worlds}")
-        if not 1 <= self.first <= self.n_worlds:
-            raise ScenarioError(
-                f"first pass must be in [1, {self.n_worlds}], got {self.first}"
-            )
-        if self.growth <= 1.0:
-            raise ScenarioError(f"growth must be > 1, got {self.growth}")
-
-    def passes(self) -> list[range]:
-        """World-index ranges of each refinement pass."""
-        result: list[range] = []
-        start = 0
-        size = self.first
-        while start < self.n_worlds:
-            stop = min(start + size, self.n_worlds)
-            result.append(range(start, stop))
-            start = stop
-            size = int(size * self.growth)
-        return result
+        warnings.warn(
+            "repro.core.guide.RefinementPlan is deprecated; use "
+            "repro.core.rounds.RoundPlan (same fields and pass semantics)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return RoundPlan
+    raise AttributeError(f"module 'repro.core.guide' has no attribute {name!r}")
 
 
 class GridGuide:
     """Sweep every point of the (axis-excluded) parameter grid in order."""
 
     def __init__(
-        self, space: ParameterSpace, axis: str, plan: RefinementPlan, base_seed: int
+        self, space: ParameterSpace, axis: str, plan: RoundPlan, base_seed: int
     ) -> None:
         self.space = space
         self.axis = axis.lstrip("@").lower()
@@ -90,7 +78,7 @@ class PriorityGuide:
         self,
         space: ParameterSpace,
         axis: str,
-        plan: RefinementPlan,
+        plan: RoundPlan,
         base_seed: int,
         neighbor_depth: int = 1,
     ) -> None:

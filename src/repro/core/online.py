@@ -27,7 +27,8 @@ from typing import Any, Mapping, Optional
 import numpy as np
 
 from repro.errors import OnlineSessionError
-from repro.core.aggregator import AxisStatistics, ConvergenceTracker
+from repro.core.aggregator import AxisStatistics
+from repro.core.rounds import ConvergenceTracker
 from repro.core.engine import PointEvaluation, ProphetConfig, ProphetEngine
 from repro.core.guide import PriorityGuide
 from repro.core.scenario import Scenario

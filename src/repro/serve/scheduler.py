@@ -30,7 +30,8 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Optional, Sequence
 
 from repro.core.aggregator import MergeableAxisStats
-from repro.core.engine import PointEvaluation
+from repro.core.engine import PointEvaluation, PointEvaluator
+from repro.core.rounds import RoundPlan
 from repro.errors import ServeError, TransientServeError
 from repro.obs.trace import NULL_TRACER
 from repro.serve.service import EvaluationService
@@ -126,6 +127,59 @@ class SweepJob:
         return self._aggregated_points
 
 
+@dataclass
+class AdaptivePointState:
+    """One sweep point's progress through the adaptive budget allocator."""
+
+    index: int
+    point: dict[str, Any]
+    evaluator: PointEvaluator
+    error: Optional[str] = None
+    exception: Optional[BaseException] = field(default=None, repr=False)
+    retired_early: bool = False
+    finalized: bool = False
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
+
+    @property
+    def result(self) -> Optional[PointEvaluation]:
+        return self.evaluator.result
+
+
+@dataclass
+class AdaptiveSweepJob:
+    """An adaptive sweep: per-point round evaluators plus the shared budget.
+
+    ``worlds_freed`` is the budget retired points handed back (their plan
+    budget minus what they actually spent); phase 2 of the allocator spends
+    it extending unresolved points.
+    """
+
+    id: int
+    session: str
+    plan: RoundPlan
+    target_ci: float
+    z: float
+    reuse: bool
+    states: list[AdaptivePointState] = field(default_factory=list)
+    worlds_freed: int = 0
+    _driver: Optional[Any] = field(default=None, repr=False)
+
+    @property
+    def done(self) -> bool:
+        return all(state.finalized for state in self.states)
+
+    @property
+    def worlds_budgeted(self) -> int:
+        return self.plan.n_worlds * len(self.states)
+
+    @property
+    def worlds_spent(self) -> int:
+        return sum(state.evaluator.worlds_spent for state in self.states)
+
+
 class JobQueue:
     """FIFO queue with an index of in-flight jobs by canonical key."""
 
@@ -192,6 +246,13 @@ class Scheduler:
             raise ServeError(f"job_retries must be >= 0, got {self.job_retries}")
         #: Total transient re-runs across all jobs (fleet observability).
         self.jobs_retried = 0
+        #: Adaptive sampling counters: points retired before their fixed
+        #: budget, worlds actually evaluated vs worlds the fixed budget
+        #: would have spent. All deterministic (no wall-clock involved).
+        self.jobs_retired_early = 0
+        self.worlds_spent = 0
+        self.worlds_budgeted = 0
+        self._adaptive_sweeps: list[AdaptiveSweepJob] = []
         #: Observability: job lifecycle spans; the API client replaces this
         #: shared no-op when tracing is configured.
         self.tracer = NULL_TRACER
@@ -252,6 +313,229 @@ class Scheduler:
         if not sweep.jobs:
             raise ServeError("sweep has no points")
         return sweep
+
+    def submit_adaptive(
+        self,
+        points: Optional[Iterable[Mapping[str, Any]]] = None,
+        *,
+        target_ci: float,
+        plan: Optional[RoundPlan] = None,
+        z: float = 1.96,
+        session: str = "default",
+        reuse: bool = True,
+    ) -> AdaptiveSweepJob:
+        """Queue an adaptive sweep driven by the CI budget allocator.
+
+        Each point runs in growing world-prefix rounds (``plan`` defaults to
+        the engine config's ladder) and retires once its worst CI half-width
+        is at most ``target_ci``; budget retired points did not spend is
+        reassigned to unresolved points. Every round is a regular scheduler
+        job — it flows through the same queue, dedup, retry ladder, and
+        sharded service as a fixed-budget evaluation.
+
+        Stopping decisions are pure functions of the accumulated statistics
+        (which are bitwise identical across executors and shard geometry),
+        so identical submissions retire identical points after identical
+        rounds on every run.
+        """
+        scenario = self.service.scenario
+        if points is None:
+            points = scenario.space.grid(exclude=[scenario.axis])
+        if target_ci <= 0.0:
+            raise ServeError(f"target_ci must be > 0, got {target_ci}")
+        chosen_plan = plan if plan is not None else self.service.engine.config.plan()
+        sweep = AdaptiveSweepJob(
+            id=next(self._ids),
+            session=session,
+            plan=chosen_plan,
+            target_ci=target_ci,
+            z=z,
+            reuse=reuse,
+        )
+        for index, point in enumerate(points):
+            validated = scenario.validate_sweep_point(point)
+            evaluator = PointEvaluator(
+                self.service.engine,
+                validated,
+                plan=chosen_plan,
+                target_ci=target_ci,
+                z=z,
+                reuse=reuse,
+                evaluate=self._round_evaluate(session),
+                tracer=self.tracer,
+            )
+            sweep.states.append(
+                AdaptivePointState(index=index, point=validated, evaluator=evaluator)
+            )
+        if not sweep.states:
+            raise ServeError("sweep has no points")
+        self.worlds_budgeted += sweep.worlds_budgeted
+        sweep._driver = self._drive_adaptive(sweep)
+        self._adaptive_sweeps.append(sweep)
+        return sweep
+
+    def advance_adaptive(self, sweep: AdaptiveSweepJob) -> bool:
+        """Run the allocator's next round; False once the sweep is done.
+
+        The streaming primitive behind ``repro.api``'s adaptive sweep
+        handle, mirroring what :meth:`run_next` is for fixed sweeps.
+        """
+        if sweep._driver is None:
+            raise ServeError("not an adaptive sweep submitted to this scheduler")
+        try:
+            next(sweep._driver)
+            return True
+        except StopIteration:
+            return False
+
+    def run_adaptive(self, sweep: AdaptiveSweepJob) -> AdaptiveSweepJob:
+        """Drive an adaptive sweep to completion (blocking)."""
+        while self.advance_adaptive(sweep):
+            pass
+        return sweep
+
+    def _round_evaluate(self, session: str):
+        """An ``evaluate_point``-compatible callable that routes one round
+        through the job queue — so dedup, job retries, and the sharded
+        service's resilience ladder apply to every round unchanged."""
+
+        def evaluate(point, *, worlds, reuse=True, sampler=None):
+            job = self.submit(point, worlds=worlds, session=session, reuse=reuse)
+            while job.status in (PENDING, RUNNING):
+                if self.run_next() is None:
+                    raise ServeError(
+                        f"queue drained with round job {job.id} unresolved"
+                    )
+            if job.status == FAILED:
+                if job.exception is not None:
+                    raise job.exception
+                raise ServeError(f"round evaluation failed: {job.error}")
+            return job.evaluation()
+
+        return evaluate
+
+    def _drive_adaptive(self, sweep: AdaptiveSweepJob):
+        """The budget allocator (a generator: one yield per completed round).
+
+        Phase 1 — the ladder: every active point steps through its round
+        plan; a point whose target half-width is met retires and frees its
+        unspent budget. Phase 2 — reallocation: the freed pool extends
+        unresolved points past the plan, in submission order, one
+        geometric-growth round at a time, until the pool is dry or every
+        point resolves. A point whose round evaluation fails (permanently)
+        is marked failed and frees nothing; the sweep continues.
+        """
+        active = [s for s in sweep.states]
+        while active:
+            still_active: list[AdaptivePointState] = []
+            for state in active:
+                stepped = self._step_state(sweep, state)
+                if stepped:
+                    yield state
+                if state.finalized:
+                    continue
+                if state.evaluator.finished:
+                    self._finalize_state(sweep, state)
+                else:
+                    still_active.append(state)
+            active = still_active
+        pool = sweep.worlds_freed
+        while pool > 0:
+            unresolved = [
+                s
+                for s in sweep.states
+                if not s.failed and not s.evaluator.converged
+            ]
+            if not unresolved:
+                break
+            progressed = False
+            for state in unresolved:
+                if pool <= 0:
+                    break
+                spent = state.evaluator.worlds_spent
+                target = min(sweep.plan.next_boundary(spent), spent + pool)
+                if target <= spent:
+                    continue
+                state.finalized = False
+                stepped = self._step_state(sweep, state, prefix=target)
+                if stepped:
+                    added = state.evaluator.worlds_spent - spent
+                    pool -= added
+                    self.worlds_spent += added
+                    progressed = True
+                    yield state
+                self._finalize_state(sweep, state, count_spend=False)
+            if not progressed:
+                break
+        for state in sweep.states:
+            if not state.finalized:
+                self._finalize_state(sweep, state)
+
+    def _step_state(
+        self,
+        sweep: AdaptiveSweepJob,
+        state: AdaptivePointState,
+        prefix: Optional[int] = None,
+    ) -> bool:
+        """One round for one point; failures mark the state, never raise."""
+        try:
+            state.evaluator.step(prefix=prefix)
+            return True
+        except Exception as error:  # noqa: BLE001 — recorded per point
+            state.error = str(error)
+            state.exception = error
+            self._finalize_state(sweep, state)
+            return False
+
+    def _finalize_state(
+        self,
+        sweep: AdaptiveSweepJob,
+        state: AdaptivePointState,
+        count_spend: bool = True,
+    ) -> None:
+        """Book a point's spend and, on early convergence, free its budget."""
+        if state.finalized:
+            return
+        state.finalized = True
+        if state.failed:
+            return
+        spent = state.evaluator.worlds_spent
+        if count_spend:
+            self.worlds_spent += spent
+        if state.evaluator.converged and spent < sweep.plan.n_worlds:
+            state.retired_early = True
+            sweep.worlds_freed += sweep.plan.n_worlds - spent
+            self.jobs_retired_early += 1
+
+    def adaptive_report(self) -> Optional[dict[str, Any]]:
+        """Per-point adaptive outcomes, or ``None`` if never used.
+
+        Optional by design: fixed-budget runs must keep byte-identical
+        stats output, so this only exists once an adaptive sweep ran.
+        """
+        if not self._adaptive_sweeps:
+            return None
+        points: list[dict[str, Any]] = []
+        for sweep in self._adaptive_sweeps:
+            for state in sweep.states:
+                points.append(
+                    {
+                        "point": dict(state.point),
+                        "worlds_spent": state.evaluator.worlds_spent,
+                        "rounds": len(state.evaluator.rounds),
+                        "max_ci": state.evaluator.max_ci,
+                        "converged": state.evaluator.converged,
+                        "retired_early": state.retired_early,
+                        "failed": state.failed,
+                    }
+                )
+        return {
+            "target_ci": self._adaptive_sweeps[-1].target_ci,
+            "worlds_budgeted": self.worlds_budgeted,
+            "worlds_spent": self.worlds_spent,
+            "jobs_retired_early": self.jobs_retired_early,
+            "points": points,
+        }
 
     # -- execution ---------------------------------------------------------
 
@@ -330,6 +614,9 @@ class Scheduler:
             "jobs_completed": self.jobs_completed,
             "jobs_retried": self.jobs_retried,
             "dedup_hits": self.dedup_hits,
+            "jobs_retired_early": self.jobs_retired_early,
+            "worlds_spent": self.worlds_spent,
+            "worlds_budgeted": self.worlds_budgeted,
             "result_cache_hits": stats.cache_hits,
             "result_cache_misses": stats.cache_misses,
             "basis_exact_hits": engine.storage.exact_hits,

@@ -75,6 +75,12 @@ class ServiceStats:
     cache_hits: int = 0
     cache_misses: int = 0
     shard_tasks: int = 0
+    #: Shard *generations*: one per fresh-sampling fan-out (one contiguous
+    #: world slice sharded, dispatched, merged). Under the round protocol a
+    #: round's fresh increment is exactly one generation per VG output —
+    #: the invariant that lets the dispatcher's resilience ladder apply to
+    #: every round unchanged, and that tests pin.
+    shard_generations: int = 0
     sampled_worlds: int = 0
     parallel_seconds: float = 0.0
     #: Cross-shard basis reuse: how each shard task was served (exact hit
@@ -130,6 +136,7 @@ class ServiceStats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "shard_tasks": self.shard_tasks,
+            "shard_generations": self.shard_generations,
             "sampled_worlds": self.sampled_worlds,
             "shard_exact_hits": self.shard_exact_hits,
             "shard_mapped_hits": self.shard_mapped_hits,
@@ -461,6 +468,7 @@ class EvaluationService:
         worlds = batch.worlds
         n_shards = min(self.n_shards, max(1, len(worlds) // self.min_shard_worlds))
         shards = plan_shards(worlds, n_shards)
+        self.stats.shard_generations += 1
         self.stats.sampled_worlds += len(worlds)
         if len(shards) == 1:
             # Nothing to fan out — and nothing to reuse either: the

@@ -26,6 +26,14 @@ function of (coordinator history, shard worlds) — never of worker
 scheduling — and can never contradict a coordinator decision. The produced
 shard bases ship back in the :class:`ShardSample` and are merged, in shard
 order, into the entry the coordinator stores.
+
+The round protocol (:mod:`repro.core.rounds`) rides on this purity with no
+worker-side machinery: a round's fresh increment reaches the workers as one
+ordinary contiguous world shard (one shard generation), so deadlines,
+retries, pool self-healing, and inline rescue apply to every round exactly
+as to a one-shot evaluation — and because each task is a pure function of
+``(spec, point, worlds)``, a point evaluated in rounds merges to the same
+bits as the same point evaluated in one shot, under any executor.
 """
 
 from __future__ import annotations

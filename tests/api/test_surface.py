@@ -18,6 +18,8 @@ import repro.api
 #: THE public surface. Changing it is an API decision: update this
 #: snapshot deliberately, in the same commit, with a changelog entry.
 SURFACE_SNAPSHOT = (
+    "AdaptiveConfig",
+    "AdaptiveSweepHandle",
     "CacheConfig",
     "ClientConfig",
     "InteractiveHandle",

@@ -3,7 +3,8 @@
 import pytest
 
 from repro.errors import ScenarioError
-from repro.core.guide import GridGuide, PriorityGuide, RefinementPlan
+from repro.core.guide import GridGuide, PriorityGuide
+from repro.core.rounds import RoundPlan
 from repro.core.querygen import QueryGenerator, substitute
 from repro.models import build_risk_vs_cost
 from repro.sqldb.ast_nodes import ColumnRef, Literal
@@ -15,30 +16,30 @@ def scenario():
     return build_risk_vs_cost(purchase_step=16)[0]
 
 
-class TestRefinementPlan:
+class TestRoundPlan:
     def test_passes_cover_all_worlds_disjointly(self):
-        plan = RefinementPlan(n_worlds=100, first=10, growth=2.0)
+        plan = RoundPlan(n_worlds=100, first=10, growth=2.0)
         passes = plan.passes()
         seen = [w for r in passes for w in r]
         assert seen == list(range(100))
 
     def test_growth_doubles(self):
-        plan = RefinementPlan(n_worlds=100, first=10, growth=2.0)
+        plan = RoundPlan(n_worlds=100, first=10, growth=2.0)
         sizes = [len(r) for r in plan.passes()]
         assert sizes[0] == 10 and sizes[1] == 20 and sizes[2] == 40
 
     def test_validation(self):
         with pytest.raises(ScenarioError):
-            RefinementPlan(n_worlds=0)
+            RoundPlan(n_worlds=0)
         with pytest.raises(ScenarioError):
-            RefinementPlan(n_worlds=10, first=20)
+            RoundPlan(n_worlds=10, first=20)
         with pytest.raises(ScenarioError):
-            RefinementPlan(n_worlds=10, first=5, growth=1.0)
+            RoundPlan(n_worlds=10, first=5, growth=1.0)
 
 
 class TestGridGuide:
     def test_covers_full_grid(self, scenario):
-        plan = RefinementPlan(n_worlds=3, first=3)
+        plan = RoundPlan(n_worlds=3, first=3)
         guide = GridGuide(scenario.space, scenario.axis, plan, base_seed=1)
         batches = list(guide.batches())
         assert len(batches) == guide.total_points() == 4 * 4 * 3
@@ -47,7 +48,7 @@ class TestGridGuide:
         assert len(points) == len(batches)  # all distinct
 
     def test_axis_excluded_from_points(self, scenario):
-        plan = RefinementPlan(n_worlds=2, first=2)
+        plan = RoundPlan(n_worlds=2, first=2)
         guide = GridGuide(scenario.space, scenario.axis, plan, base_seed=1)
         batch = next(guide.batches())
         assert "current" not in batch.point_dict
@@ -55,7 +56,7 @@ class TestGridGuide:
 
 class TestPriorityGuide:
     def make(self, scenario, depth=1):
-        plan = RefinementPlan(n_worlds=4, first=2)
+        plan = RoundPlan(n_worlds=4, first=2)
         return PriorityGuide(scenario.space, scenario.axis, plan, 1, neighbor_depth=depth)
 
     def test_target_batch(self, scenario):
