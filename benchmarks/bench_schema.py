@@ -64,6 +64,25 @@ BENCH_SCHEMA: dict[str, Any] = {
             "loop_seconds": _POSITIVE,
             "speedup": _POSITIVE,
             "parity": (bool, lambda v: v is True, "parity must be true"),
+            "stages": {
+                "batched": {
+                    "querygen": _NON_NEGATIVE,
+                    "sql": _NON_NEGATIVE,
+                    "storage": _NON_NEGATIVE,
+                    "aggregate": _NON_NEGATIVE,
+                },
+                "loop": {
+                    "querygen": _NON_NEGATIVE,
+                    "sql": _NON_NEGATIVE,
+                    "storage": _NON_NEGATIVE,
+                    "aggregate": _NON_NEGATIVE,
+                },
+            },
+            "single_round": {
+                "batched_seconds": _POSITIVE,
+                "loop_seconds": _POSITIVE,
+                "speedup": _POSITIVE,
+            },
         },
         "result_cache": {
             "cold_seconds": _POSITIVE,
@@ -89,13 +108,44 @@ BENCH_SCHEMA: dict[str, Any] = {
             "points_retired_early": _COUNT,
             "parity_ok": (bool, lambda v: v is True, "parity_ok must be true"),
         },
+        "transport": {
+            "n_worlds": _POSITIVE,
+            "shards": _POSITIVE,
+            "task_bytes_pickle_small": _COUNT,
+            "task_bytes_pickle_large": _COUNT,
+            "task_bytes_shm_small": _COUNT,
+            "task_bytes_shm_large": _COUNT,
+            "task_bytes_o1": (bool, lambda v: v is True, "task_bytes_o1 must be true"),
+            "op_pickle_seconds": _POSITIVE,
+            "op_shm_seconds": _POSITIVE,
+            "op_speedup": _POSITIVE,
+            "parity": (bool, lambda v: v is True, "parity must be true"),
+            "e2e": {
+                "cores": _POSITIVE,
+                "n_worlds": _POSITIVE,
+                "pickle_seconds": _POSITIVE,
+                "shm_seconds": _POSITIVE,
+                "speedup": _POSITIVE,
+                "parity": (bool, lambda v: v is True, "parity must be true"),
+            },
+        },
     },
 }
 
 #: Sections newer harness versions emit that older committed trajectory
-#: points (e.g. BENCH_7.json, pre-adaptive) legitimately lack. A missing
-#: optional section is fine; a present one is validated in full.
-OPTIONAL_SECTIONS = frozenset({"benchmarks.adaptive_sweep"})
+#: points (e.g. BENCH_7.json, pre-adaptive) legitimately lack — plus
+#: host-dependent sections (transport needs POSIX shm; its e2e leg needs
+#: >= 2 cores). A missing optional section is fine; a present one is
+#: validated in full.
+OPTIONAL_SECTIONS = frozenset(
+    {
+        "benchmarks.adaptive_sweep",
+        "benchmarks.batched_vs_loop.stages",
+        "benchmarks.batched_vs_loop.single_round",
+        "benchmarks.transport",
+        "benchmarks.transport.e2e",
+    }
+)
 
 
 def _walk(spec: dict[str, Any], payload: Any, path: str, errors: list[str]) -> None:

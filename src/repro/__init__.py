@@ -60,6 +60,7 @@ from repro.api import (
     SweepHandle,
     SweepResult,
     TimingReport,
+    TransportConfig,
 )
 from repro.dsl import parse_scenario
 
@@ -136,6 +137,7 @@ __all__ = [
     "StoreConfig",
     "ServeConfig",
     "ResilienceConfig",
+    "TransportConfig",
     "CacheConfig",
     "ObsConfig",
     "InteractiveHandle",

@@ -1,0 +1,770 @@
+"""Zero-copy shared-memory shard transport for the serve plane.
+
+Every multi-shard fan-out used to move its payloads — world slices out,
+sample matrices back, and (for mixed-world workloads) whole
+:class:`~repro.serve.worker.BasisSnapshot` payloads — through pickle over
+the ProcessPoolExecutor's pipes, so transport cost scaled with world
+count, and the round protocol (PR 8) multiplied it by turning each point
+into many small fan-outs. This module moves the bulk bytes through named
+``multiprocessing.shared_memory`` segments instead:
+
+* the coordinator's :class:`SegmentArena` leases refcounted named
+  segments, packs the outbound columns (per-shard world ids, snapshot
+  sample/seed/fingerprint matrices) into them, and pre-leases a result
+  region per shard;
+* task pickles carry only :class:`SegmentRef` descriptors
+  ``(segment, dtype, shape, offset)`` — O(1) in ``n_worlds``;
+* workers attach read-only, sample, and write the fresh matrix straight
+  into their pre-leased result region; the coordinator resolves the
+  returned descriptor back into a view and merges as usual.
+
+The transport changes *where bytes live*, never *what they are*: the shm
+path is bitwise identical to the pickle path across every executor,
+backend, and chaos combination (pinned by the parity suites). Pickle
+remains the default and the automatic fallback — platforms without
+usable shared memory, or generations whose payload would exceed
+``segment_cap_bytes``, silently fall back and are counted
+(``ServiceStats.transport_fallbacks``), never errored.
+
+Leases are tied into the resilience ladder. A generation's segments are
+released by the service after merge (or on the error path) regardless of
+how its shards fared; retries re-use the same pre-leased result regions
+safely because the dispatcher heals the pool — terminating any stale
+writer — before re-submitting; inline rescues return plain in-memory
+samples and touch no segment at all. As a last-resort safety net every
+lease carries a TTL, and expired leases are swept by the cleanup hooks in
+:class:`~repro.serve.resilience.ShardDispatcher` (after a pool heal) and
+:class:`~repro.serve.executors.ProcessExecutor` (on recycle/shutdown).
+
+CPython quirk this module absorbs: since 3.8 every ``SharedMemory``
+*attach* registers the segment with the resource tracker. Forked workers
+share the coordinator's tracker daemon (the arena ensures it is running
+before any pool can fork), so their registrations are idempotent no-ops
+and nothing special is needed; a *spawned* worker starts its own private
+tracker, whose exit-time cleanup would unlink coordinator-owned segments
+— so a process whose first attach had to start a tracker unregisters
+right after attaching. Either way the coordinator's arena is the single
+owner and the only unlinker.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any, Optional
+
+import numpy as np
+
+from repro.errors import ScenarioError, ServeError, TransientServeError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.core.engine import ProphetEngine
+    from repro.core.storage import StorageManager
+    from repro.serve.worker import BasisSnapshot, EngineSpec, ShardSample
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ScenarioError(message)
+
+
+#: Known shard transports, in documentation order.
+SHARD_TRANSPORTS: tuple[str, ...] = ("pickle", "shm")
+
+#: Segment packing alignment: every packed array starts on a 64-byte
+#: boundary (cache line), so worker-side views are always aligned.
+_ALIGN = 64
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """How shard payloads travel between coordinator and workers.
+
+    ``shard_transport``
+        ``"pickle"`` (default) ships payloads through the executor's
+        ordinary pickling; ``"shm"`` moves bulk arrays through shared
+        memory segments and pickles only descriptors.
+    ``segment_cap_bytes``
+        Upper bound on any single leased segment. A generation whose
+        payload would exceed it falls back to pickle (counted, not an
+        error) — the cap is a guard against exhausting ``/dev/shm``.
+    ``lease_ttl``
+        Seconds a lease may live before the sweeper may reclaim it. A
+        generous safety net (normal generations release within one
+        fan-out); it only matters for leases leaked by a crashed
+        coordinator path.
+    """
+
+    shard_transport: str = "pickle"
+    segment_cap_bytes: int = 256 * 1024 * 1024
+    lease_ttl: float = 300.0
+
+    def __post_init__(self) -> None:
+        _require(
+            self.shard_transport in SHARD_TRANSPORTS,
+            f"unknown shard_transport {self.shard_transport!r} "
+            f"(known: {', '.join(SHARD_TRANSPORTS)})",
+        )
+        _require(
+            self.segment_cap_bytes >= 1024,
+            f"segment_cap_bytes must be >= 1024, got {self.segment_cap_bytes}",
+        )
+        _require(
+            self.lease_ttl > 0,
+            f"lease_ttl must be > 0, got {self.lease_ttl}",
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return self.shard_transport == "shm"
+
+
+@dataclass(frozen=True)
+class SegmentRef:
+    """A picklable descriptor of one array inside a shared segment."""
+
+    segment: str
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= dim
+        return count * np.dtype(self.dtype).itemsize
+
+
+@dataclass(frozen=True)
+class SnapshotEntryRef:
+    """One snapshot basis entry with its matrices living in a segment."""
+
+    vg_name: str
+    args: tuple[Any, ...]
+    samples: SegmentRef
+    worlds: SegmentRef
+    seeds: SegmentRef
+
+
+@dataclass(frozen=True)
+class SnapshotRef:
+    """A :class:`~repro.serve.worker.BasisSnapshot` shipped by descriptor.
+
+    ``version`` is the snapshot's content-addressed version — the worker's
+    per-``(spec, version)`` store cache is keyed on it, so a worker that
+    already seeded this snapshot never touches the segment again.
+    """
+
+    version: str
+    vg_name: str
+    entries: tuple[SnapshotEntryRef, ...]
+    fingerprints: tuple[tuple[tuple[Any, ...], SegmentRef], ...] = ()
+
+
+@dataclass(frozen=True)
+class ShmShard:
+    """One shard task's transport ticket: worlds in, samples out.
+
+    ``worlds`` points at the shard's world ids (int64) packed by the
+    coordinator; ``result`` is the shard's pre-leased write region —
+    ``(len(worlds), n_components)`` float64 — that the worker fills and
+    the coordinator resolves back into a view.
+    """
+
+    worlds: SegmentRef
+    result: SegmentRef
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+_SHM_PROBE: Optional[bool] = None
+
+
+def shm_available() -> bool:
+    """Can this platform create, attach and unlink shared memory segments?
+
+    Probed once per process with a tiny throwaway segment. ``False`` (no
+    ``/dev/shm``, sandboxed ``shm_open``, missing module) downgrades shm
+    transport to pickle — counted, never an error.
+    """
+    global _SHM_PROBE
+    if _SHM_PROBE is None:
+        try:
+            from multiprocessing import shared_memory
+
+            probe = shared_memory.SharedMemory(create=True, size=_ALIGN)
+            try:
+                probe.buf[0] = 1
+            finally:
+                probe.close()
+                probe.unlink()
+            _SHM_PROBE = True
+        except Exception:
+            _SHM_PROBE = False
+    return _SHM_PROBE
+
+
+class SegmentLease:
+    """One leased segment: a bump-pointer arena the coordinator packs.
+
+    Created only by :meth:`SegmentArena.lease`. ``refs`` is the lease's
+    refcount — the arena releases the segment when it reaches zero (or
+    when the TTL sweeper reclaims a leaked lease).
+    """
+
+    __slots__ = ("name", "shm", "nbytes", "refs", "deadline", "label", "_cursor")
+
+    def __init__(self, shm: Any, nbytes: int, ttl: float, label: str) -> None:
+        self.shm = shm
+        self.name = shm.name
+        self.nbytes = nbytes
+        self.refs = 1
+        self.deadline = time.monotonic() + ttl
+        self.label = label
+        self._cursor = 0
+
+    # -- packing -------------------------------------------------------------
+
+    def pack(self, array: np.ndarray) -> SegmentRef:
+        """Copy ``array`` into the segment; return its descriptor."""
+        contiguous = np.ascontiguousarray(array)
+        ref = self.reserve(contiguous.shape, contiguous.dtype)
+        view = np.ndarray(
+            contiguous.shape,
+            dtype=contiguous.dtype,
+            buffer=self.shm.buf,
+            offset=ref.offset,
+        )
+        view[...] = contiguous
+        del view
+        return ref
+
+    def reserve(self, shape: tuple[int, ...], dtype: Any) -> SegmentRef:
+        """Claim an (aligned, uninitialized) region; return its descriptor.
+
+        Used for result regions the *worker* writes — the coordinator
+        never touches the bytes, only hands out the descriptor.
+        """
+        offset = _aligned(self._cursor)
+        dt = np.dtype(dtype)
+        count = 1
+        for dim in shape:
+            count *= dim
+        end = offset + count * dt.itemsize
+        if end > self.nbytes:
+            raise ServeError(
+                f"segment {self.name} overflow: need {end} of {self.nbytes} bytes"
+            )
+        self._cursor = end
+        return SegmentRef(
+            segment=self.name, dtype=dt.str, shape=tuple(shape), offset=offset
+        )
+
+    def view(self, ref: SegmentRef) -> np.ndarray:
+        """A read view of a descriptor previously packed/reserved here."""
+        if ref.segment != self.name:
+            raise ServeError(
+                f"descriptor names segment {ref.segment!r}, lease is {self.name!r}"
+            )
+        return np.ndarray(
+            ref.shape, dtype=np.dtype(ref.dtype), buffer=self.shm.buf, offset=ref.offset
+        )
+
+
+class SegmentArena:
+    """Coordinator-side owner of every leased shared-memory segment.
+
+    The arena is the *single* unlink authority: workers attach and
+    detach but never unlink (they unregister from the resource tracker
+    precisely so they cannot). ``stats`` is any object with mutable
+    ``segments_leased`` / ``segments_reclaimed`` int attributes — the
+    service passes its :class:`~repro.serve.service.ServiceStats` so
+    leak accounting is part of the stable counter surface.
+
+    Releasing is two-phase because merged views may still reference the
+    mapping when the service's ``finally`` runs: the segment is
+    *unlinked* immediately (its name disappears — the leak-relevant
+    event, counted as reclaimed) and the local mapping is closed as soon
+    as no view pins it, retried opportunistically from every public
+    call.
+    """
+
+    def __init__(self, ttl: float = 300.0, stats: Any = None) -> None:
+        # Start the resource tracker *now*, before any process pool forks:
+        # forked workers then inherit (share) it, and their attach-side
+        # registrations stay idempotent instead of spawning private
+        # trackers that would unlink our segments when the worker exits.
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:  # pragma: no cover - platforms without a tracker
+            pass
+        self.ttl = ttl
+        self.stats = stats
+        self._leases: dict[str, SegmentLease] = {}
+        self._deferred: list[Any] = []
+        #: Arena-local counters (mirrored into ``stats`` when present).
+        self.segments_leased = 0
+        self.segments_reclaimed = 0
+        self.segments_expired = 0
+
+    # -- lease lifecycle -----------------------------------------------------
+
+    def lease(self, nbytes: int, label: str = "") -> SegmentLease:
+        """Lease a fresh named segment of at least ``nbytes`` bytes."""
+        from multiprocessing import shared_memory
+
+        self._drain_deferred()
+        size = max(_ALIGN, nbytes)
+        shm = shared_memory.SharedMemory(create=True, size=size)
+        lease = SegmentLease(shm, size, self.ttl, label)
+        self._leases[lease.name] = lease
+        self.segments_leased += 1
+        if self.stats is not None:
+            self.stats.segments_leased += 1
+        return lease
+
+    def retain(self, lease: SegmentLease) -> None:
+        """Add a reference: the lease survives until every holder releases."""
+        if lease.name not in self._leases:
+            raise ServeError(f"segment {lease.name} is not leased from this arena")
+        lease.refs += 1
+        lease.deadline = time.monotonic() + self.ttl
+
+    def touch(self, lease: SegmentLease) -> None:
+        """Refresh a live lease's TTL (cached snapshot segments on reuse)."""
+        if lease.name in self._leases:
+            lease.deadline = time.monotonic() + self.ttl
+
+    def release(self, lease: SegmentLease) -> None:
+        """Drop one reference; unlink the segment when none remain."""
+        if lease.name not in self._leases:
+            return  # already reclaimed (idempotent: sweeper may race a release)
+        lease.refs -= 1
+        if lease.refs <= 0:
+            self._reclaim(lease)
+        self._drain_deferred()
+
+    def release_all(self) -> None:
+        """Unlink every live lease (service close / executor teardown)."""
+        for lease in list(self._leases.values()):
+            self._reclaim(lease)
+        self._drain_deferred()
+
+    def sweep_expired(self) -> int:
+        """Reclaim leases past their TTL (the leak safety net); count them."""
+        now = time.monotonic()
+        expired = [lease for lease in self._leases.values() if lease.deadline < now]
+        for lease in expired:
+            self.segments_expired += 1
+            self._reclaim(lease)
+        self._drain_deferred()
+        return len(expired)
+
+    def live_segments(self) -> int:
+        """Leased minus reclaimed — the leak assertion tests pin to zero."""
+        return len(self._leases)
+
+    def get(self, name: str) -> Optional[SegmentLease]:
+        """The live lease backing ``name``, if this arena owns it."""
+        return self._leases.get(name)
+
+    # -- internals -----------------------------------------------------------
+
+    def _reclaim(self, lease: SegmentLease) -> None:
+        self._leases.pop(lease.name, None)
+        try:
+            lease.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - external unlink
+            pass
+        self.segments_reclaimed += 1
+        if self.stats is not None:
+            self.stats.segments_reclaimed += 1
+        if not self._try_close(lease.shm):
+            self._deferred.append(lease.shm)
+
+    def _drain_deferred(self) -> None:
+        still = [shm for shm in self._deferred if not self._try_close(shm)]
+        self._deferred = still
+
+    @staticmethod
+    def _try_close(shm: Any) -> bool:
+        try:
+            shm.close()
+            return True
+        except BufferError:
+            # A merged view still pins the mapping; the unlink already
+            # happened (no leak), closing retries on the next arena call.
+            return False
+
+
+# -- worker side -------------------------------------------------------------
+
+
+#: Decided at this process's first attach: did the attach have to start a
+#: *private* resource tracker (spawned worker), whose exit-time cleanup
+#: would unlink segments this process merely attached? If so, every
+#: attach unregisters right away. Forked workers and the coordinator
+#: share one pre-started tracker and must NOT unregister — the shared
+#: cache holds one entry per segment, owned by the arena's unlink.
+_PRIVATE_TRACKER: Optional[bool] = None
+
+
+def _tracker_is_private() -> bool:
+    global _PRIVATE_TRACKER
+    if _PRIVATE_TRACKER is None:
+        try:
+            from multiprocessing import resource_tracker
+
+            _PRIVATE_TRACKER = (
+                getattr(resource_tracker._resource_tracker, "_pid", None) is None
+            )
+        except Exception:  # pragma: no cover - tracker API drift
+            _PRIVATE_TRACKER = False
+    return _PRIVATE_TRACKER
+
+
+def _attach(name: str) -> Any:
+    """Attach an existing segment without adopting its ownership.
+
+    An unknown name means the coordinator already reclaimed the
+    generation (a stale retry) — a transient substrate condition, so the
+    resilience ladder handles it. See :data:`_PRIVATE_TRACKER` for the
+    resource-tracker ownership rules this helper enforces.
+    """
+    from multiprocessing import shared_memory
+
+    private = _tracker_is_private()  # decide BEFORE attach starts a tracker
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError as error:
+        raise TransientServeError(
+            f"shard segment {name!r} is gone (generation reclaimed?)"
+        ) from error
+    if private:
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")  # noqa: SLF001
+        except Exception:  # pragma: no cover - tracker API drift
+            pass
+    return shm
+
+
+class SegmentReader:
+    """One task's attachment cache: each named segment attaches once."""
+
+    def __init__(self) -> None:
+        self._segments: dict[str, Any] = {}
+
+    def view(self, ref: SegmentRef) -> np.ndarray:
+        shm = self._segments.get(ref.segment)
+        if shm is None:
+            shm = _attach(ref.segment)
+            self._segments[ref.segment] = shm
+        return np.ndarray(
+            ref.shape, dtype=np.dtype(ref.dtype), buffer=shm.buf, offset=ref.offset
+        )
+
+    def detach(self, name: str) -> Any:
+        """Hand a segment's ownership to the caller (skips this cleanup)."""
+        return self._segments.pop(name)
+
+    def close(self) -> None:
+        for shm in self._segments.values():
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - view outlived the task
+                pass
+        self._segments.clear()
+
+
+def _worlds_from(reader: SegmentReader, ref: SegmentRef) -> tuple[int, ...]:
+    return tuple(int(w) for w in reader.view(ref))
+
+
+def _ship(sample: "ShardSample", ticket: ShmShard, reader: SegmentReader) -> "ShardSample":
+    """Write a shard's samples into its pre-leased result region.
+
+    Returns the sample with ``samples`` swapped for the descriptor the
+    coordinator resolves. A shape mismatch is a deterministic bug (the
+    coordinator sized the region from the same plan), so it raises a
+    permanent :class:`~repro.errors.ServeError`, not a transient.
+    """
+    matrix = np.ascontiguousarray(np.asarray(sample.samples, dtype=float))
+    if tuple(matrix.shape) != ticket.result.shape:
+        raise ServeError(
+            f"shard produced shape {matrix.shape}, result region is "
+            f"{ticket.result.shape}"
+        )
+    out = reader.view(ticket.result)
+    out[...] = matrix
+    del out
+    return replace(sample, samples=ticket.result)
+
+
+# -- worker-side snapshot materialization ------------------------------------
+
+#: Per-process cache of seeded snapshot stores built from segment refs:
+#: ``(spec_hash, snapshot_version)`` -> (store, attached segments). The
+#: attached segments stay open exactly as long as the store that views
+#: into them is cached — the "snapshot cache keyed to attached segments"
+#: contract — and are closed when a newer same-VG version evicts them.
+_SNAPSHOT_REF_STORES: dict[tuple[str, str], tuple[Any, tuple[Any, ...]]] = {}
+
+
+def _snapshot_from_refs(
+    ref: SnapshotRef, reader: SegmentReader
+) -> tuple["BasisSnapshot", tuple[Any, ...]]:
+    """Materialize a :class:`BasisSnapshot` whose matrices view segments.
+
+    World/seed ids are converted back to the tuples the storage layer
+    expects (O(entries x worlds) ints, paid once per cached version);
+    the big sample and fingerprint matrices stay zero-copy views. The
+    returned segments must outlive the store built from the snapshot.
+    """
+    from repro.core.storage import BasisEntry
+    from repro.serve.worker import BasisSnapshot
+
+    entries = []
+    for entry_ref in ref.entries:
+        entries.append(
+            BasisEntry(
+                vg_name=entry_ref.vg_name,
+                args=entry_ref.args,
+                samples=reader.view(entry_ref.samples),
+                worlds=_worlds_from(reader, entry_ref.worlds),
+                seeds=tuple(int(s) for s in reader.view(entry_ref.seeds)),
+            )
+        )
+    fingerprints = tuple(
+        (args, reader.view(matrix_ref)) for args, matrix_ref in ref.fingerprints
+    )
+    names = {
+        used.segment
+        for entry_ref in ref.entries
+        for used in (entry_ref.samples, entry_ref.worlds, entry_ref.seeds)
+    }
+    names |= {matrix_ref.segment for _, matrix_ref in ref.fingerprints}
+    segments = tuple(reader.detach(name) for name in sorted(names))
+    snapshot = BasisSnapshot(
+        version=ref.version,
+        vg_name=ref.vg_name,
+        entries=tuple(entries),
+        fingerprints=fingerprints,
+    )
+    return snapshot, segments
+
+
+def _snapshot_store_from_refs(
+    spec: "EngineSpec", engine: "ProphetEngine", ref: SnapshotRef, reader: SegmentReader
+) -> Any:
+    """Worker-side store cache for descriptor-shipped snapshots.
+
+    Mirrors :func:`repro.serve.worker._snapshot_store_for` (same eviction:
+    one live version per (spec, VG)), additionally closing the evicted
+    version's attached segments once its store — and therefore every view
+    into them — is dropped.
+    """
+    from repro.serve.worker import build_snapshot_store
+
+    spec_key = spec.content_hash()
+    cache_key = (spec_key, ref.version)
+    cached = _SNAPSHOT_REF_STORES.get(cache_key)
+    if cached is not None:
+        return cached[0]
+    snapshot, segments = _snapshot_from_refs(ref, reader)
+    store = build_snapshot_store(engine, snapshot)
+    vg_prefix = f"{ref.vg_name.lower()}:"
+    for stale in [
+        k
+        for k in _SNAPSHOT_REF_STORES
+        if k[0] == spec_key and k[1].startswith(vg_prefix) and k != cache_key
+    ]:
+        _, stale_segments = _SNAPSHOT_REF_STORES.pop(stale)
+        for shm in stale_segments:
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - store view leaked
+                pass
+    _SNAPSHOT_REF_STORES[cache_key] = (store, segments)
+    return store
+
+
+# -- shard task variants (shm transport) -------------------------------------
+
+
+def sample_shard_task_shm(
+    spec: "EngineSpec",
+    alias: str,
+    point_items: tuple[tuple[str, Any], ...],
+    ticket: ShmShard,
+) -> "ShardSample":
+    """Process-pool task: fresh-sample one shard, worlds and samples via shm."""
+    from repro.serve.worker import _engine_for, fresh_shard
+
+    engine = _engine_for(spec)
+    reader = SegmentReader()
+    try:
+        worlds = _worlds_from(reader, ticket.worlds)
+        sample = fresh_shard(engine, alias, dict(point_items), worlds)
+        return _ship(sample, ticket, reader)
+    finally:
+        reader.close()
+
+
+def acquire_shard_task_shm(
+    spec: "EngineSpec",
+    alias: str,
+    point_items: tuple[tuple[str, Any], ...],
+    ticket: ShmShard,
+    snapshot_ref: SnapshotRef,
+) -> "ShardSample":
+    """Process-pool task: snapshot-reuse acquire with every matrix via shm."""
+    from repro.serve.worker import _engine_for, acquire_shard
+
+    engine = _engine_for(spec)
+    reader = SegmentReader()
+    try:
+        store = _snapshot_store_from_refs(spec, engine, snapshot_ref, reader)
+        worlds = _worlds_from(reader, ticket.worlds)
+        sample = acquire_shard(engine, store, alias, dict(point_items), worlds)
+        return _ship(sample, ticket, reader)
+    finally:
+        reader.close()
+
+
+def fresh_shard_shm(
+    engine: "ProphetEngine",
+    alias: str,
+    point: dict[str, Any],
+    ticket: ShmShard,
+) -> "ShardSample":
+    """Inline-executor twin of :func:`sample_shard_task_shm`."""
+    from repro.serve.worker import fresh_shard
+
+    reader = SegmentReader()
+    try:
+        worlds = _worlds_from(reader, ticket.worlds)
+        sample = fresh_shard(engine, alias, point, worlds)
+        return _ship(sample, ticket, reader)
+    finally:
+        reader.close()
+
+
+def acquire_shard_shm(
+    engine: "ProphetEngine",
+    store: "StorageManager",
+    alias: str,
+    point: dict[str, Any],
+    ticket: ShmShard,
+) -> "ShardSample":
+    """Inline-executor twin of :func:`acquire_shard_task_shm`.
+
+    The inline path keeps the coordinator-built snapshot store (shipping
+    a snapshot to your own process is pointless); only the world slice
+    and the result matrix ride the segment, exercising the same
+    pack/attach/write/resolve byte path as the process pool.
+    """
+    from repro.serve.worker import acquire_shard
+
+    reader = SegmentReader()
+    try:
+        worlds = _worlds_from(reader, ticket.worlds)
+        sample = acquire_shard(engine, store, alias, point, worlds)
+        return _ship(sample, ticket, reader)
+    finally:
+        reader.close()
+
+
+# -- coordinator-side packing helpers ----------------------------------------
+
+
+def generation_nbytes(shard_rows: list[int], n_components: int) -> int:
+    """Aligned bytes one fan-out generation needs: worlds in, results out."""
+    total = 0
+    for rows in shard_rows:
+        total += _aligned(rows * 8) + _ALIGN  # world ids, int64
+        total += _aligned(rows * n_components * 8) + _ALIGN  # result, float64
+    return total + _ALIGN
+
+
+def snapshot_nbytes(snapshot: "BasisSnapshot") -> int:
+    """Aligned bytes needed to pack a snapshot's matrices into a segment."""
+    total = 0
+    for entry in snapshot.entries:
+        total += _aligned(np.asarray(entry.samples).nbytes) + _ALIGN
+        total += _aligned(len(entry.worlds) * 8) + _ALIGN
+        total += _aligned(len(entry.seeds) * 8) + _ALIGN
+    for _, matrix in snapshot.fingerprints:
+        total += _aligned(np.asarray(matrix).nbytes) + _ALIGN
+    return total + _ALIGN
+
+
+def pack_snapshot(lease: SegmentLease, snapshot: "BasisSnapshot") -> SnapshotRef:
+    """Pack a snapshot's matrices into ``lease``; return the descriptor.
+
+    World ids pack as int64; seeds as uint64 (world seeds are full
+    64-bit hash outputs). Entry args and the version string stay in the
+    descriptor — tiny, and the worker cache keys on the version.
+    """
+    entries = []
+    for entry in snapshot.entries:
+        entries.append(
+            SnapshotEntryRef(
+                vg_name=entry.vg_name,
+                args=entry.args,
+                samples=lease.pack(np.asarray(entry.samples, dtype=float)),
+                worlds=lease.pack(np.asarray(entry.worlds, dtype=np.int64)),
+                seeds=lease.pack(np.asarray(entry.seeds, dtype=np.uint64)),
+            )
+        )
+    fingerprints = tuple(
+        (args, lease.pack(np.asarray(matrix, dtype=float)))
+        for args, matrix in snapshot.fingerprints
+    )
+    return SnapshotRef(
+        version=snapshot.version,
+        vg_name=snapshot.vg_name,
+        entries=tuple(entries),
+        fingerprints=fingerprints,
+    )
+
+
+def logical_nbytes(snapshot: Optional["BasisSnapshot"]) -> int:
+    """Payload bytes a snapshot ships (for the bytes_shipped counters)."""
+    if snapshot is None:
+        return 0
+    total = 0
+    for entry in snapshot.entries:
+        total += np.asarray(entry.samples).nbytes
+        total += len(entry.worlds) * 8 + len(entry.seeds) * 8
+    for _, matrix in snapshot.fingerprints:
+        total += np.asarray(matrix).nbytes
+    return total
+
+
+__all__ = [
+    "SHARD_TRANSPORTS",
+    "SegmentArena",
+    "SegmentLease",
+    "SegmentReader",
+    "SegmentRef",
+    "ShmShard",
+    "SnapshotEntryRef",
+    "SnapshotRef",
+    "TransportConfig",
+    "acquire_shard_shm",
+    "acquire_shard_task_shm",
+    "fresh_shard_shm",
+    "generation_nbytes",
+    "logical_nbytes",
+    "pack_snapshot",
+    "sample_shard_task_shm",
+    "shm_available",
+    "snapshot_nbytes",
+]

@@ -35,6 +35,7 @@ SURFACE_SNAPSHOT = (
     "SweepHandle",
     "SweepResult",
     "TimingReport",
+    "TransportConfig",
 )
 
 
