@@ -131,6 +131,8 @@ def __dir__() -> list:
 __all__ = [
     # the client surface (canonical: repro.api)
     "ProphetClient",
+    "AdaptiveConfig",
+    "AdaptiveSweepHandle",
     "ClientConfig",
     "SamplingConfig",
     "ReuseConfig",

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Mapping, Optional, Sequence, Union
 
-from repro.api.config import CacheConfig, ClientConfig
+from repro.api.config import ClientConfig
 from repro.api.handles import (
     AdaptiveSweepHandle,
     InteractiveHandle,

@@ -164,6 +164,13 @@ class CacheConfig:
 
     dir: Optional[str] = None
 
+    def __post_init__(self) -> None:
+        _require(
+            self.dir is None or (isinstance(self.dir, str) and bool(self.dir)),
+            f"cache dir must be a non-empty path string or None, "
+            f"got {self.dir!r}",
+        )
+
     @property
     def enabled(self) -> bool:
         return self.dir is not None

@@ -23,7 +23,7 @@ The cycle (stage names match Figure 1):
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Optional, Sequence
 
 import numpy as np

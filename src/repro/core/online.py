@@ -187,12 +187,15 @@ class OnlineSession:
 
     def refresh(self, *, reuse: bool = True) -> GraphView:
         """Evaluate the scenario at the current slider point; full worlds."""
+        # repro-lint: disable=DET001 -- feeds GraphView.elapsed_seconds, a
+        # user-facing latency readout; never read by the engine.
         started = time.perf_counter()
         invocations_before = self.engine.invocation_count()
         samples_before = self.engine.component_sample_count()
         evaluation = self._evaluate(reuse=reuse)
         view = self._view_from(
             evaluation,
+            # repro-lint: disable=DET001 -- observability only (see above).
             time.perf_counter() - started,
             self.engine.invocation_count() - invocations_before,
             self.engine.component_sample_count() - samples_before,
@@ -211,12 +214,15 @@ class OnlineSession:
         views: list[GraphView] = []
         self.tracker.reset()
         for world_range in self.engine.config.plan().passes():
+            # repro-lint: disable=DET001 -- per-pass latency readout for
+            # GraphView; convergence tracks statistics, not wall time.
             started = time.perf_counter()
             invocations_before = self.engine.invocation_count()
             samples_before = self.engine.component_sample_count()
             evaluation = self._evaluate(worlds=range(world_range.stop), reuse=reuse)
             view = self._view_from(
                 evaluation,
+                # repro-lint: disable=DET001 -- observability only (see above).
                 time.perf_counter() - started,
                 self.engine.invocation_count() - invocations_before,
                 self.engine.component_sample_count() - samples_before,

@@ -19,7 +19,7 @@ from typing import Any, Mapping, Sequence
 
 from repro.errors import ScenarioError
 from repro.core.instance import InstanceBatch
-from repro.core.scenario import DerivedOutput, Scenario, VGOutput
+from repro.core.scenario import Scenario, VGOutput
 from repro.sqldb.ast_nodes import (
     Between,
     BinaryOp,

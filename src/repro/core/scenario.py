@@ -24,7 +24,7 @@ what ``@current = w`` would observe) but lets one world feed every week.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Mapping, Optional, Sequence
 
 from repro.errors import ScenarioError

@@ -1,0 +1,53 @@
+"""``repro.lint`` — the repository's own static-analysis pass.
+
+An AST-based invariant linter enforcing, on every commit, the contracts
+the test suite otherwise guards only dynamically: determinism (no wall
+clock or unseeded randomness outside :mod:`repro.obs`), worker purity
+(modules shipped to workers carry no hidden mutable state), the
+byte-stable counter surface (timing never leaks into
+``StatsReport.to_json``/``ServiceStats.as_dict``), frozen validated
+config sections, the serve-layer error taxonomy, and the public
+``__all__`` surface snapshot.
+
+Run it as ``repro lint [paths...]`` (the CLI subcommand) or
+programmatically::
+
+    from pathlib import Path
+    from repro.lint import LintEngine
+
+    result = LintEngine().run([Path("src/repro")])
+    print(result.render())
+    assert result.ok
+
+Suppression is always *in place*: a ``# repro-lint: disable=RULE`` pragma
+(same line or the comment line above) with a short justification, or a
+committed baseline file for grandfathered debt (see
+:mod:`repro.lint.engine`).
+"""
+
+from repro.lint.engine import (
+    Baseline,
+    FileContext,
+    LintEngine,
+    LintResult,
+    ProjectContext,
+    Rule,
+    Violation,
+    load_default_baseline,
+    parse_file,
+)
+from repro.lint.rules import default_rules, rule_catalog
+
+__all__ = [
+    "Baseline",
+    "FileContext",
+    "LintEngine",
+    "LintResult",
+    "ProjectContext",
+    "Rule",
+    "Violation",
+    "default_rules",
+    "load_default_baseline",
+    "parse_file",
+    "rule_catalog",
+]

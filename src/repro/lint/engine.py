@@ -1,0 +1,418 @@
+"""The repro-lint rule engine: AST walking, pragmas, baseline, reporting.
+
+The contracts this repository runs on — bit-identical results across
+executors, no wall clock in scheduling or stopping decisions, byte-stable
+counter JSON, pickle-pure worker tasks — are guarded dynamically by the
+parity and chaos suites, which catch violations late and only on exercised
+paths. This package checks them *statically*, on every commit, the way an
+integrity constraint is checked independently of any particular query run.
+
+Model:
+
+* a **rule** (:class:`Rule`) inspects parsed files and yields
+  :class:`Violation` records; file-scoped rules see one
+  :class:`FileContext` at a time, project-scoped rules see the whole
+  :class:`ProjectContext` (cross-file contracts: the config-section
+  registry, the public-surface snapshot);
+* a **pragma** — ``# repro-lint: disable=RULE[,RULE...]`` (or
+  ``disable=all``) on the flagged line, or anywhere in the contiguous
+  block of standalone comment lines directly above it — suppresses a
+  violation *in place*, with the (possibly multi-line) justification
+  living next to the exempted code;
+* a **baseline** file (JSON) grandfathers known violations by
+  ``(file, rule, message)`` fingerprint — line numbers are deliberately
+  not part of the fingerprint, so unrelated edits never churn it. New
+  violations fail; baselined ones are reported as suppressed; baseline
+  entries that no longer match anything are reported as stale.
+
+The engine never imports the code it checks — everything is
+:mod:`ast` over source text, so linting cannot execute side effects and
+works on trees that do not import (half-written code, gated deps).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+#: Pragma syntax: ``# repro-lint: disable=DET001,PUR001`` or ``disable=all``.
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=(all|[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+#: Testing hook: a fixture snippet can declare the module it impersonates
+#: (``# repro-lint-fixture: module=repro.serve.worker``) so rule
+#: applicability can be exercised from a temp directory.
+_FIXTURE_RE = re.compile(r"#\s*repro-lint-fixture:\s*module=([A-Za-z0-9_.]+)")
+
+#: Baseline schema version; bumped only on incompatible format changes.
+BASELINE_VERSION = 1
+
+#: Default baseline filename, looked up from the repo root (the first
+#: ancestor of the linted path that carries one, or none at all).
+BASELINE_FILENAME = ".repro-lint-baseline.json"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant at one source location."""
+
+    file: str
+    line: int
+    rule_id: str
+    message: str
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Baseline identity: deliberately line-number-free."""
+        return (self.file, self.rule_id, self.message)
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: {self.rule_id} {self.message}"
+
+
+@dataclass
+class FileContext:
+    """One parsed source file, as rules see it."""
+
+    path: Path
+    #: Path relative to the lint invocation root (posix, for stable output).
+    rel: str
+    #: Dotted module name (``repro.serve.worker``), inferred from the
+    #: ``__init__.py`` chain or overridden by a fixture pragma.
+    module: str
+    tree: ast.Module
+    lines: list[str]
+
+    def module_is(self, *names: str) -> bool:
+        """Does this file's module match any given dotted name exactly?"""
+        return self.module in names
+
+    def module_under(self, *packages: str) -> bool:
+        """Is this file's module inside any of the given packages?"""
+        return any(
+            self.module == pkg or self.module.startswith(pkg + ".")
+            for pkg in packages
+        )
+
+
+@dataclass
+class ProjectContext:
+    """Every parsed file of one lint run, for cross-file rules."""
+
+    root: Path
+    files: list[FileContext]
+    #: Repo root (first ancestor holding ``tests/``), when found — the
+    #: surface rule reads its snapshot fixture from here.
+    repo_root: Optional[Path] = None
+
+    def find(self, module: str) -> Optional[FileContext]:
+        for ctx in self.files:
+            if ctx.module == module:
+                return ctx
+        return None
+
+    def class_def(self, name: str) -> Optional[tuple[FileContext, ast.ClassDef]]:
+        """The first top-level class of this name anywhere in the run."""
+        for ctx in self.files:
+            for node in ctx.tree.body:
+                if isinstance(node, ast.ClassDef) and node.name == name:
+                    return ctx, node
+        return None
+
+
+class Rule:
+    """Base class: one invariant, one stable id, one catalog row."""
+
+    rule_id: str = ""
+    name: str = ""
+    #: One-line rationale for the README catalog and ``--list-rules``.
+    rationale: str = ""
+
+    def check_file(self, ctx: FileContext) -> list[Violation]:
+        return []
+
+    def check_project(self, project: ProjectContext) -> list[Violation]:
+        return []
+
+    # -- helpers shared by concrete rules -----------------------------------
+
+    def violation(self, ctx: FileContext, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            file=ctx.rel,
+            line=getattr(node, "lineno", 1),
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+# -- source discovery and parsing ---------------------------------------------
+
+
+def _infer_module(path: Path) -> str:
+    """Dotted module name from the ``__init__.py`` chain above ``path``."""
+    parts = [path.stem] if path.stem != "__init__" else []
+    current = path.parent
+    while (current / "__init__.py").exists():
+        parts.insert(0, current.name)
+        parent = current.parent
+        if parent == current:
+            break
+        current = parent
+    return ".".join(parts) if parts else path.stem
+
+
+def parse_file(path: Path, rel: Optional[str] = None) -> FileContext:
+    """Parse one source file into the context rules consume.
+
+    Raises :class:`SyntaxError` for unparseable source — a lint run should
+    fail loudly on a file the interpreter itself would reject.
+    """
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    lines = source.splitlines()
+    module = _infer_module(path)
+    for line in lines[:5]:
+        fixture = _FIXTURE_RE.search(line)
+        if fixture:
+            module = fixture.group(1)
+            break
+    return FileContext(
+        path=path,
+        rel=rel if rel is not None else path.as_posix(),
+        module=module,
+        tree=tree,
+        lines=lines,
+    )
+
+
+def discover_files(paths: Sequence[Path]) -> list[Path]:
+    """Every ``.py`` file under the given files/directories, sorted."""
+    found: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            found.update(p for p in path.rglob("*.py") if "__pycache__" not in p.parts)
+        elif path.suffix == ".py":
+            found.add(path)
+    return sorted(found)
+
+
+def _find_repo_root(start: Path) -> Optional[Path]:
+    """First ancestor that looks like the repository root (has ``tests/``)."""
+    current = start if start.is_dir() else start.parent
+    for _ in range(8):
+        if (current / "tests").is_dir() or (current / ".git").exists():
+            return current
+        parent = current.parent
+        if parent == current:
+            return None
+        current = parent
+    return None
+
+
+# -- pragmas ------------------------------------------------------------------
+
+
+def disabled_rules(lines: list[str], line: int) -> set[str]:
+    """Rule ids suppressed at 1-based ``line`` via inline pragmas.
+
+    A pragma counts if it sits on the flagged line itself, or anywhere in
+    the contiguous block of standalone comment lines directly above it —
+    so a pragma can carry a multi-line justification.
+    """
+    disabled: set[str] = set()
+    candidates = []
+    if 1 <= line <= len(lines):
+        candidates.append(lines[line - 1])
+    probe = line - 1
+    while probe >= 1 and lines[probe - 1].lstrip().startswith("#"):
+        candidates.append(lines[probe - 1])
+        probe -= 1
+    for text in candidates:
+        match = _PRAGMA_RE.search(text)
+        if match:
+            raw = match.group(1)
+            if raw == "all":
+                disabled.add("all")
+            else:
+                disabled.update(part.strip() for part in raw.split(",") if part.strip())
+    return disabled
+
+
+# -- baseline -----------------------------------------------------------------
+
+
+@dataclass
+class Baseline:
+    """Grandfathered violations, keyed by line-free fingerprint."""
+
+    entries: set[tuple[str, str, str]] = field(default_factory=set)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {payload.get('version')!r} "
+                f"in {path} (expected {BASELINE_VERSION})"
+            )
+        entries = {
+            (entry["file"], entry["rule"], entry["message"])
+            for entry in payload.get("entries", [])
+        }
+        return cls(entries=entries)
+
+    @classmethod
+    def from_violations(cls, violations: Iterable[Violation]) -> "Baseline":
+        return cls(entries={v.fingerprint() for v in violations})
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [
+                {"file": file, "rule": rule, "message": message}
+                for file, rule, message in sorted(self.entries)
+            ],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def contains(self, violation: Violation) -> bool:
+        return violation.fingerprint() in self.entries
+
+    def stale_entries(
+        self, violations: Iterable[Violation]
+    ) -> list[tuple[str, str, str]]:
+        """Baseline entries matching nothing anymore — fixed, remove them."""
+        seen = {v.fingerprint() for v in violations}
+        return sorted(self.entries - seen)
+
+
+# -- the engine ---------------------------------------------------------------
+
+
+@dataclass
+class LintResult:
+    """Everything one run produced, before exit-code policy is applied."""
+
+    violations: list[Violation]
+    suppressed: list[Violation]
+    baselined: list[Violation]
+    stale_baseline: list[tuple[str, str, str]]
+    files_checked: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        lines = [v.render() for v in self.violations]
+        for file, rule, message in self.stale_baseline:
+            lines.append(
+                f"note: stale baseline entry (already fixed, remove it): "
+                f"{file}: {rule} {message}"
+            )
+        lines.append(
+            f"{len(self.violations)} violation(s) in {self.files_checked} "
+            f"file(s) ({len(self.suppressed)} pragma-suppressed, "
+            f"{len(self.baselined)} baselined)"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "violations": [
+                {
+                    "file": v.file,
+                    "line": v.line,
+                    "rule": v.rule_id,
+                    "message": v.message,
+                }
+                for v in self.violations
+            ],
+            "suppressed": len(self.suppressed),
+            "baselined": len(self.baselined),
+            "stale_baseline": [list(entry) for entry in self.stale_baseline],
+            "files_checked": self.files_checked,
+        }
+
+
+class LintEngine:
+    """Run a rule set over a source tree and apply pragma/baseline policy."""
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[Rule]] = None,
+        baseline: Optional[Baseline] = None,
+    ) -> None:
+        if rules is None:
+            from repro.lint.rules import default_rules
+
+            rules = default_rules()
+        ids = [rule.rule_id for rule in rules]
+        duplicates = {rule_id for rule_id in ids if ids.count(rule_id) > 1}
+        if duplicates:
+            raise ValueError(f"duplicate rule id(s): {sorted(duplicates)}")
+        self.rules = list(rules)
+        self.baseline = baseline or Baseline()
+
+    def run(self, paths: Sequence[Path], root: Optional[Path] = None) -> LintResult:
+        """Lint the given files/directories; policy-applied result."""
+        targets = [Path(p) for p in paths]
+        files = discover_files(targets)
+        base = root or Path.cwd()
+        contexts: list[FileContext] = []
+        for file_path in files:
+            try:
+                rel = file_path.relative_to(base).as_posix()
+            except ValueError:
+                rel = file_path.as_posix()
+            contexts.append(parse_file(file_path, rel=rel))
+        anchor = targets[0] if targets else base
+        project = ProjectContext(
+            root=anchor, files=contexts, repo_root=_find_repo_root(anchor.resolve())
+        )
+
+        raw: list[Violation] = []
+        for ctx in contexts:
+            for rule in self.rules:
+                raw.extend(rule.check_file(ctx))
+        for rule in self.rules:
+            raw.extend(rule.check_project(project))
+        raw.sort(key=lambda v: (v.file, v.line, v.rule_id))
+
+        by_rel = {ctx.rel: ctx for ctx in contexts}
+        active: list[Violation] = []
+        suppressed: list[Violation] = []
+        baselined: list[Violation] = []
+        for violation in raw:
+            ctx = by_rel.get(violation.file)
+            disabled = (
+                disabled_rules(ctx.lines, violation.line) if ctx is not None else set()
+            )
+            if "all" in disabled or violation.rule_id in disabled:
+                suppressed.append(violation)
+            elif self.baseline.contains(violation):
+                baselined.append(violation)
+            else:
+                active.append(violation)
+        return LintResult(
+            violations=active,
+            suppressed=suppressed,
+            baselined=baselined,
+            stale_baseline=self.baseline.stale_entries(raw),
+            files_checked=len(contexts),
+        )
+
+
+def load_default_baseline(anchor: Path) -> Optional[Baseline]:
+    """The committed baseline next to the repo root above ``anchor``, if any."""
+    root = _find_repo_root(anchor.resolve())
+    if root is None:
+        return None
+    candidate = root / BASELINE_FILENAME
+    if candidate.exists():
+        return Baseline.load(candidate)
+    return None

@@ -1,0 +1,179 @@
+"""DET rules: no wall clock, no unseeded randomness, outside observability.
+
+The repository's hardest contract is bit-identical results across
+executors, shard geometries, rounds, and chaos plans — which holds only if
+no scheduling or stopping decision ever reads a clock and every random
+draw flows from the fixed seed sequence. ``repro.obs`` is the one module
+*allowed* to read clocks (it exists to measure), so it is exempt wholesale;
+everywhere else a clock read or an unseeded generator is a violation that
+must either be fixed or carry an inline pragma whose justification explains
+why the value can never reach a decision or a counter surface.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.engine import FileContext, Rule, Violation
+
+#: Modules exempt from the determinism rules (the observability plane is
+#: the designated home of wall-clock measurement).
+EXEMPT_PACKAGES: tuple[str, ...] = ("repro.obs",)
+
+#: ``time.<fn>`` calls that read a clock. ``time.sleep`` is deliberately
+#: not here: sleeping delays work but never *feeds a value* anywhere.
+CLOCK_TIME_FUNCTIONS: frozenset[str] = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+#: ``datetime.<fn>`` / ``datetime.datetime.<fn>`` constructors that read
+#: the current date or time.
+CLOCK_DATETIME_FUNCTIONS: frozenset[str] = frozenset(
+    {"now", "utcnow", "today", "fromtimestamp"}
+)
+
+#: ``random.<fn>`` module-level functions drawing from the shared global
+#: (and therefore unseeded, order-dependent) generator.
+GLOBAL_RANDOM_FUNCTIONS: frozenset[str] = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "uniform",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "gauss",
+        "normalvariate",
+        "betavariate",
+        "expovariate",
+        "seed",
+        "getrandbits",
+    }
+)
+
+#: Legacy ``numpy.random.<fn>`` global-state functions.
+GLOBAL_NUMPY_RANDOM_FUNCTIONS: frozenset[str] = frozenset(
+    {
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "normal",
+        "uniform",
+        "poisson",
+        "exponential",
+        "seed",
+    }
+)
+
+
+def _dotted(node: ast.AST) -> str:
+    """Best-effort dotted name of an attribute chain (``np.random.rand``)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class WallClockRule(Rule):
+    """DET001 — wall-clock reads outside the observability plane."""
+
+    rule_id = "DET001"
+    name = "no-wall-clock"
+    rationale = (
+        "Scheduling and stopping decisions must be pure functions of "
+        "statistics; a clock read anywhere else needs a pragma explaining "
+        "why its value can never reach a decision or a byte-stable counter."
+    )
+
+    def check_file(self, ctx: FileContext) -> list[Violation]:
+        if ctx.module_under(*EXEMPT_PACKAGES):
+            return []
+        violations: list[Violation] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            parts = dotted.split(".")
+            if len(parts) == 2 and parts[0] == "time" and parts[1] in CLOCK_TIME_FUNCTIONS:
+                violations.append(
+                    self.violation(ctx, node, f"wall-clock read time.{parts[1]}()")
+                )
+            elif (
+                len(parts) >= 2
+                and parts[-1] in CLOCK_DATETIME_FUNCTIONS
+                and "datetime" in parts[:-1]
+            ):
+                violations.append(
+                    self.violation(ctx, node, f"wall-clock read {dotted}()")
+                )
+        return violations
+
+
+class UnseededRandomRule(Rule):
+    """DET002 — randomness not derived from the fixed seed sequence."""
+
+    rule_id = "DET002"
+    name = "no-unseeded-random"
+    rationale = (
+        "Every draw must flow from the fixed world-seed sequence "
+        "(repro.vg.seeds); global or unseeded generators make results "
+        "depend on import order and interleaving."
+    )
+
+    def check_file(self, ctx: FileContext) -> list[Violation]:
+        if ctx.module_under(*EXEMPT_PACKAGES):
+            return []
+        violations: list[Violation] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            parts = dotted.split(".")
+            unseeded = not node.args and not node.keywords
+            if len(parts) == 2 and parts[0] == "random":
+                if parts[1] in GLOBAL_RANDOM_FUNCTIONS:
+                    violations.append(
+                        self.violation(
+                            ctx,
+                            node,
+                            f"global-generator call random.{parts[1]}()",
+                        )
+                    )
+                elif parts[1] == "Random" and unseeded:
+                    violations.append(
+                        self.violation(ctx, node, "unseeded random.Random()")
+                    )
+            elif parts[-1] == "default_rng" and "random" in parts[:-1] and unseeded:
+                violations.append(
+                    self.violation(ctx, node, f"unseeded {dotted}()")
+                )
+            elif (
+                len(parts) >= 3
+                and parts[-2] == "random"
+                and parts[-1] in GLOBAL_NUMPY_RANDOM_FUNCTIONS
+            ):
+                violations.append(
+                    self.violation(
+                        ctx, node, f"legacy global numpy RNG call {dotted}()"
+                    )
+                )
+        return violations

@@ -1,0 +1,116 @@
+"""ERR rules: serve-layer failures must speak the errors.py taxonomy.
+
+The resilience ladder routes on exception *types*: transient substrate
+faults (``TransientServeError`` branch) are retried, healed, and rescued;
+everything else is permanent and surfaces immediately. A bare
+``Exception``/``RuntimeError`` raised under ``repro.serve`` is therefore a
+routing bug — it silently lands in the permanent branch with no taxonomy
+meaning — and any other builtin raised there hides a condition callers can
+no longer catch without also swallowing programming errors. The taxonomy
+class list is parsed from ``repro/errors.py`` (never imported), so the rule
+tracks the hierarchy as it grows.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.engine import ProjectContext, Rule, Violation
+
+#: The package whose raises are checked.
+SERVE_PACKAGE = "repro.serve"
+
+#: Hard-banned generic raises: these carry no taxonomy meaning at all.
+GENERIC_EXCEPTIONS: frozenset[str] = frozenset(
+    {"Exception", "BaseException", "RuntimeError"}
+)
+
+#: Builtin exceptions that are violations under serve/ when raised
+#: directly (a taxonomy subclass must wrap the condition instead).
+BUILTIN_EXCEPTIONS: frozenset[str] = frozenset(
+    {
+        "ValueError",
+        "TypeError",
+        "KeyError",
+        "IndexError",
+        "AttributeError",
+        "OSError",
+        "IOError",
+        "LookupError",
+        "ArithmeticError",
+        "ZeroDivisionError",
+        "StopIteration",
+        "AssertionError",
+    }
+)
+
+
+def _raised_name(node: ast.Raise) -> str | None:
+    """The exception class name of ``raise Name(...)`` / ``raise Name``."""
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    if isinstance(exc, ast.Attribute):
+        return exc.attr
+    return None
+
+
+def taxonomy_classes(errors_tree: ast.Module) -> set[str]:
+    """Every class defined in errors.py (the taxonomy, by construction)."""
+    return {
+        node.name for node in errors_tree.body if isinstance(node, ast.ClassDef)
+    }
+
+
+class ServeTaxonomyRule(Rule):
+    """ERR001/ERR002 — raises under serve/ must subclass the taxonomy."""
+
+    rule_id = "ERR001"
+    name = "serve-error-taxonomy"
+    rationale = (
+        "The dispatcher and scheduler route retries on the "
+        "TransientServeError branch; a generic or builtin raise under "
+        "serve/ silently becomes an unroutable permanent failure."
+    )
+
+    BUILTIN_ID = "ERR002"
+
+    def check_project(self, project: ProjectContext) -> list[Violation]:
+        errors_ctx = project.find("repro.errors")
+        known = taxonomy_classes(errors_ctx.tree) if errors_ctx else set()
+        violations: list[Violation] = []
+        for ctx in project.files:
+            if not ctx.module_under(SERVE_PACKAGE):
+                continue
+            for node in ast.walk(ctx.tree):
+                if not isinstance(node, ast.Raise) or node.exc is None:
+                    continue
+                name = _raised_name(node)
+                if name is None or name in known:
+                    continue
+                if name in GENERIC_EXCEPTIONS:
+                    violations.append(
+                        self.violation(
+                            ctx,
+                            node,
+                            f"bare {name} raised under {SERVE_PACKAGE}; raise "
+                            f"a repro.errors taxonomy subclass (transient vs "
+                            f"permanent) instead",
+                        )
+                    )
+                elif name in BUILTIN_EXCEPTIONS:
+                    violations.append(
+                        Violation(
+                            file=ctx.rel,
+                            line=node.lineno,
+                            rule_id=self.BUILTIN_ID,
+                            message=(
+                                f"builtin {name} raised under {SERVE_PACKAGE}; "
+                                f"wrap the condition in a repro.errors "
+                                f"taxonomy subclass"
+                            ),
+                        )
+                    )
+        return violations

@@ -68,12 +68,11 @@ __all__ = [
     "BasisSnapshot",
     "CachedResult",
     "EngineSpec",
+    "EvaluationService",
     "FaultInjected",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
-    "ShardSample",
-    "EvaluationService",
     "InlineExecutor",
     "Job",
     "JobQueue",
@@ -88,12 +87,13 @@ __all__ = [
     "ServiceStats",
     "ShardCall",
     "ShardDispatcher",
+    "ShardSample",
     "SweepJob",
     "TransportConfig",
     "WorldShard",
     "create_executor",
-    "shm_available",
     "plan_shards",
     "result_key",
     "scenario_fingerprint",
+    "shm_available",
 ]

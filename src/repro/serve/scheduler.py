@@ -551,6 +551,8 @@ class Scheduler:
         job = self.queue.pop()
         if job is None:
             return None
+        # repro-lint: disable=DET001 -- feeds Job.elapsed_seconds, an
+        # observability field; scheduling decisions never read it.
         started = time.perf_counter()
         with self.tracer.span("job", job=job.id, session=job.session) as span:
             while True:
@@ -578,6 +580,7 @@ class Scheduler:
                     job.exception = error
                 break
             span.set(status=job.status, attempts=job.attempts)
+        # repro-lint: disable=DET001 -- observability only (see above).
         job.elapsed_seconds = time.perf_counter() - started
         self.queue.finish(job)
         for follower in self._followers.pop(job.id, ()):

@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import hashlib
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any, Mapping, Optional, Sequence
 
 import numpy as np
@@ -574,6 +574,8 @@ class EvaluationService:
         generation = self._lease_generation(
             output, shards, n_components, snapshot, use_process
         )
+        # repro-lint: disable=DET001 -- feeds stats.parallel_seconds, a
+        # timing counter excluded from the byte-stable as_dict surface.
         started = time.perf_counter()
         calls = [
             self._shard_call(
@@ -615,6 +617,7 @@ class EvaluationService:
                 self._arena.release(generation.lease)
             raise
         finally:
+            # repro-lint: disable=DET001 -- observability only (see above).
             self.stats.parallel_seconds += time.perf_counter() - started
         try:
             with self.tracer.span(

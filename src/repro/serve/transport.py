@@ -180,6 +180,9 @@ def _aligned(offset: int) -> int:
     return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
 
 
+# repro-lint: disable=PUR001 -- per-process platform probe: every process
+# answers the same question about the same kernel, so divergence is only
+# "this worker saw shm vanish" — the exact downgrade the probe exists for.
 _SHM_PROBE: Optional[bool] = None
 
 
@@ -190,6 +193,8 @@ def shm_available() -> bool:
     ``/dev/shm``, sandboxed ``shm_open``, missing module) downgrades shm
     transport to pickle — counted, never an error.
     """
+    # repro-lint: disable=PUR001 -- rebinding the per-process probe memo
+    # declared above; see its justification.
     global _SHM_PROBE
     if _SHM_PROBE is None:
         try:
@@ -222,6 +227,8 @@ class SegmentLease:
         self.name = shm.name
         self.nbytes = nbytes
         self.refs = 1
+        # repro-lint: disable=DET001 -- leak-reclaim TTL safety net; a
+        # lease's deadline never influences evaluation results.
         self.deadline = time.monotonic() + ttl
         self.label = label
         self._cursor = 0
@@ -333,11 +340,13 @@ class SegmentArena:
         if lease.name not in self._leases:
             raise ServeError(f"segment {lease.name} is not leased from this arena")
         lease.refs += 1
+        # repro-lint: disable=DET001 -- TTL safety net only; see SegmentLease.
         lease.deadline = time.monotonic() + self.ttl
 
     def touch(self, lease: SegmentLease) -> None:
         """Refresh a live lease's TTL (cached snapshot segments on reuse)."""
         if lease.name in self._leases:
+            # repro-lint: disable=DET001 -- TTL safety net only; see SegmentLease.
             lease.deadline = time.monotonic() + self.ttl
 
     def release(self, lease: SegmentLease) -> None:
@@ -357,6 +366,7 @@ class SegmentArena:
 
     def sweep_expired(self) -> int:
         """Reclaim leases past their TTL (the leak safety net); count them."""
+        # repro-lint: disable=DET001 -- TTL safety net only; see SegmentLease.
         now = time.monotonic()
         expired = [lease for lease in self._leases.values() if lease.deadline < now]
         for lease in expired:
@@ -411,10 +421,14 @@ class SegmentArena:
 #: attach unregisters right away. Forked workers and the coordinator
 #: share one pre-started tracker and must NOT unregister — the shared
 #: cache holds one entry per segment, owned by the arena's unlink.
+# repro-lint: disable=PUR001 -- per-process tracker-ownership memo; the
+# answer is a property of this process's start method, never shared.
 _PRIVATE_TRACKER: Optional[bool] = None
 
 
 def _tracker_is_private() -> bool:
+    # repro-lint: disable=PUR001 -- rebinding the per-process memo declared
+    # above; see its justification.
     global _PRIVATE_TRACKER
     if _PRIVATE_TRACKER is None:
         try:
@@ -514,6 +528,8 @@ def _ship(sample: "ShardSample", ticket: ShmShard, reader: SegmentReader) -> "Sh
 #: attached segments stay open exactly as long as the store that views
 #: into them is cached — the "snapshot cache keyed to attached segments"
 #: contract — and are closed when a newer same-VG version evicts them.
+# repro-lint: disable=PUR001 -- documented per-process memo keyed by
+# (spec hash, snapshot version); cold re-materialization is bit-identical.
 _SNAPSHOT_REF_STORES: dict[tuple[str, str], tuple[Any, tuple[Any, ...]]] = {}
 
 

@@ -42,7 +42,8 @@ import hashlib
 import json
 import time
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Optional
+from types import MappingProxyType
+from typing import Any, Callable, Mapping, Optional
 
 import numpy as np
 
@@ -60,17 +61,24 @@ from repro.models import (
 )
 from repro.vg.seeds import world_seed
 
-#: Named VG libraries a spec may reference (DSL-text specs).
-LIBRARY_BUILDERS: dict[str, Callable[[], Any]] = {
-    "demo": build_demo_library,
-}
+#: Named VG libraries a spec may reference (DSL-text specs). Immutable:
+#: the registry pickles toward workers by name only, so a mutation on the
+#: coordinator could never reach them anyway — freezing makes that
+#: impossible to rely on by accident.
+LIBRARY_BUILDERS: Mapping[str, Callable[[], Any]] = MappingProxyType(
+    {
+        "demo": build_demo_library,
+    }
+)
 
 #: Named (scenario, library) builders a spec may reference instead of DSL.
-SCENARIO_BUILDERS: dict[str, Callable[..., tuple[Any, Any]]] = {
-    "risk_vs_cost": build_risk_vs_cost,
-    "growth": build_growth_scenario,
-    "maintenance": build_maintenance_scenario,
-}
+SCENARIO_BUILDERS: Mapping[str, Callable[..., tuple[Any, Any]]] = MappingProxyType(
+    {
+        "risk_vs_cost": build_risk_vs_cost,
+        "growth": build_growth_scenario,
+        "maintenance": build_maintenance_scenario,
+    }
+)
 
 
 @dataclass(frozen=True)
@@ -272,8 +280,11 @@ def fresh_shard(
     per-world loop) so coordinators can observe worker-side fallback.
     """
     timings = StageTimings()
+    # repro-lint: disable=DET001 -- worker-side observability shipped in
+    # ShardSample.elapsed_seconds; never read by sampling decisions.
     started = time.perf_counter()
     samples = engine.sample_fresh(alias, point, worlds, timings=timings)
+    # repro-lint: disable=DET001 -- observability only (see above).
     elapsed = time.perf_counter() - started
     batched = engine.sampling.last_backend == "batched"
     return ShardSample(
@@ -301,6 +312,8 @@ def acquire_shard(
     (:meth:`~repro.core.scenario.Scenario.validate_sweep_point`), so shard
     reuse keys cannot drift from the coordinator's.
     """
+    # repro-lint: disable=DET001 -- worker-side observability shipped in
+    # ShardSample.elapsed_seconds/timing; never read by reuse decisions.
     started = time.perf_counter()
     output = engine.scenario.vg_output(alias)
     validated = engine.scenario.validate_sweep_point(point)
@@ -315,11 +328,13 @@ def acquire_shard(
         reuse=True,
         min_mapped_fraction=engine.config.min_mapped_fraction,
     )
+    # repro-lint: disable=DET001 -- observability only (see above).
     acquire_elapsed = time.perf_counter() - started
     if samples is None:
         sample = fresh_shard(engine, alias, validated, worlds)
         return replace(
             sample,
+            # repro-lint: disable=DET001 -- observability only (see above).
             elapsed_seconds=time.perf_counter() - started,
             timing=(("reuse", acquire_elapsed),) + sample.timing,
         )
@@ -335,6 +350,10 @@ def acquire_shard(
 
 
 #: Per-process engine cache: one engine per spec, reused across shard tasks.
+#: Per-process-safe: keyed by spec content hash, so a cold worker rebuilds
+#: an identical engine — divergence from the coordinator is impossible.
+# repro-lint: disable=PUR001 -- documented per-process memo keyed by
+# content hash; cold rebuild is bit-identical.
 _WORKER_ENGINES: dict[str, ProphetEngine] = {}
 
 #: Per-process snapshot-store cache: ``(spec_hash, snapshot_version)`` ->
@@ -348,6 +367,8 @@ _WORKER_ENGINES: dict[str, ProphetEngine] = {}
 #: (``_SNAPSHOT_REF_STORES``) keys the seeded store to the attached
 #: segments. The coordinator bounds the payload either way by shipping
 #: only partial-coverage bases; uniform-world workloads ship nothing.
+# repro-lint: disable=PUR001 -- documented per-process memo keyed by
+# (spec hash, snapshot version); cold re-seeding is bit-identical.
 _SNAPSHOT_STORES: dict[tuple[str, str], StorageManager] = {}
 
 

@@ -28,13 +28,12 @@ from typing import Any, Callable, Mapping, Optional
 
 import numpy as np
 
-from repro.errors import CatalogError, ExecutionError
+from repro.errors import ExecutionError
 from repro.sqldb.aggregates import (
     AGGREGATE_ALIASES,
     Aggregate,
     collect_aggregates,
     has_aggregate,
-    is_aggregate_name,
     make_aggregate,
     rewrite_aggregates,
 )

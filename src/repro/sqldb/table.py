@@ -15,7 +15,7 @@ can move columnar data between tables without ever building row tuples.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, Mapping, Optional, Sequence
+from typing import Any, Iterable, Iterator, Optional, Sequence
 
 import numpy as np
 

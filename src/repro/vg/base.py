@@ -17,7 +17,7 @@ Two flavours:
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Sequence
+from typing import Any, Sequence
 
 import numpy as np
 

@@ -14,9 +14,12 @@ import pytest
 
 import repro
 import repro.api
+import repro.serve
 
 #: THE public surface. Changing it is an API decision: update this
 #: snapshot deliberately, in the same commit, with a changelog entry.
+#: Both snapshots are also read *statically* by the ``repro lint`` SRF001
+#: rule, so a drifted ``__all__`` fails the lint gate before the test run.
 SURFACE_SNAPSHOT = (
     "AdaptiveConfig",
     "AdaptiveSweepHandle",
@@ -38,6 +41,41 @@ SURFACE_SNAPSHOT = (
     "TransportConfig",
 )
 
+#: The serve plane's public surface (``repro.serve.__all__``), same rules.
+SERVE_SURFACE_SNAPSHOT = (
+    "BasisSnapshot",
+    "CachedResult",
+    "EngineSpec",
+    "EvaluationService",
+    "FaultInjected",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InlineExecutor",
+    "Job",
+    "JobQueue",
+    "LIBRARY_BUILDERS",
+    "ProcessExecutor",
+    "ResilienceConfig",
+    "ResultCache",
+    "SCENARIO_BUILDERS",
+    "Scheduler",
+    "SegmentArena",
+    "SegmentRef",
+    "ServiceStats",
+    "ShardCall",
+    "ShardDispatcher",
+    "ShardSample",
+    "SweepJob",
+    "TransportConfig",
+    "WorldShard",
+    "create_executor",
+    "plan_shards",
+    "result_key",
+    "scenario_fingerprint",
+    "shm_available",
+)
+
 
 class TestApiSurface:
     def test_all_matches_snapshot(self):
@@ -49,6 +87,18 @@ class TestApiSurface:
 
     def test_no_private_leaks(self):
         assert not [name for name in repro.api.__all__ if name.startswith("_")]
+
+
+class TestServeSurface:
+    def test_all_matches_snapshot(self):
+        assert tuple(sorted(repro.serve.__all__)) == SERVE_SURFACE_SNAPSHOT
+
+    def test_all_is_sorted(self):
+        assert list(repro.serve.__all__) == sorted(repro.serve.__all__)
+
+    def test_every_export_resolves(self):
+        for name in repro.serve.__all__:
+            assert getattr(repro.serve, name) is not None
 
 
 class TestTopLevelSurface:

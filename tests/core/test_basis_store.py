@@ -3,7 +3,6 @@
 import os
 
 import numpy as np
-import pytest
 
 from repro.core.engine import ProphetConfig, ProphetEngine
 from repro.core.fingerprint import CorrelationPolicy, FingerprintSpec

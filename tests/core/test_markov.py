@@ -1,6 +1,5 @@
 """Unit tests for Markov-structure detection and shortcut estimators."""
 
-import numpy as np
 import pytest
 
 from repro.errors import FingerprintError

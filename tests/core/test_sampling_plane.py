@@ -10,11 +10,10 @@ points.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.engine import ProphetConfig, ProphetEngine
-from repro.core.sampling import SAMPLING_BACKENDS, SamplingPlane
+from repro.core.sampling import SAMPLING_BACKENDS
 from repro.errors import ScenarioError
 from repro.models import (
     build_growth_scenario,

@@ -1,0 +1,54 @@
+"""Shared helpers for the lint suite: tiny source trees linted in place."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.lint import LintEngine, Violation
+from repro.lint.engine import Baseline, Rule
+
+
+def lint_source(
+    tmp_path: Path,
+    source: str,
+    *,
+    module: Optional[str] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    baseline: Optional[Baseline] = None,
+    filename: str = "snippet.py",
+) -> list[Violation]:
+    """Lint one snippet written to ``tmp_path``; active violations only.
+
+    ``module`` injects a ``# repro-lint-fixture: module=...`` header so
+    module-scoped rules (worker purity, serve taxonomy, determinism
+    exemptions) can be exercised from a temp directory.
+    """
+    return lint_result(
+        tmp_path,
+        source,
+        module=module,
+        rules=rules,
+        baseline=baseline,
+        filename=filename,
+    ).violations
+
+
+def lint_result(
+    tmp_path: Path,
+    source: str,
+    *,
+    module: Optional[str] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    baseline: Optional[Baseline] = None,
+    filename: str = "snippet.py",
+):
+    header = f"# repro-lint-fixture: module={module}\n" if module else ""
+    target = tmp_path / filename
+    target.write_text(header + source, encoding="utf-8")
+    engine = LintEngine(rules=rules, baseline=baseline)
+    return engine.run([target], root=tmp_path)
+
+
+def rule_ids(violations: Sequence[Violation]) -> list[str]:
+    return [violation.rule_id for violation in violations]

@@ -1,0 +1,207 @@
+"""Engine mechanics: pragmas, baseline, module inference, reporting."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint import LintEngine, Violation, default_rules, parse_file
+from repro.lint.engine import (
+    BASELINE_FILENAME,
+    Baseline,
+    Rule,
+    _infer_module,
+    disabled_rules,
+    discover_files,
+    load_default_baseline,
+)
+from lint_testutil import lint_result, lint_source, rule_ids
+
+CLOCK = "import time\n\ndef f():\n    return time.time()\n"
+
+
+class TestPragmas:
+    def test_violation_without_pragma(self, tmp_path):
+        assert rule_ids(lint_source(tmp_path, CLOCK)) == ["DET001"]
+
+    def test_same_line_pragma_suppresses(self, tmp_path):
+        src = (
+            "import time\n\ndef f():\n"
+            "    return time.time()  # repro-lint: disable=DET001\n"
+        )
+        result = lint_result(tmp_path, src)
+        assert result.violations == []
+        assert rule_ids(result.suppressed) == ["DET001"]
+
+    def test_comment_line_above_suppresses(self, tmp_path):
+        src = (
+            "import time\n\ndef f():\n"
+            "    # repro-lint: disable=DET001 -- test exemption\n"
+            "    return time.time()\n"
+        )
+        assert lint_source(tmp_path, src) == []
+
+    def test_multi_line_comment_block_suppresses(self, tmp_path):
+        src = (
+            "import time\n\ndef f():\n"
+            "    # repro-lint: disable=DET001 -- a justification long\n"
+            "    # enough to wrap onto a second comment line.\n"
+            "    return time.time()\n"
+        )
+        assert lint_source(tmp_path, src) == []
+
+    def test_pragma_does_not_leak_past_comment_block(self, tmp_path):
+        src = (
+            "import time\n\ndef f():\n"
+            "    # repro-lint: disable=DET001\n"
+            "    a = time.time()\n"
+            "    b = time.time()\n"
+            "    return a + b\n"
+        )
+        assert rule_ids(lint_source(tmp_path, src)) == ["DET001"]
+
+    def test_disable_all(self, tmp_path):
+        src = (
+            "import time, random\n\ndef f():\n"
+            "    # repro-lint: disable=all\n"
+            "    return time.time() + random.random()\n"
+        )
+        assert lint_source(tmp_path, src) == []
+
+    def test_comma_separated_rule_list(self, tmp_path):
+        src = (
+            "import time, random\n\ndef f():\n"
+            "    # repro-lint: disable=DET001,DET002\n"
+            "    return time.time() + random.random()\n"
+        )
+        assert lint_source(tmp_path, src) == []
+
+    def test_wrong_rule_id_does_not_suppress(self, tmp_path):
+        src = (
+            "import time\n\ndef f():\n"
+            "    # repro-lint: disable=DET002\n"
+            "    return time.time()\n"
+        )
+        assert rule_ids(lint_source(tmp_path, src)) == ["DET001"]
+
+    def test_disabled_rules_parser(self):
+        lines = [
+            "x = 1",
+            "# repro-lint: disable=AAA001, BBB002",
+            "y = 2",
+        ]
+        assert disabled_rules(lines, 3) == {"AAA001", "BBB002"}
+        assert disabled_rules(lines, 1) == set()
+
+
+class TestBaseline:
+    def test_baselined_violation_is_not_active(self, tmp_path):
+        violation = Violation(
+            file="snippet.py", line=4, rule_id="DET001",
+            message="wall-clock read time.time()",
+        )
+        baseline = Baseline.from_violations([violation])
+        result = lint_result(tmp_path, CLOCK, baseline=baseline)
+        assert result.violations == []
+        assert rule_ids(result.baselined) == ["DET001"]
+        assert result.ok
+
+    def test_fingerprint_ignores_line_numbers(self, tmp_path):
+        # The same violation, recorded from a different line: still matches.
+        violation = Violation(
+            file="snippet.py", line=999, rule_id="DET001",
+            message="wall-clock read time.time()",
+        )
+        baseline = Baseline.from_violations([violation])
+        assert lint_result(tmp_path, CLOCK, baseline=baseline).violations == []
+
+    def test_stale_entries_reported(self, tmp_path):
+        baseline = Baseline(entries={("snippet.py", "DET001", "gone")})
+        result = lint_result(tmp_path, "x = 1\n", baseline=baseline)
+        assert result.stale_baseline == [("snippet.py", "DET001", "gone")]
+        assert "stale baseline entry" in result.render()
+
+    def test_save_load_roundtrip(self, tmp_path):
+        violation = Violation(
+            file="a.py", line=1, rule_id="PUR001", message="mutable state"
+        )
+        baseline = Baseline.from_violations([violation])
+        path = tmp_path / BASELINE_FILENAME
+        baseline.save(path)
+        assert Baseline.load(path).entries == baseline.entries
+
+    def test_load_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / BASELINE_FILENAME
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ValueError, match="version"):
+            Baseline.load(path)
+
+    def test_load_default_baseline_from_repo_root(self, tmp_path):
+        (tmp_path / "tests").mkdir()  # marks tmp_path as a repo root
+        src = tmp_path / "src" / "pkg"
+        src.mkdir(parents=True)
+        Baseline(entries={("a.py", "X", "m")}).save(tmp_path / BASELINE_FILENAME)
+        loaded = load_default_baseline(src)
+        assert loaded is not None and loaded.entries == {("a.py", "X", "m")}
+
+    def test_load_default_baseline_absent(self, tmp_path):
+        (tmp_path / "tests").mkdir()
+        assert load_default_baseline(tmp_path) is None
+
+
+class TestModuleInference:
+    def test_init_chain(self, tmp_path):
+        pkg = tmp_path / "repro" / "serve"
+        pkg.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "worker.py").write_text("x = 1\n")
+        assert _infer_module(pkg / "worker.py") == "repro.serve.worker"
+        assert _infer_module(pkg / "__init__.py") == "repro.serve"
+
+    def test_fixture_pragma_overrides(self, tmp_path):
+        target = tmp_path / "anything.py"
+        target.write_text("# repro-lint-fixture: module=repro.serve.worker\n")
+        assert parse_file(target).module == "repro.serve.worker"
+
+    def test_bare_file_is_its_stem(self, tmp_path):
+        target = tmp_path / "loose.py"
+        target.write_text("x = 1\n")
+        assert parse_file(target).module == "loose"
+
+
+class TestDiscoveryAndEngine:
+    def test_discover_skips_pycache(self, tmp_path):
+        (tmp_path / "a.py").write_text("")
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "a.cpython-311.py").write_text("")
+        assert discover_files([tmp_path]) == [tmp_path / "a.py"]
+
+    def test_duplicate_rule_ids_rejected(self):
+        class Dup(Rule):
+            rule_id = "DET001"
+
+        with pytest.raises(ValueError, match="duplicate"):
+            LintEngine(rules=[Dup(), Dup()])
+
+    def test_default_rules_have_unique_ids_and_docs(self):
+        rules = default_rules()
+        ids = [rule.rule_id for rule in rules]
+        assert len(ids) == len(set(ids))
+        for rule in rules:
+            assert rule.rule_id and rule.name and rule.rationale
+
+    def test_result_render_and_dict(self, tmp_path):
+        result = lint_result(tmp_path, CLOCK)
+        assert not result.ok
+        assert "snippet.py:4: DET001" in result.render()
+        payload = result.to_dict()
+        assert payload["violations"][0]["rule"] == "DET001"
+        assert payload["files_checked"] == 1
+
+    def test_syntax_error_fails_loudly(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        with pytest.raises(SyntaxError):
+            LintEngine().run([tmp_path / "broken.py"], root=tmp_path)

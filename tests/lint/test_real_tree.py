@@ -1,0 +1,86 @@
+"""The meta-test: the shipped tree is violation-free, and the CLI agrees.
+
+This is the lint gate run *as a test*: if a change introduces a contract
+violation anywhere under ``src/repro`` without a pragma justification (or
+a deliberate baseline entry), this file fails — in the same tier-1 run
+that exercises the contracts dynamically.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+from repro.lint import LintEngine, load_default_baseline, rule_catalog
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src" / "repro"
+
+BAD_SNIPPET = "import time\n\ndef decide():\n    return time.time()\n"
+
+
+class TestShippedTree:
+    def test_src_repro_is_violation_free(self):
+        engine = LintEngine(baseline=load_default_baseline(SRC))
+        result = engine.run([SRC], root=REPO_ROOT)
+        assert result.violations == [], "\n" + result.render()
+
+    def test_no_stale_baseline_entries(self):
+        engine = LintEngine(baseline=load_default_baseline(SRC))
+        result = engine.run([SRC], root=REPO_ROOT)
+        assert result.stale_baseline == []
+
+    def test_suppressions_all_carry_known_rule_ids(self):
+        engine = LintEngine(baseline=load_default_baseline(SRC))
+        result = engine.run([SRC], root=REPO_ROOT)
+        known = {rule_id for rule_id, _, _ in rule_catalog()}
+        assert {v.rule_id for v in result.suppressed} <= known
+
+
+class TestCliEndToEnd:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["lint", str(SRC)]) == 0
+        assert "0 violation(s)" in capsys.readouterr().out
+
+    def test_violations_exit_nonzero(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(BAD_SNIPPET)
+        assert main(["lint", str(tmp_path)]) == 1
+        assert "DET001" in capsys.readouterr().out
+
+    def test_json_output(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(BAD_SNIPPET)
+        assert main(["lint", "--json", str(tmp_path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["violations"][0]["rule"] == "DET001"
+
+    def test_list_rules_covers_catalog(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id, _, _ in rule_catalog():
+            assert rule_id in out
+
+    def test_missing_target_is_usage_error(self, capsys):
+        assert main(["lint", "no/such/dir"]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(BAD_SNIPPET)
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            ["lint", "--write-baseline", "--baseline", str(baseline), str(tmp_path)]
+        ) == 0
+        assert baseline.exists()
+        # Grandfathered: the same tree now lints clean against the baseline.
+        assert main(["lint", "--baseline", str(baseline), str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 baselined" in out
+
+    def test_default_baseline_is_committed_and_loadable(self):
+        baseline_path = REPO_ROOT / ".repro-lint-baseline.json"
+        assert baseline_path.exists(), "commit an (empty) lint baseline"
+        payload = json.loads(baseline_path.read_text())
+        assert payload["version"] == 1
+        # Policy: the shipped tree carries no grandfathered debt — every
+        # exemption is an inline pragma with a justification instead.
+        assert payload["entries"] == []

@@ -1,6 +1,5 @@
 """Tests for the canned scenarios (Figure 2 and the extensions)."""
 
-import pytest
 
 from repro.dsl import parse_scenario
 from repro.models import (

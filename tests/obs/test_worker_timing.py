@@ -14,7 +14,7 @@ import pickle
 import numpy as np
 import pytest
 
-from repro.core.engine import ProphetConfig, ProphetEngine
+from repro.core.engine import ProphetEngine
 from repro.dsl import parse_scenario
 from repro.models import build_demo_library
 from repro.obs import Tracer

@@ -13,11 +13,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.engine import ProphetConfig, ProphetEngine
 from repro.core.rounds import RoundPlan
-from repro.dsl import parse_scenario
 from repro.errors import ServeError
-from repro.models import build_demo_library
 from repro.serve import (
     EvaluationService,
     FaultPlan,
@@ -27,7 +24,7 @@ from repro.serve import (
     Scheduler,
 )
 from repro.serve.sharding import round_slices
-from serve_testutil import POINT, SERVE_DSL, assert_stats_identical
+from serve_testutil import POINT, assert_stats_identical
 
 OTHER_POINT = {"purchase1": 26, "purchase2": 52, "feature": 36}
 

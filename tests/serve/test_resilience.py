@@ -24,7 +24,6 @@ from repro.errors import (
     RetryExhaustedError,
     ScenarioError,
     ServeError,
-    ShardPayloadError,
     WorkerCrashError,
 )
 from repro.models import build_demo_library

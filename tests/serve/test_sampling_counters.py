@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-import pytest
 
 from repro.serve import EngineSpec, EvaluationService, InlineExecutor
 from serve_testutil import POINT, SERVE_DSL, assert_stats_identical

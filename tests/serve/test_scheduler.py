@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.core.aggregator import MergeableAxisStats
-from repro.core.engine import ProphetConfig, ProphetEngine
 from repro.core.offline import OfflineOptimizer
 from repro.core.online import OnlineSession
 from repro.dsl import parse_scenario

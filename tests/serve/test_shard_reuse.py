@@ -15,7 +15,6 @@ of fresh simulation. These tests pin down the three contracts:
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.engine import ProphetEngine

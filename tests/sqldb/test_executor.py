@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import CatalogError, ExecutionError
-from repro.sqldb import Catalog, Executor
 
 
 class TestSelectBasics:

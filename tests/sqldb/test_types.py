@@ -1,6 +1,5 @@
 """Unit tests for SQL type declarations, inference, and coercion."""
 
-import math
 
 import pytest
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.cli import _parse_assignment, build_parser, main
 from repro.errors import ReproError
-from repro.models import FIGURE2_DSL
 
 SMALL_DSL = """
 DECLARE PARAMETER @current AS RANGE 0 TO 52 STEP BY 1;

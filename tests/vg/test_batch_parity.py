@@ -33,7 +33,6 @@ from repro.vg import (
     RandomWalk,
     ScaledBy,
     SeasonalSeries,
-    SteppedVGFunction,
     SumOf,
     TransformedBy,
 )
